@@ -1,0 +1,1 @@
+bench/exp2_audit.ml: Exp_common Int64 List Printf Secrep_core Secrep_crypto Secrep_sim Secrep_store Secrep_workload

@@ -1,0 +1,1 @@
+bench/exp3_cost.ml: Array Exp_common Int64 List Printf Secrep_baselines Secrep_core Secrep_crypto Secrep_sim Secrep_workload

@@ -1,0 +1,1 @@
+bench/exp4_staleness.ml: Array Exp_common List Printf Secrep_core Secrep_crypto Secrep_sim Secrep_store Secrep_workload

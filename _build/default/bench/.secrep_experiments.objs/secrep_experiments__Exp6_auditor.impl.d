@@ -1,0 +1,1 @@
+bench/exp6_auditor.ml: Array Exp_common Float Format List Option Secrep_core Secrep_crypto Secrep_sim Secrep_store Secrep_workload String Unix

@@ -1,0 +1,1 @@
+bench/exp7_levels.ml: Exp_common Int64 List Secrep_core Secrep_crypto Secrep_sim Secrep_workload

@@ -1,0 +1,1 @@
+bench/exp8_quorum.ml: Exp_common Fun Int Int64 List Printf Secrep_core Secrep_crypto Secrep_sim Secrep_store Secrep_workload

@@ -1,0 +1,1 @@
+bench/exp9_ablation.ml: Array Exp_common Float Int64 List Secrep_core Secrep_crypto Secrep_sim Secrep_store Secrep_workload

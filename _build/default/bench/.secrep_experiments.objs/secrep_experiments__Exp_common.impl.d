@@ -1,0 +1,1 @@
+bench/exp_common.ml: Array Format Int64 List Printf Secrep_core Secrep_crypto Secrep_workload String

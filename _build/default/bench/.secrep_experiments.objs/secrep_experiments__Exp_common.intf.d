@@ -1,0 +1,1 @@
+bench/exp_common.mli: Format Secrep_core

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Format Hashtbl Instance Lazy List Measure Printf Secrep_core Secrep_crypto Secrep_sim Secrep_store Secrep_workload Staged String Test Time Toolkit

@@ -1,0 +1,185 @@
+(* E4 — max_latency bounds the inconsistency window (§3, §3.2).
+
+   Writes stream in while clients read.  Three measurements:
+
+   (a) Safety: accepted reads are *never* wrong for their pledged
+       version (oracle check), and the version a client accepts lags
+       the newest committed version by a bounded amount.
+   (b) Liveness vs keep-alive period: as the keep-alive period
+       approaches max_latency, honest slaves spend more time
+       "not fresh enough" and clients see stale rejections/retries.
+   (c) The §3.2 refinement: a client behind a very slow link cannot
+       satisfy a tight freshness bound (reads fail), but choosing its
+       own, looser max_latency restores availability. *)
+
+module System = Secrep_core.System
+module Config = Secrep_core.Config
+module Client = Secrep_core.Client
+module Stats = Secrep_sim.Stats
+module Sim = Secrep_sim.Sim
+module Latency = Secrep_sim.Latency
+module Prng = Secrep_crypto.Prng
+module Query = Secrep_store.Query
+module Oplog = Secrep_store.Oplog
+module Value = Secrep_store.Value
+
+let sweep_keepalive fmt ~quick =
+  let n_reads = if quick then 100 else 400 in
+  (* A sluggish WAN (hundreds of ms with heavy tails): the pledge's
+     keep-alive ages measurably in flight, so pushing the keep-alive
+     period toward max_latency visibly costs availability. *)
+  let laggy_net =
+    {
+      System.default_net with
+      System.master_slave = Latency.Exponential { mean = 0.4; floor = 0.3 };
+      client_slave = Latency.Exponential { mean = 0.5; floor = 0.4 };
+      client_master = Latency.Exponential { mean = 0.4; floor = 0.3 };
+    }
+  in
+  let rows =
+    List.map
+      (fun keepalive_period ->
+        let config =
+          {
+            Exp_common.base_config with
+            Config.max_latency = 5.0;
+            keepalive_period;
+            double_check_probability = 0.0;
+          }
+        in
+        let system =
+          System.create ~n_masters:2 ~slaves_per_master:3 ~n_clients:6 ~config
+            ~net:laggy_net ~seed:11L ()
+        in
+        let gg = Prng.create ~seed:1011L in
+        let content = Secrep_workload.Catalog.product_catalog gg ~n:100 in
+        System.load_content system content;
+        let keys = Array.of_list (List.map fst content) in
+        (* Background writes every ~max_latency (the §3.1 cap). *)
+        for i = 0 to 19 do
+          ignore
+            (Sim.schedule (System.sim system) ~delay:(5.5 *. float_of_int i) (fun () ->
+                 System.write system ~client:0
+                   (Oplog.Set_field
+                      { key = keys.(0); field = "stock"; value = Value.Int (5000 + i) })
+                   ~on_done:(fun _ -> ())))
+        done;
+        let lag_sum = ref 0.0 and lag_n = ref 0 and accepted = ref 0 in
+        for i = 0 to n_reads - 1 do
+          ignore
+            (Sim.schedule (System.sim system)
+               ~delay:(110.0 *. float_of_int i /. float_of_int n_reads)
+               (fun () ->
+                 System.read system
+                   ~client:(i mod System.n_clients system)
+                   (Query.point_read keys.(i mod 100))
+                   ~on_done:(fun r ->
+                     match r.Client.outcome with
+                     | `Accepted _ ->
+                       incr accepted;
+                       let lag = System.oracle_version system - r.Client.version in
+                       lag_sum := !lag_sum +. float_of_int (max 0 lag);
+                       incr lag_n
+                     | `Served_by_master _ | `Gave_up -> ())))
+        done;
+        System.run_for system 240.0;
+        let stats = System.stats system in
+        [
+          Exp_common.f2 keepalive_period;
+          string_of_int !accepted;
+          string_of_int (Stats.get stats "client.stale_rejections");
+          string_of_int (Stats.get stats "client.read_retries");
+          string_of_int (Stats.get stats "system.accepted_wrong");
+          Exp_common.f2 (!lag_sum /. float_of_int (max 1 !lag_n));
+        ])
+      [ 0.5; 1.0; 2.0; 4.0; 4.9 ]
+  in
+  Exp_common.table fmt
+    ~title:
+      "E4a  Staleness and availability vs keep-alive period (max_latency = 5s,\n\
+      \     writes every 5.5s; wrong accepts must stay 0)"
+    ~header:
+      [
+        "keep-alive (s)";
+        "accepted";
+        "stale rejections";
+        "retries";
+        "wrong accepts";
+        "mean version lag";
+      ]
+    rows
+
+let slow_client fmt ~quick =
+  let n_reads = if quick then 30 else 100 in
+  (* Client 0 sits behind a ~0.8s (exponential tail) link. *)
+  let slow_net =
+    {
+      System.default_net with
+      System.client_slave = Latency.Exponential { mean = 0.5; floor = 0.3 };
+      client_master = Latency.Exponential { mean = 0.5; floor = 0.3 };
+    }
+  in
+  let run ~override =
+    let config =
+      {
+        Exp_common.base_config with
+        Config.max_latency = 1.0;
+        keepalive_period = 0.25;
+        double_check_probability = 0.0;
+        read_retry_limit = 3;
+      }
+    in
+    let system =
+      System.create ~n_masters:2 ~slaves_per_master:2 ~n_clients:2 ~config ~net:slow_net
+        ~seed:13L
+        ~client_max_latency:(fun id -> if id = 0 then override else None)
+        ()
+    in
+    let g = Prng.create ~seed:14L in
+    System.load_content system (Secrep_workload.Catalog.product_catalog g ~n:50);
+    let accepted = ref 0 and gave_up = ref 0 in
+    for i = 0 to n_reads - 1 do
+      ignore
+        (Sim.schedule (System.sim system) ~delay:(2.0 *. float_of_int i) (fun () ->
+             System.read system ~client:0
+               (Query.point_read (Printf.sprintf "product:%05d" (i mod 50)))
+               ~on_done:(fun r ->
+                 match r.Client.outcome with
+                 | `Accepted _ -> incr accepted
+                 | `Gave_up -> incr gave_up
+                 | `Served_by_master _ -> ())))
+    done;
+    System.run_for system (2.0 *. float_of_int n_reads +. 120.0);
+    let stale = Stats.get (System.stats system) "client.stale_rejections" in
+    ( !accepted,
+      !gave_up,
+      stale,
+      Stats.get (System.stats system) "system.accepted_wrong" )
+  in
+  let rows =
+    List.map
+      (fun (label, override) ->
+        let accepted, gave_up, stale, wrong = run ~override in
+        [
+          label;
+          Printf.sprintf "%d/%d" accepted n_reads;
+          string_of_int gave_up;
+          string_of_int stale;
+          string_of_int wrong;
+        ])
+      [
+        ("system-wide 1.0s", None);
+        ("client-chosen 3.0s", Some 3.0);
+        ("client-chosen 10.0s", Some 10.0);
+      ]
+  in
+  Exp_common.table fmt
+    ~title:
+      "E4b  A slow client (~0.8s links) under a 1s freshness bound, with and\n\
+      \     without the client-chosen max_latency refinement of Section 3.2"
+    ~header:[ "freshness bound"; "accepted"; "gave up"; "stale rejections"; "wrong accepts" ]
+    rows
+
+let run ?(quick = false) fmt =
+  sweep_keepalive fmt ~quick;
+  slow_client fmt ~quick

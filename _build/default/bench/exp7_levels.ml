@@ -1,0 +1,90 @@
+(* E7 — Security-sensitive reads buy 100% correctness with master load
+   (§4, first variant).
+
+   A slave lies on every read it serves.  Clients mark a fraction of
+   reads "sensitive" (executed only on trusted masters).  With the
+   audit and double-checks disabled — the worst case — only the
+   sensitive fraction is protected, and the master pays for exactly
+   that fraction. *)
+
+module System = Secrep_core.System
+module Config = Secrep_core.Config
+module Master = Secrep_core.Master
+module Security_level = Secrep_core.Security_level
+module Fault = Secrep_core.Fault
+module Stats = Secrep_sim.Stats
+module Work_queue = Secrep_sim.Work_queue
+module Prng = Secrep_crypto.Prng
+module Mix = Secrep_workload.Mix
+module Driver = Secrep_workload.Driver
+
+let one_fraction ~sensitive_fraction ~n_reads ~seed =
+  let config =
+    {
+      Exp_common.base_config with
+      Config.double_check_probability = 0.0;
+      audit_enabled = false;
+    }
+  in
+  let system, keys = Exp_common.build_system ~config ~seed ~n_items:100 () in
+  (* Every slave of client 0's master lies, so re-assignment cannot
+     accidentally rescue the client. *)
+  let m = System.master_of_client system 0 in
+  for s = 0 to System.n_slaves system - 1 do
+    if System.master_of_slave system s = m then
+      System.set_slave_behavior system ~slave:s
+        (Fault.Malicious { probability = 1.0; mode = Fault.Corrupt_result; from_time = 0.0 })
+  done;
+  let g = Prng.create ~seed:(Int64.add seed 3L) in
+  let mix = Mix.create ~rng:(Prng.split g) ~keys () in
+  let chooser_rng = Prng.split g in
+  let driver =
+    Driver.create system ~mix ~rng:(Prng.split g)
+      ~level_chooser:(fun () ->
+        if Prng.float chooser_rng < sensitive_fraction then Security_level.Sensitive
+        else Security_level.Normal)
+      ()
+  in
+  let duration = float_of_int n_reads /. 8.0 in
+  Driver.run_reads driver ~rate:8.0 ~duration;
+  System.run_for system (duration +. 120.0);
+  let s = Driver.summary driver in
+  let master_busy =
+    List.fold_left ( +. ) 0.0
+      (List.init (System.n_masters system) (fun i ->
+           Work_queue.busy_seconds (Master.work (System.master system i))))
+  in
+  (s, master_busy, Stats.get (System.stats system) "master.sensitive_reads")
+
+let run ?(quick = false) fmt =
+  let n_reads = if quick then 150 else 500 in
+  let rows =
+    List.map
+      (fun fraction ->
+        let s, master_busy, sensitive_served = one_fraction ~sensitive_fraction:fraction ~n_reads ~seed:41L in
+        let n = max 1 s.Driver.reads_completed in
+        [
+          Exp_common.pct fraction;
+          string_of_int s.Driver.reads_completed;
+          string_of_int sensitive_served;
+          string_of_int s.Driver.accepted_wrong;
+          Exp_common.pct (float_of_int s.Driver.accepted_wrong /. float_of_int n);
+          Exp_common.f3 (1000.0 *. master_busy /. float_of_int n);
+        ])
+      [ 0.0; 0.1; 0.25; 0.5; 1.0 ]
+  in
+  Exp_common.table fmt
+    ~title:
+      "E7  Security-levelled reads (audit & double-check disabled, every slave of\n\
+      \    one master lies): sensitive reads are always correct; master load grows\n\
+      \    with the sensitive fraction"
+    ~header:
+      [
+        "sensitive %";
+        "reads";
+        "served by master";
+        "wrong accepts";
+        "wrong %";
+        "master ms/read";
+      ]
+    rows

@@ -1,0 +1,111 @@
+(* E8 — Multi-slave quorum reads force collusion (§4, second variant).
+
+   m of the four slaves collude: they fabricate the *same* wrong
+   answer (deterministic in a shared tag and the query).  The client
+   sends each read to k slaves; on any disagreement it double-checks
+   with the master automatically.  A wrong answer is accepted only
+   when every contacted slave is a colluder *and* the probabilistic
+   double-check did not fire — so the wrong-accept rate collapses as
+   k grows past the collusion size, at the price of k executions per
+   read. *)
+
+module System = Secrep_core.System
+module Config = Secrep_core.Config
+module Client = Secrep_core.Client
+module Fault = Secrep_core.Fault
+module Stats = Secrep_sim.Stats
+module Sim = Secrep_sim.Sim
+module Prng = Secrep_crypto.Prng
+module Query = Secrep_store.Query
+
+let one_case ~k ~colluders ~n_reads ~seed =
+  let config =
+    {
+      Exp_common.base_config with
+      Config.double_check_probability = 0.05;
+      audit_enabled = false;
+      max_latency = 5.0;
+      read_retry_limit = 4;
+    }
+  in
+  let system =
+    System.create ~n_masters:1 ~slaves_per_master:4 ~n_clients:4 ~config
+      ~net:System.lan_net ~seed ()
+  in
+  let g = Prng.create ~seed:(Int64.add seed 11L) in
+  System.load_content system (Secrep_workload.Catalog.product_catalog g ~n:60);
+  (* Adversarial placement: the cartel compromises slaves that clients
+     are actually connected to, starting with client 0's. *)
+  let assigned =
+    List.sort_uniq Int.compare
+      (List.init (System.n_clients system) (System.slave_of_client system))
+  in
+  let all = List.init (System.n_slaves system) Fun.id in
+  let preference = assigned @ List.filter (fun s -> not (List.mem s assigned)) all in
+  List.iteri
+    (fun i s ->
+      if i < colluders then
+        System.set_slave_behavior system ~slave:s
+          (Fault.Malicious
+             { probability = 1.0; mode = Fault.Collude "cartel"; from_time = 0.0 }))
+    preference;
+  let wrong = ref 0 and accepted = ref 0 and completed = ref 0 in
+  for i = 0 to n_reads - 1 do
+    ignore
+      (Sim.schedule (System.sim system) ~delay:(0.25 *. float_of_int i) (fun () ->
+           System.read system
+             ~client:(i mod System.n_clients system)
+             ~mode:(Client.Quorum k)
+             (Query.point_read (Printf.sprintf "product:%05d" (i mod 60)))
+             ~on_done:(fun r ->
+               incr completed;
+               match r.Client.outcome with
+               | `Accepted result -> begin
+                 incr accepted;
+                 let digest = Secrep_store.Canonical.result_digest result in
+                 match
+                   System.check_result system ~version:r.Client.version r.Client.query
+                     ~digest
+                 with
+                 | Some false -> incr wrong
+                 | Some true | None -> ()
+               end
+               | `Served_by_master _ | `Gave_up -> ())))
+  done;
+  System.run_for system (0.25 *. float_of_int n_reads +. 120.0);
+  let stats = System.stats system in
+  ( !completed,
+    !accepted,
+    !wrong,
+    Stats.get stats "client.quorum_mismatches",
+    Stats.get stats "slave.reads_served" )
+
+let run ?(quick = false) fmt =
+  let n_reads = if quick then 60 else 200 in
+  let cases =
+    [ (1, 0); (1, 2); (2, 0); (2, 2); (2, 3); (3, 2); (3, 3) ]
+  in
+  let rows =
+    List.map
+      (fun (k, m) ->
+        let completed, accepted, wrong, mismatches, slave_execs =
+          one_case ~k ~colluders:m ~n_reads ~seed:59L
+        in
+        [
+          string_of_int k;
+          string_of_int m;
+          Printf.sprintf "%d/%d" accepted completed;
+          Exp_common.pct (float_of_int wrong /. float_of_int (max 1 completed));
+          string_of_int mismatches;
+          Exp_common.f2 (float_of_int slave_execs /. float_of_int (max 1 completed));
+        ])
+      cases
+  in
+  Exp_common.table fmt
+    ~title:
+      "E8  Quorum reads vs colluding slaves (4 slaves total, m collude with identical\n\
+      \    answers, p = 0.05, audit off): wrong accepts need a full colluding quorum;\n\
+      \    the cost is k untrusted executions per read"
+    ~header:
+      [ "k"; "colluders"; "accepted"; "wrong-accept %"; "mismatches"; "slave execs/read" ]
+    rows

@@ -1,0 +1,200 @@
+(* Command-line simulator driver.
+
+   Build any secure-replication deployment from flags, inject a
+   malicious slave, run a read/write workload and print the outcome —
+   the quickest way to poke at the protocol without writing code.
+
+   Examples:
+     dune exec bin/secrep_sim_cli.exe -- run
+     dune exec bin/secrep_sim_cli.exe -- run --malicious 0 --lie-prob 1.0 \
+        --lie-mode corrupt --double-check-p 0.0 --duration 600
+     dune exec bin/secrep_sim_cli.exe -- run --masters 3 --clients 20 \
+        --read-rate 50 --csv *)
+
+module System = Secrep_core.System
+module Config = Secrep_core.Config
+module Fault = Secrep_core.Fault
+module Corrective = Secrep_core.Corrective
+module Auditor = Secrep_core.Auditor
+module Stats = Secrep_sim.Stats
+module Prng = Secrep_crypto.Prng
+module Catalog = Secrep_workload.Catalog
+module Mix = Secrep_workload.Mix
+module Driver = Secrep_workload.Driver
+
+let lie_mode_of_string = function
+  | "corrupt" -> Ok Fault.Corrupt_result
+  | "stale" -> Ok Fault.Stale_state
+  | "bad-signature" -> Ok Fault.Bad_signature
+  | "omit" -> Ok Fault.Omit_result
+  | s when String.length s > 8 && String.sub s 0 8 = "collude:" ->
+    Ok (Fault.Collude (String.sub s 8 (String.length s - 8)))
+  | s -> Error (Printf.sprintf "unknown lie mode %S" s)
+
+let run_simulation ~masters ~slaves_per_master ~clients ~items ~duration ~read_rate
+    ~write_rate ~double_check_p ~max_latency ~keepalive ~audit ~malicious ~lie_prob
+    ~lie_mode ~lie_from ~seed ~csv =
+  let config =
+    Config.validate_exn
+      {
+        Config.default with
+        Config.max_latency;
+        keepalive_period = keepalive;
+        double_check_probability = double_check_p;
+        audit_enabled = audit;
+      }
+  in
+  let system =
+    System.create ~n_masters:masters ~slaves_per_master ~n_clients:clients ~config
+      ~seed:(Int64.of_int seed) ()
+  in
+  let g = Prng.create ~seed:(Int64.of_int (seed + 1)) in
+  let content = Catalog.product_catalog g ~n:items in
+  System.load_content system content;
+  (match (malicious, lie_mode_of_string lie_mode) with
+  | Some slave, Ok mode ->
+    if slave < 0 || slave >= System.n_slaves system then begin
+      Printf.eprintf "slave %d out of range (0..%d)\n" slave (System.n_slaves system - 1);
+      exit 2
+    end;
+    System.set_slave_behavior system ~slave
+      (Fault.Malicious { probability = lie_prob; mode; from_time = lie_from })
+  | Some _, Error msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 2
+  | None, _ -> ());
+  let keys = Array.of_list (List.map fst content) in
+  let mix = Mix.create ~rng:(Prng.split g) ~keys () in
+  let driver = Driver.create system ~mix ~rng:(Prng.split g) () in
+  Driver.run_reads driver ~rate:read_rate ~duration;
+  if write_rate > 0.0 then Driver.run_writes driver ~rate:write_rate ~duration ~writer:0;
+  System.run_for system (duration +. (4.0 *. max_latency) +. 60.0);
+  let s = Driver.summary driver in
+  let stats = System.stats system in
+  let auditor = System.auditor system in
+  let excluded = Corrective.excluded (System.corrective system) in
+  if csv then begin
+    Printf.printf
+      "reads_completed,reads_accepted,reads_gave_up,served_by_master,accepted_wrong,double_checks,mean_latency_ms,p99_latency_ms,audited,audit_backlog,caught,excluded\n";
+    Printf.printf "%d,%d,%d,%d,%d,%d,%.3f,%.3f,%d,%d,%d,%s\n" s.Driver.reads_completed
+      s.Driver.reads_accepted s.Driver.reads_gave_up s.Driver.served_by_master
+      s.Driver.accepted_wrong s.Driver.double_checks
+      (1000.0 *. s.Driver.mean_latency)
+      (1000.0 *. s.Driver.p99_latency)
+      (Auditor.audited auditor) (Auditor.backlog auditor) (Auditor.caught auditor)
+      (String.concat ";" (List.map string_of_int excluded))
+  end
+  else begin
+    Printf.printf "secure replication over untrusted hosts — simulation summary\n";
+    Printf.printf "  topology: %d masters, %d slaves, %d clients, %d documents\n" masters
+      (System.n_slaves system) clients items;
+    Printf.printf "  protocol: max_latency=%.2gs keepalive=%.2gs p=%.3g audit=%b\n"
+      max_latency keepalive double_check_p audit;
+    (match malicious with
+    | Some slave ->
+      Printf.printf "  attack: slave %d, mode %s, prob %.2g, from t=%.2gs\n" slave lie_mode
+        lie_prob lie_from
+    | None -> Printf.printf "  attack: none\n");
+    Printf.printf "\n  reads completed  %d (accepted %d, by-master %d, gave up %d)\n"
+      s.Driver.reads_completed s.Driver.reads_accepted s.Driver.served_by_master
+      s.Driver.reads_gave_up;
+    Printf.printf "  read latency     mean %.1f ms, p99 %.1f ms\n"
+      (1000.0 *. s.Driver.mean_latency)
+      (1000.0 *. s.Driver.p99_latency);
+    Printf.printf "  writes           %d committed\n"
+      (Stats.get stats "system.writes_committed_acked");
+    Printf.printf "  double-checks    %d (throttled %d)\n" s.Driver.double_checks
+      (Stats.get stats "master.double_checks_throttled");
+    Printf.printf "  wrong accepts    %d\n" s.Driver.accepted_wrong;
+    Printf.printf "  audit            %d audited, backlog %d, caught %d\n"
+      (Auditor.audited auditor) (Auditor.backlog auditor) (Auditor.caught auditor);
+    Printf.printf "  exclusions       [%s]\n"
+      (String.concat "; "
+         (List.map
+            (fun e ->
+              Printf.sprintf "slave %d at t=%.1fs (%s)" e.Corrective.slave_id
+                e.Corrective.time
+                (match e.Corrective.discovery with
+                | Corrective.Immediate -> "immediate"
+                | Corrective.Delayed -> "delayed"))
+            (Corrective.events (System.corrective system))))
+  end
+
+open Cmdliner
+
+let run_cmd =
+  let masters = Arg.(value & opt int 2 & info [ "masters" ] ~doc:"Number of master servers.") in
+  let slaves =
+    Arg.(value & opt int 3 & info [ "slaves-per-master" ] ~doc:"Slaves per master.")
+  in
+  let clients = Arg.(value & opt int 8 & info [ "clients" ] ~doc:"Number of clients.") in
+  let items = Arg.(value & opt int 300 & info [ "items" ] ~doc:"Documents in the content.") in
+  let duration =
+    Arg.(value & opt float 300.0 & info [ "duration" ] ~doc:"Workload duration (sim seconds).")
+  in
+  let read_rate = Arg.(value & opt float 20.0 & info [ "read-rate" ] ~doc:"Reads per second.") in
+  let write_rate =
+    Arg.(value & opt float 0.05 & info [ "write-rate" ] ~doc:"Writes per second (0 = none).")
+  in
+  let p =
+    Arg.(
+      value
+      & opt float 0.05
+      & info [ "double-check-p" ] ~doc:"Probability a read is double-checked (Section 3.3).")
+  in
+  let max_latency =
+    Arg.(value & opt float 5.0 & info [ "max-latency" ] ~doc:"Freshness bound (Section 3).")
+  in
+  let keepalive =
+    Arg.(value & opt float 1.0 & info [ "keepalive" ] ~doc:"Keep-alive period (Section 3.1).")
+  in
+  let audit =
+    Arg.(value & opt bool true & info [ "audit" ] ~doc:"Enable the background auditor.")
+  in
+  let malicious =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "malicious" ] ~doc:"Make this slave id malicious.")
+  in
+  let lie_prob =
+    Arg.(value & opt float 1.0 & info [ "lie-prob" ] ~doc:"Probability the slave lies per read.")
+  in
+  let lie_mode =
+    Arg.(
+      value
+      & opt string "corrupt"
+      & info [ "lie-mode" ]
+          ~doc:"Attack: corrupt | stale | bad-signature | omit | collude:TAG.")
+  in
+  let lie_from =
+    Arg.(value & opt float 0.0 & info [ "lie-from" ] ~doc:"Attack start time (sim seconds).")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic seed.") in
+  let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Machine-readable one-line output.") in
+  let term =
+    Term.(
+      const
+        (fun masters slaves_per_master clients items duration read_rate write_rate
+             double_check_p max_latency keepalive audit malicious lie_prob lie_mode lie_from
+             seed csv ->
+          run_simulation ~masters ~slaves_per_master ~clients ~items ~duration ~read_rate
+            ~write_rate ~double_check_p ~max_latency ~keepalive ~audit ~malicious ~lie_prob
+            ~lie_mode ~lie_from ~seed ~csv)
+      $ masters $ slaves $ clients $ items $ duration $ read_rate $ write_rate $ p
+      $ max_latency $ keepalive $ audit $ malicious $ lie_prob $ lie_mode $ lie_from $ seed
+      $ csv)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Simulate a deployment of the secure-replication protocol under a workload.")
+    term
+
+let () =
+  let info =
+    Cmd.info "secrep-sim" ~version:"1.0.0"
+      ~doc:
+        "Simulator for 'Secure Data Replication over Untrusted Hosts' (Popescu, Crispo, \
+         Tanenbaum; HotOS 2003)."
+  in
+  exit (Cmd.eval (Cmd.group info [ run_cmd ]))

@@ -1,0 +1,1 @@
+examples/medical_db.ml: List Printf Secrep_core Secrep_crypto Secrep_sim Secrep_store Secrep_workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Printf Secrep_core Secrep_store

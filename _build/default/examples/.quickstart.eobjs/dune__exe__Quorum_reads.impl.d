@@ -1,0 +1,1 @@
+examples/quorum_reads.ml: List Printf Secrep_core Secrep_crypto Secrep_sim Secrep_store Secrep_workload String

@@ -1,0 +1,102 @@
+(* Medical/academic reference database with security-levelled reads
+   (§4, first variant).
+
+   A hospital replicates a reference database over untrusted hosts.
+   Routine literature searches are "normal" reads (fast, slave-served,
+   statistically checked).  Dosage lookups are "security sensitive":
+   they execute only on trusted masters, so they are always correct
+   even while a compromised replica is actively lying.  Intermediate
+   levels scale the double-check probability.
+
+   Run with: dune exec examples/medical_db.exe *)
+
+module System = Secrep_core.System
+module Config = Secrep_core.Config
+module Client = Secrep_core.Client
+module Security_level = Secrep_core.Security_level
+module Fault = Secrep_core.Fault
+module Sim = Secrep_sim.Sim
+module Stats = Secrep_sim.Stats
+module Prng = Secrep_crypto.Prng
+module Query = Secrep_store.Query
+module Value = Secrep_store.Value
+module Document = Secrep_store.Document
+module Catalog = Secrep_workload.Catalog
+
+let () =
+  let config =
+    {
+      Config.default with
+      Config.max_latency = 5.0;
+      keepalive_period = 1.0;
+      double_check_probability = 0.02;
+    }
+  in
+  let system =
+    System.create ~n_masters:2 ~slaves_per_master:3 ~n_clients:6 ~config ~seed:77L ()
+  in
+  let g = Prng.create ~seed:78L in
+  let articles = Catalog.reference_db g ~n:300 in
+  let dosages =
+    List.init 20 (fun i ->
+        ( Printf.sprintf "dosage:%03d" i,
+          Document.of_fields
+            [
+              ("drug", Value.String (Printf.sprintf "compound-%d" i));
+              ("max_mg_per_kg", Value.Float (0.5 +. (0.25 *. float_of_int i)));
+            ] ))
+  in
+  System.load_content system (articles @ dosages);
+  Printf.printf "loaded %d articles and %d dosage records\n" (List.length articles)
+    (List.length dosages);
+
+  (* Every replica the client can reach is compromised — the worst
+     case for normal reads. *)
+  for s = 0 to System.n_slaves system - 1 do
+    System.set_slave_behavior system ~slave:s
+      (Fault.Malicious { probability = 0.5; mode = Fault.Corrupt_result; from_time = 0.0 })
+  done;
+  print_endline "every replica lies on 50% of queries (worst case)";
+
+  let sensitive_wrong = ref 0 and sensitive_done = ref 0 in
+  let normal_done = ref 0 in
+  (* Dosage lookups: sensitive. *)
+  for i = 0 to 19 do
+    ignore
+      (Sim.schedule (System.sim system) ~delay:(1.0 *. float_of_int i) (fun () ->
+           System.read system ~client:(i mod 6) ~level:Security_level.Sensitive
+             (Query.point_read (Printf.sprintf "dosage:%03d" i))
+             ~on_done:(fun r ->
+               incr sensitive_done;
+               match r.Client.outcome with
+               | `Served_by_master _ -> ()
+               | `Accepted _ | `Gave_up -> incr sensitive_wrong)))
+  done;
+  (* Literature searches: normal and leveled. *)
+  for i = 0 to 59 do
+    let level =
+      match i mod 3 with
+      | 0 -> Security_level.Normal
+      | 1 -> Security_level.Leveled 1
+      | _ -> Security_level.Leveled 2
+    in
+    ignore
+      (Sim.schedule (System.sim system) ~delay:(0.5 *. float_of_int i) (fun () ->
+           System.read system ~client:(i mod 6) ~level
+             (Query.grep ~under:"article:" "replication")
+             ~on_done:(fun _ -> incr normal_done)))
+  done;
+  System.run_for system 400.0;
+
+  Printf.printf "\nsensitive dosage lookups: %d/20 served by trusted masters, %d anomalies\n"
+    !sensitive_done !sensitive_wrong;
+  Printf.printf "normal/leveled searches completed: %d/60\n" !normal_done;
+  let stats = System.stats system in
+  Printf.printf "double-checks: %d (leveled reads check more often)\n"
+    (Stats.get stats "client.double_checks");
+  Printf.printf "wrong answers accepted on normal reads: %d (caught by checks/audit: %d slaves excluded)\n"
+    (Stats.get stats "system.accepted_wrong")
+    (Stats.get stats "system.slaves_excluded");
+  Printf.printf "wrong answers on SENSITIVE reads: %d (must be 0)\n" !sensitive_wrong;
+  assert (!sensitive_wrong = 0);
+  print_endline "medical_db OK"

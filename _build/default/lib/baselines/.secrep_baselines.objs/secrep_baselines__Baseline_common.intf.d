@@ -1,0 +1,1 @@
+lib/baselines/baseline_common.mli:

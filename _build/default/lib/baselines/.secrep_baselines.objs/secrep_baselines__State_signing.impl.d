@@ -1,0 +1,1 @@
+lib/baselines/state_signing.ml: Array Baseline_common Hashtbl List Printf Secrep_crypto Secrep_sim Secrep_store String

@@ -1,0 +1,1 @@
+lib/baselines/state_signing.mli: Baseline_common Secrep_crypto Secrep_sim Secrep_store

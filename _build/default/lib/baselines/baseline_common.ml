@@ -1,0 +1,17 @@
+type costs = {
+  per_doc_cost : float;
+  signature_cost : float;
+  verify_cost : float;
+  hash_cost : float;
+}
+
+let default_costs =
+  { per_doc_cost = 50e-6; signature_cost = 5e-3; verify_cost = 0.2e-3; hash_cost = 2e-6 }
+
+type read_metrics = {
+  latency : float;
+  server_executions : int;
+  trusted_compute : float;
+  untrusted_compute : float;
+  correct : bool;
+}

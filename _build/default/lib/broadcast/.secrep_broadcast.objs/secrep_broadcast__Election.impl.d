@@ -1,0 +1,1 @@
+lib/broadcast/election.ml: Int List

@@ -1,0 +1,1 @@
+lib/broadcast/message.ml: Printf

@@ -1,0 +1,1 @@
+lib/broadcast/total_order.ml: Election Hashtbl Int List Message Printf Secrep_crypto Secrep_sim

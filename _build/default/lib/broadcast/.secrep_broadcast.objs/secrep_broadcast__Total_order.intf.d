@@ -1,0 +1,1 @@
+lib/broadcast/total_order.mli: Secrep_crypto Secrep_sim

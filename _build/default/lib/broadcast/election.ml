@@ -1,0 +1,8 @@
+let sequencer ~alive =
+  match List.sort Int.compare alive with [] -> None | x :: _ -> Some x
+
+let auditor ~alive =
+  match List.sort (fun a b -> Int.compare b a) alive with [] -> None | x :: _ -> Some x
+
+let next_view_sequencer ~alive ~suspected =
+  sequencer ~alive:(List.filter (fun id -> id <> suspected) alive)

@@ -1,0 +1,17 @@
+(** Deterministic role election over a membership list.
+
+    The masters elect both the broadcast sequencer and the paper's
+    auditor (§3) through the same total-order machinery; with a
+    deterministic rule over the agreed membership, no extra messages
+    are needed. *)
+
+val sequencer : alive:int list -> int option
+(** Lowest alive id. *)
+
+val auditor : alive:int list -> int option
+(** Highest alive id — distinct from the sequencer whenever at least
+    two masters are alive, so ordering duties and audit duties land on
+    different hosts. *)
+
+val next_view_sequencer : alive:int list -> suspected:int -> int option
+(** Lowest alive id excluding the suspect. *)

@@ -1,0 +1,1 @@
+lib/core/auditor.ml: Config Float Hashtbl Int List Pledge Printf Queue Secrep_crypto Secrep_sim Secrep_store String

@@ -1,0 +1,1 @@
+lib/core/auditor.mli: Config Pledge Secrep_crypto Secrep_sim Secrep_store

@@ -1,0 +1,1 @@
+lib/core/certificate.ml: Content_key Printf Secrep_crypto

@@ -1,0 +1,1 @@
+lib/core/certificate.mli: Content_key Secrep_crypto

@@ -1,0 +1,1 @@
+lib/core/client.ml: Config List Master Pledge Secrep_crypto Secrep_sim Secrep_store Security_level Slave String

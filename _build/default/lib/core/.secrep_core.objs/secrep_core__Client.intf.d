@@ -1,0 +1,1 @@
+lib/core/client.mli: Config Master Pledge Secrep_crypto Secrep_sim Secrep_store Security_level Slave

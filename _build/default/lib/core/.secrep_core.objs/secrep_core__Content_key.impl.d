@@ -1,0 +1,1 @@
+lib/core/content_key.ml: Secrep_crypto String

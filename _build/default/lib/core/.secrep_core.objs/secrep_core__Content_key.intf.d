@@ -1,0 +1,1 @@
+lib/core/content_key.mli: Secrep_crypto

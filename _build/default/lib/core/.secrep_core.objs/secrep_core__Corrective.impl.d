@@ -1,0 +1,1 @@
+lib/core/corrective.ml: Float Format Int List

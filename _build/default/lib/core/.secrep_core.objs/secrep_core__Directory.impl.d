@@ -1,0 +1,1 @@
+lib/core/directory.ml: Certificate Hashtbl Int List String

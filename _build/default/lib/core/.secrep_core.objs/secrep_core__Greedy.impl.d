@@ -1,0 +1,1 @@
+lib/core/greedy.ml: Hashtbl Int List Secrep_crypto

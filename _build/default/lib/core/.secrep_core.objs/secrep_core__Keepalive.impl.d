@@ -1,0 +1,1 @@
+lib/core/keepalive.ml: Printf Secrep_crypto

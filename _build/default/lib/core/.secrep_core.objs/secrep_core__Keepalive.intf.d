@@ -1,0 +1,1 @@
+lib/core/keepalive.mli: Secrep_crypto

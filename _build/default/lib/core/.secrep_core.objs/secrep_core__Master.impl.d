@@ -1,0 +1,1 @@
+lib/core/master.ml: Array Certificate Config Content_key Float Format Greedy Hashtbl Int Keepalive List Pledge Printf Secrep_crypto Secrep_sim Secrep_store Slave String

@@ -1,0 +1,1 @@
+lib/core/master.mli: Certificate Config Content_key Pledge Secrep_crypto Secrep_sim Secrep_store Slave

@@ -1,0 +1,1 @@
+lib/core/pledge.ml: Keepalive Printf Secrep_crypto Secrep_store String

@@ -1,0 +1,1 @@
+lib/core/pledge.mli: Keepalive Secrep_crypto Secrep_store

@@ -1,0 +1,1 @@
+lib/core/security_level.ml: Float Printf

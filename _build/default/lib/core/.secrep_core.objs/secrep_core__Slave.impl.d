@@ -1,0 +1,1 @@
+lib/core/slave.ml: Config Fault Keepalive List Pledge Printf Secrep_crypto Secrep_sim Secrep_store

@@ -1,0 +1,1 @@
+lib/core/slave.mli: Config Fault Keepalive Pledge Secrep_crypto Secrep_sim Secrep_store

@@ -1,0 +1,1 @@
+lib/core/system.mli: Auditor Client Config Corrective Directory Fault Master Secrep_sim Secrep_store Security_level Slave

@@ -1,0 +1,1 @@
+lib/core/wire.ml: Certificate Keepalive Pledge Secrep_crypto Secrep_store String

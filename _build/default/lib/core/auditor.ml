@@ -1,0 +1,212 @@
+module Sim = Secrep_sim.Sim
+module Work_queue = Secrep_sim.Work_queue
+module Stats = Secrep_sim.Stats
+module Trace = Secrep_sim.Trace
+module Timeseries = Secrep_sim.Timeseries
+module Prng = Secrep_crypto.Prng
+module Store = Secrep_store.Store
+module Oplog = Secrep_store.Oplog
+module Query = Secrep_store.Query
+module Query_eval = Secrep_store.Query_eval
+module Canonical = Secrep_store.Canonical
+module Result_cache = Secrep_store.Result_cache
+
+type audit_verdict = Pledge_ok | Slave_caught | Bad_pledge_signature
+
+type t = {
+  sim : Sim.t;
+  config : Config.t;
+  stats : Stats.t;
+  rng : Prng.t;
+  trace : Trace.t option;
+  store : Store.t; (* lags the masters *)
+  cache : Result_cache.t;
+  work : Work_queue.t;
+  slave_public : int -> Secrep_crypto.Sig_scheme.public option;
+  report : Pledge.t -> unit;
+  pending : (int, Pledge.t Queue.t) Hashtbl.t; (* version -> queue *)
+  mutable committed : (Oplog.entry * float) list; (* future writes, oldest first *)
+  mutable pumping : bool; (* one audit in flight on the work queue *)
+  mutable audited : int;
+  mutable caught : int;
+  mutable late : int;
+  backlog_series : Timeseries.t;
+  mutable backlog : int;
+}
+
+let trace t fmt =
+  Printf.ksprintf
+    (fun s ->
+      match t.trace with
+      | Some tr -> Trace.log tr ~time:(Sim.now t.sim) ~source:"auditor" s
+      | None -> ())
+    fmt
+
+let create sim ~config ~stats ~rng ~slave_public ~report ?trace:trace_buf () =
+  let t =
+    {
+      sim;
+      config;
+      stats;
+      rng;
+      trace = trace_buf;
+      store = Store.create ();
+      cache = Result_cache.create ~capacity:config.Config.audit_cache_capacity ();
+      work = Work_queue.create sim ();
+      slave_public;
+      report;
+      pending = Hashtbl.create 16;
+      committed = [];
+      pumping = false;
+      audited = 0;
+      caught = 0;
+      late = 0;
+      backlog_series = Timeseries.create ~name:"auditor.backlog" ();
+      backlog = 0;
+    }
+  in
+  t
+
+let audit_version t = Store.version t.store
+let backlog t = t.backlog
+let audited t = t.audited
+let caught t = t.caught
+let late_pledges t = t.late
+let cache t = t.cache
+let work t = t.work
+let backlog_series t = t.backlog_series
+
+let note_backlog t =
+  Timeseries.record t.backlog_series ~time:(Sim.now t.sim) (float_of_int t.backlog)
+
+let queue_for t version =
+  match Hashtbl.find_opt t.pending version with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.add t.pending version q;
+    q
+
+(* May the auditor advance past its current version?  Only when the
+   next committed write is old enough that no conforming client can
+   still accept (and thus still forward) a read for the current
+   version. *)
+let rec pump t =
+  if not t.pumping then begin
+    let current = audit_version t in
+    let q = queue_for t current in
+    if not (Queue.is_empty q) then begin
+      let pledge = Queue.pop q in
+      t.pumping <- true;
+      audit_one t pledge
+    end
+    else begin
+      match t.committed with
+      | (entry, commit_time) :: rest
+        when entry.Oplog.version = current + 1
+             && Sim.now t.sim
+                >= commit_time +. t.config.Config.max_latency
+                   +. t.config.Config.audit_lag_slack ->
+        Store.apply_entry t.store entry;
+        t.committed <- rest;
+        Hashtbl.remove t.pending current;
+        trace t "advance to version %d" (current + 1);
+        pump t
+      | (entry, commit_time) :: _ when entry.Oplog.version = current + 1 ->
+        (* Come back once the lag slack has elapsed. *)
+        let wake =
+          commit_time +. t.config.Config.max_latency +. t.config.Config.audit_lag_slack
+        in
+        ignore
+          (Sim.schedule t.sim ~delay:(Float.max 0.0 (wake -. Sim.now t.sim) +. 1e-9)
+             (fun () -> pump t))
+      | _ -> () (* nothing to do; new pledges or commits will re-pump *)
+    end
+  end
+
+and audit_one t pledge =
+  let finish verdict cost =
+    Work_queue.submit t.work ~cost (fun () ->
+        t.audited <- t.audited + 1;
+        t.backlog <- t.backlog - 1;
+        Stats.incr t.stats "auditor.audited";
+        note_backlog t;
+        (match verdict with
+        | Slave_caught ->
+          t.caught <- t.caught + 1;
+          Stats.incr t.stats "auditor.caught";
+          trace t "caught slave %d (version %d)" pledge.Pledge.slave_id
+            (Pledge.version pledge);
+          t.report pledge
+        | Bad_pledge_signature -> Stats.incr t.stats "auditor.bad_signatures"
+        | Pledge_ok -> ());
+        t.pumping <- false;
+        pump t)
+  in
+  (* Signature check first: an unsigned "pledge" incriminates nobody. *)
+  let signature_ok =
+    match t.slave_public pledge.Pledge.slave_id with
+    | Some public -> Pledge.verify_signature ~slave_public:public pledge
+    | None -> false
+  in
+  if not signature_ok then finish Bad_pledge_signature t.config.Config.verify_cost
+  else begin
+    let query = pledge.Pledge.query in
+    let version = audit_version t in
+    match Result_cache.find t.cache ~version query with
+    | Some digest ->
+      (* Cache hit: just compare digests — the "query optimization
+         mechanisms (cache results in the simplest case)" of §3.4. *)
+      let verdict =
+        if String.equal digest pledge.Pledge.result_digest then Pledge_ok else Slave_caught
+      in
+      Stats.incr t.stats "auditor.cache_hits";
+      finish verdict (t.config.Config.verify_cost +. 1e-6)
+    | None -> begin
+      match Query_eval.execute t.store query with
+      | Error _ -> finish Bad_pledge_signature t.config.Config.verify_cost
+      | Ok { result; scanned } ->
+        let digest = Canonical.result_digest result in
+        Result_cache.store t.cache ~version query ~digest;
+        let cost =
+          t.config.Config.verify_cost
+          +. Query_eval.cost_seconds ~scanned ~cost_class:(Query.cost_class query)
+               ~per_doc:t.config.Config.per_doc_cost
+        in
+        let verdict =
+          if String.equal digest pledge.Pledge.result_digest then Pledge_ok else Slave_caught
+        in
+        finish verdict cost
+    end
+  end
+
+let submit_pledge t pledge =
+  let version = Pledge.version pledge in
+  if version < audit_version t then begin
+    t.late <- t.late + 1;
+    Stats.incr t.stats "auditor.late_pledges"
+  end
+  else if
+    t.config.Config.audit_fraction < 1.0
+    && not (Prng.bernoulli t.rng t.config.Config.audit_fraction)
+  then Stats.incr t.stats "auditor.sampled_out"
+  else begin
+    Queue.push pledge (queue_for t version);
+    t.backlog <- t.backlog + 1;
+    Stats.incr t.stats "auditor.pledges_received";
+    note_backlog t;
+    pump t
+  end
+
+let on_committed_write t ~entry ~commit_time =
+  (* Keep the future-write list ordered by version; duplicates (same
+     commit observed from several masters) are dropped. *)
+  let version = entry.Oplog.version in
+  if version > audit_version t
+     && not (List.exists (fun (e, _) -> e.Oplog.version = version) t.committed)
+  then begin
+    t.committed <-
+      List.sort (fun (a, _) (b, _) -> Int.compare a.Oplog.version b.Oplog.version)
+        ((entry, commit_time) :: t.committed);
+    pump t
+  end

@@ -1,0 +1,55 @@
+(** The auditor (§3.4): a trusted server with no slave set whose only
+    duty is re-executing the reads behind forwarded pledges.
+
+    It lags the masters on purpose: it applies the write that creates
+    version v+1 only after auditing every pledge for version <= v *and*
+    more than [max_latency + audit_lag_slack] has passed since the
+    masters committed v+1, by which point no client can still accept a
+    version-v read (§3.4).
+
+    Its throughput advantages over slaves are modelled exactly as the
+    paper lists them: no signing, no client replies, a result cache,
+    and work spread into idle periods via its own queue. *)
+
+type t
+
+type audit_verdict = Pledge_ok | Slave_caught | Bad_pledge_signature
+
+val create :
+  Secrep_sim.Sim.t ->
+  config:Config.t ->
+  stats:Secrep_sim.Stats.t ->
+  rng:Secrep_crypto.Prng.t ->
+  slave_public:(int -> Secrep_crypto.Sig_scheme.public option) ->
+  report:(Pledge.t -> unit) ->
+  ?trace:Secrep_sim.Trace.t ->
+  unit ->
+  t
+(** [report] fires on every caught slave (delayed discovery); the
+    system layer routes it to the responsible master. *)
+
+val submit_pledge : t -> Pledge.t -> unit
+(** Client-forwarded pledge.  Subject to [audit_fraction] sampling;
+    pledges for versions the auditor has already passed are counted as
+    [auditor.late_pledges] and dropped (the lag slack makes this
+    impossible for conforming clients). *)
+
+val on_committed_write :
+  t -> entry:Secrep_store.Oplog.entry -> commit_time:float -> unit
+(** Feed from the masters' commit pipeline. *)
+
+val audit_version : t -> int
+(** Version the auditor is currently verifying reads for. *)
+
+val backlog : t -> int
+(** Pledges queued and not yet verified. *)
+
+val audited : t -> int
+val caught : t -> int
+val late_pledges : t -> int
+val cache : t -> Secrep_store.Result_cache.t
+val work : t -> Secrep_sim.Work_queue.t
+
+val backlog_series : t -> Secrep_sim.Timeseries.t
+(** (time, backlog) sampled at every submission and completion — the
+    E6 day-curve. *)

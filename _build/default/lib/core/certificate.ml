@@ -1,0 +1,28 @@
+module Sig_scheme = Secrep_crypto.Sig_scheme
+
+type t = {
+  content_id : string;
+  master_id : int;
+  address : string;
+  master_public : Sig_scheme.public;
+  signature : string;
+}
+
+let payload ~content_id ~master_id ~address ~master_public =
+  Printf.sprintf "cert|%s|%d|%s|%s" content_id master_id address
+    (Sig_scheme.key_id master_public)
+
+let issue content ~master_id ~address master_public =
+  let content_id = Content_key.content_id content in
+  let signature =
+    Content_key.sign content (payload ~content_id ~master_id ~address ~master_public)
+  in
+  { content_id; master_id; address; master_public; signature }
+
+let signed_payload t =
+  payload ~content_id:t.content_id ~master_id:t.master_id ~address:t.address
+    ~master_public:t.master_public
+
+let verify ~content_public t =
+  Content_key.verify_id ~content_id:t.content_id content_public
+  && Sig_scheme.verify content_public ~msg:(signed_payload t) ~signature:t.signature

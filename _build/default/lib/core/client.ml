@@ -1,0 +1,439 @@
+module Stats = Secrep_sim.Stats
+module Prng = Secrep_crypto.Prng
+module Query = Secrep_store.Query
+module Query_result = Secrep_store.Query_result
+module Canonical = Secrep_store.Canonical
+
+type read_mode = Single | Quorum of int
+
+type read_report = {
+  query : Query.t;
+  outcome :
+    [ `Accepted of Query_result.t | `Served_by_master of Query_result.t | `Gave_up ];
+  version : int;
+  latency : float;
+  retries : int;
+  double_checked : bool;
+  caught_slave : int option;
+}
+
+type env = {
+  now : unit -> float;
+  schedule : delay:float -> (unit -> unit) -> unit;
+  slave_id : unit -> int;
+  slave_public : unit -> Secrep_crypto.Sig_scheme.public;
+  master_public : unit -> Secrep_crypto.Sig_scheme.public;
+  send_read : query:Query.t -> reply:(Slave.read_reply option -> unit) -> unit;
+  send_read_to :
+    slave_id:int -> query:Query.t -> reply:(Slave.read_reply option -> unit) -> unit;
+  quorum_candidates : unit -> int list;
+  public_of_slave : int -> Secrep_crypto.Sig_scheme.public option;
+  send_double_check :
+    query:Query.t -> reply:(Master.double_check_reply -> unit) -> unit;
+  send_sensitive :
+    query:Query.t -> reply:((Query_result.t * int) option -> unit) -> unit;
+  send_write : op:Secrep_store.Oplog.op -> reply:(Master.write_ack -> unit) -> unit;
+  forward_pledge : Pledge.t -> unit;
+  report_proof : Pledge.t -> unit;
+  reconnect : unit -> unit;
+}
+
+type t = {
+  id : int;
+  rng : Prng.t;
+  config : Config.t;
+  env : env;
+  stats : Stats.t;
+  max_latency : float; (* effective freshness bound for this client *)
+  mutable reads_issued : int;
+  mutable reads_accepted : int;
+  mutable reads_given_up : int;
+  mutable stale_rejections : int;
+  (* §3.5: on delayed discovery "the harm may be undone, by rolling
+     back the client to the state before that particular read".  We
+     keep a bounded log of accepted reads by serving slave so an
+     exclusion can identify (and count) the reads to roll back. *)
+  mutable accepted_log : (int * float) list; (* slave_id, accept time; newest first *)
+  mutable tainted_reads : int;
+}
+
+let create ~id ~rng ~config ~env ~stats ?max_latency_override () =
+  let max_latency =
+    match max_latency_override with
+    | Some m ->
+      if m <= 0.0 then invalid_arg "Client.create: max_latency_override must be positive";
+      m
+    | None -> config.Config.max_latency
+  in
+  {
+    id;
+    rng;
+    config;
+    env;
+    stats;
+    max_latency;
+    reads_issued = 0;
+    reads_accepted = 0;
+    reads_given_up = 0;
+    stale_rejections = 0;
+    accepted_log = [];
+    tainted_reads = 0;
+  }
+
+let id t = t.id
+let reads_issued t = t.reads_issued
+let reads_accepted t = t.reads_accepted
+let reads_given_up t = t.reads_given_up
+let stale_rejections t = t.stale_rejections
+
+(* How long to wait for a slave before assuming it dropped the request.
+   2x the freshness bound is generous: an answer that slow would be
+   rejected as stale anyway. *)
+let read_timeout t = 2.0 *. t.max_latency
+
+let give_up t ~query ~start ~retries ~double_checked ~caught =
+  t.reads_given_up <- t.reads_given_up + 1;
+  Stats.incr t.stats "client.reads_given_up";
+  {
+    query;
+    outcome = `Gave_up;
+    version = -1;
+    latency = t.env.now () -. start;
+    retries;
+    double_checked;
+    caught_slave = caught;
+  }
+
+(* Only reads accepted within the audit horizon can still turn out to
+   be wrong; older entries are pruned. *)
+let log_window t = 20.0 *. t.config.Config.max_latency
+
+let note_accepted t ~slave_id =
+  let now = t.env.now () in
+  t.accepted_log <-
+    (slave_id, now)
+    :: List.filter (fun (_, ts) -> now -. ts <= log_window t) t.accepted_log
+
+let on_slave_excluded t ~slave_id =
+  let now = t.env.now () in
+  let tainted, kept =
+    List.partition
+      (fun (s, ts) -> s = slave_id && now -. ts <= log_window t)
+      t.accepted_log
+  in
+  t.accepted_log <- kept;
+  let n = List.length tainted in
+  if n > 0 then begin
+    t.tainted_reads <- t.tainted_reads + n;
+    Stats.add t.stats "client.reads_tainted" n
+  end;
+  n
+
+let tainted_reads t = t.tainted_reads
+
+let accept ?served_by t ~query ~result ~version ~start ~retries ~double_checked ~caught =
+  t.reads_accepted <- t.reads_accepted + 1;
+  Stats.incr t.stats "client.reads_accepted";
+  (match served_by with Some slave_id -> note_accepted t ~slave_id | None -> ());
+  {
+    query;
+    outcome = `Accepted result;
+    version;
+    latency = t.env.now () -. start;
+    retries;
+    double_checked;
+    caught_slave = caught;
+  }
+
+let sensitive_read t query ~on_done =
+  Stats.incr t.stats "client.sensitive_reads";
+  let start = t.env.now () in
+  t.env.send_sensitive ~query ~reply:(fun reply ->
+      match reply with
+      | Some (result, version) ->
+        t.reads_accepted <- t.reads_accepted + 1;
+        on_done
+          {
+            query;
+            outcome = `Served_by_master result;
+            version;
+            latency = t.env.now () -. start;
+            retries = 0;
+            double_checked = false;
+            caught_slave = None;
+          }
+      | None -> on_done (give_up t ~query ~start ~retries:0 ~double_checked:false ~caught:None))
+
+(* -- single-slave reads (the base protocol, §3.2-§3.3) --------------- *)
+
+let rec single_attempt t ~query ~dc_probability ~start ~retries ~caught ~on_done =
+  if retries > t.config.Config.read_retry_limit then
+    on_done (give_up t ~query ~start ~retries ~double_checked:false ~caught)
+  else begin
+    let settled = ref false in
+    let retry ~reconnect ~caught =
+      if not !settled then begin
+        settled := true;
+        if reconnect then t.env.reconnect ();
+        Stats.incr t.stats "client.read_retries";
+        single_attempt t ~query ~dc_probability ~start ~retries:(retries + 1) ~caught ~on_done
+      end
+    in
+    (* Arm the timeout for an Omit_result attacker or a dead slave. *)
+    t.env.schedule ~delay:(read_timeout t) (fun () ->
+        if not !settled then begin
+          Stats.incr t.stats "client.read_timeouts";
+          retry ~reconnect:true ~caught
+        end);
+    let slave_public = t.env.slave_public () in
+    let master_public = t.env.master_public () in
+    t.env.send_read ~query ~reply:(fun reply ->
+        if not !settled then begin
+          match reply with
+          | None -> retry ~reconnect:true ~caught
+          | Some { Slave.result; pledge } -> begin
+            match
+              Pledge.verify ~slave_public ~master_public ~result ~now:(t.env.now ())
+                ~max_latency:t.max_latency pledge
+            with
+            | Error reason ->
+              Stats.incr t.stats "client.pledge_rejected";
+              if String.length reason >= 5 && String.sub reason 0 5 = "stale" then begin
+                t.stale_rejections <- t.stale_rejections + 1;
+                Stats.incr t.stats "client.stale_rejections";
+                (* Freshness can recover without switching slaves. *)
+                retry ~reconnect:false ~caught
+              end
+              else retry ~reconnect:true ~caught
+            | Ok () ->
+              if Prng.bernoulli t.rng dc_probability then begin
+                Stats.incr t.stats "client.double_checks";
+                t.env.send_double_check ~query ~reply:(fun dc ->
+                    if not !settled then begin
+                      match dc with
+                      | Master.Throttled ->
+                        (* Quota enforced; fall back to the audit path. *)
+                        settled := true;
+                        t.env.forward_pledge pledge;
+                        on_done
+                          (accept t ~served_by:pledge.Pledge.slave_id ~query ~result
+                             ~version:(Pledge.version pledge) ~start ~retries
+                             ~double_checked:false ~caught)
+                      | Master.Checked { digest; version } ->
+                        if version <> Pledge.version pledge then
+                          (* A write landed in between: inconclusive. *)
+                          retry ~reconnect:false ~caught
+                        else if String.equal digest pledge.Pledge.result_digest then begin
+                          settled := true;
+                          Stats.incr t.stats "client.double_checks_passed";
+                          on_done
+                            (accept t ~served_by:pledge.Pledge.slave_id ~query ~result
+                               ~version ~start ~retries ~double_checked:true ~caught)
+                        end
+                        else begin
+                          (* Immediate discovery (§3.5). *)
+                          Stats.incr t.stats "client.immediate_discoveries";
+                          t.env.report_proof pledge;
+                          retry ~reconnect:true ~caught:(Some pledge.Pledge.slave_id)
+                        end
+                    end)
+              end
+              else begin
+                (* §3.4: forward the pledge *before* accepting. *)
+                settled := true;
+                t.env.forward_pledge pledge;
+                on_done
+                  (accept t ~served_by:pledge.Pledge.slave_id ~query ~result
+                     ~version:(Pledge.version pledge) ~start ~retries ~double_checked:false
+                     ~caught)
+              end
+          end
+        end)
+  end
+
+(* -- quorum reads (§4, second variant) -------------------------------- *)
+
+let rec quorum_attempt t ~query ~k ~dc_probability ~start ~retries ~caught ~on_done =
+  if retries > t.config.Config.read_retry_limit then
+    on_done (give_up t ~query ~start ~retries ~double_checked:false ~caught)
+  else begin
+    let candidates = t.env.quorum_candidates () in
+    let targets = List.filteri (fun i _ -> i < k) candidates in
+    if List.length targets < k then
+      (* Not enough distinct slaves; degrade to the base protocol. *)
+      single_attempt t ~query ~dc_probability ~start ~retries ~caught ~on_done
+    else begin
+      let settled = ref false in
+      let replies = ref [] in
+      let outstanding = ref (List.length targets) in
+      let retry ~caught =
+        if not !settled then begin
+          settled := true;
+          t.env.reconnect ();
+          Stats.incr t.stats "client.read_retries";
+          quorum_attempt t ~query ~k ~dc_probability ~start ~retries:(retries + 1) ~caught
+            ~on_done
+        end
+      in
+      t.env.schedule ~delay:(read_timeout t) (fun () ->
+          if not !settled then begin
+            Stats.incr t.stats "client.read_timeouts";
+            retry ~caught
+          end);
+      let master_public = t.env.master_public () in
+      let conclude () =
+        if not !settled then begin
+          (* Keep only protocol-valid replies. *)
+          let valid =
+            List.filter_map
+              (fun (slave_id, reply) ->
+                match reply with
+                | None -> None
+                | Some { Slave.result; pledge } -> begin
+                  match t.env.public_of_slave slave_id with
+                  | None -> None
+                  | Some slave_public -> begin
+                    match
+                      Pledge.verify ~slave_public ~master_public ~result
+                        ~now:(t.env.now ()) ~max_latency:t.max_latency pledge
+                    with
+                    | Ok () -> Some (slave_id, result, pledge)
+                    | Error _ -> None
+                  end
+                end)
+              !replies
+          in
+          match valid with
+          | [] -> retry ~caught
+          | (_, first_result, first_pledge) :: rest ->
+            let all_agree =
+              List.for_all
+                (fun (_, _, p) ->
+                  String.equal p.Pledge.result_digest first_pledge.Pledge.result_digest
+                  && Pledge.version p = Pledge.version first_pledge)
+                rest
+              && List.length valid = k
+            in
+            if all_agree then begin
+              if Prng.bernoulli t.rng dc_probability then begin
+                Stats.incr t.stats "client.double_checks";
+                t.env.send_double_check ~query ~reply:(fun dc ->
+                    if not !settled then begin
+                      match dc with
+                      | Master.Throttled ->
+                        settled := true;
+                        List.iter (fun (_, _, p) -> t.env.forward_pledge p) valid;
+                        on_done
+                          (accept t ~served_by:first_pledge.Pledge.slave_id ~query
+                             ~result:first_result ~version:(Pledge.version first_pledge)
+                             ~start ~retries ~double_checked:false ~caught)
+                      | Master.Checked { digest; version } ->
+                        if version <> Pledge.version first_pledge then retry ~caught
+                        else if String.equal digest first_pledge.Pledge.result_digest
+                        then begin
+                          settled := true;
+                          on_done
+                            (accept t ~served_by:first_pledge.Pledge.slave_id ~query
+                               ~result:first_result ~version ~start ~retries
+                               ~double_checked:true ~caught)
+                        end
+                        else begin
+                          (* The whole quorum colluded; every pledge is proof. *)
+                          Stats.incr t.stats "client.immediate_discoveries";
+                          List.iter (fun (_, _, p) -> t.env.report_proof p) valid;
+                          retry ~caught:(Some first_pledge.Pledge.slave_id)
+                        end
+                    end)
+              end
+              else begin
+                settled := true;
+                List.iter (fun (_, _, p) -> t.env.forward_pledge p) valid;
+                on_done
+                  (accept t ~served_by:first_pledge.Pledge.slave_id ~query
+                     ~result:first_result ~version:(Pledge.version first_pledge) ~start
+                     ~retries ~double_checked:false ~caught)
+              end
+            end
+            else begin
+              (* Disagreement: at least one slave lies; double-check is
+                 automatic (§4). *)
+              Stats.incr t.stats "client.quorum_mismatches";
+              Stats.incr t.stats "client.double_checks";
+              t.env.send_double_check ~query ~reply:(fun dc ->
+                  if not !settled then begin
+                    match dc with
+                    | Master.Throttled -> retry ~caught
+                    | Master.Checked { digest; version } ->
+                      let liars =
+                        List.filter
+                          (fun (_, _, p) ->
+                            Pledge.version p = version
+                            && not (String.equal p.Pledge.result_digest digest))
+                          valid
+                      in
+                      List.iter
+                        (fun (_, _, p) ->
+                          Stats.incr t.stats "client.immediate_discoveries";
+                          t.env.report_proof p)
+                        liars;
+                      let honest =
+                        List.find_opt
+                          (fun (_, _, p) ->
+                            Pledge.version p = version
+                            && String.equal p.Pledge.result_digest digest)
+                          valid
+                      in
+                      (match honest with
+                      | Some (_, result, pledge) ->
+                        settled := true;
+                        let caught =
+                          match liars with
+                          | (liar_id, _, _) :: _ -> Some liar_id
+                          | [] -> caught
+                        in
+                        on_done
+                          (accept t ~served_by:pledge.Pledge.slave_id ~query ~result
+                             ~version:(Pledge.version pledge) ~start ~retries
+                             ~double_checked:true ~caught)
+                      | None ->
+                        let caught =
+                          match liars with
+                          | (liar_id, _, _) :: _ -> Some liar_id
+                          | [] -> caught
+                        in
+                        retry ~caught)
+                  end)
+            end
+        end
+      in
+      List.iter
+        (fun slave_id ->
+          t.env.send_read_to ~slave_id ~query ~reply:(fun reply ->
+              if not !settled then begin
+                replies := (slave_id, reply) :: !replies;
+                decr outstanding;
+                if !outstanding = 0 then conclude ()
+              end))
+        targets
+    end
+  end
+
+let read t ?(level = Security_level.Normal) ?(mode = Single) query ~on_done =
+  t.reads_issued <- t.reads_issued + 1;
+  Stats.incr t.stats "client.reads_issued";
+  let base = t.config.Config.double_check_probability in
+  if Security_level.executes_on_master ~base level then sensitive_read t query ~on_done
+  else begin
+    let dc_probability = Security_level.double_check_probability ~base level in
+    let start = t.env.now () in
+    match mode with
+    | Single ->
+      single_attempt t ~query ~dc_probability ~start ~retries:0 ~caught:None ~on_done
+    | Quorum k ->
+      if k < 1 then invalid_arg "Client.read: quorum size must be at least 1";
+      quorum_attempt t ~query ~k ~dc_probability ~start ~retries:0 ~caught:None ~on_done
+  end
+
+let write t op ~on_done =
+  Stats.incr t.stats "client.writes_issued";
+  t.env.send_write ~op ~reply:on_done

@@ -1,0 +1,99 @@
+(** Clients (§2, §3).
+
+    After the setup phase a client holds one master and one slave
+    connection.  Reads go to the slave and come back with a pledge the
+    client verifies (§3.2); with a small probability the client
+    double-checks against the master (§3.3); otherwise it forwards the
+    pledge to the auditor *before* accepting (§3.4).  Mismatches at
+    the same content version are immediate discovery: the pledge is
+    sent to the master as proof (§3.5).
+
+    The connection endpoints are closures installed by the system
+    layer so that reassignment after an exclusion or a master crash is
+    transparent to the state machine here. *)
+
+type read_mode =
+  | Single  (** the base protocol *)
+  | Quorum of int  (** §4 variant 2: same read to k slaves *)
+
+type read_report = {
+  query : Secrep_store.Query.t;
+  outcome :
+    [ `Accepted of Secrep_store.Query_result.t
+    | `Served_by_master of Secrep_store.Query_result.t
+    | `Gave_up ];
+  version : int;  (** content version the result was computed at; -1 if gave up *)
+  latency : float;
+  retries : int;
+  double_checked : bool;
+  caught_slave : int option;  (** immediate discovery on this read *)
+}
+
+type env = {
+  now : unit -> float;
+  schedule : delay:float -> (unit -> unit) -> unit;
+  slave_id : unit -> int;
+  slave_public : unit -> Secrep_crypto.Sig_scheme.public;
+  master_public : unit -> Secrep_crypto.Sig_scheme.public;
+  send_read :
+    query:Secrep_store.Query.t -> reply:(Slave.read_reply option -> unit) -> unit;
+  send_read_to :
+    slave_id:int ->
+    query:Secrep_store.Query.t ->
+    reply:(Slave.read_reply option -> unit) ->
+    unit;
+  quorum_candidates : unit -> int list;
+      (** Slave ids available for quorum reads (assigned slave first). *)
+  public_of_slave : int -> Secrep_crypto.Sig_scheme.public option;
+  send_double_check :
+    query:Secrep_store.Query.t -> reply:(Master.double_check_reply -> unit) -> unit;
+  send_sensitive :
+    query:Secrep_store.Query.t ->
+    reply:((Secrep_store.Query_result.t * int) option -> unit) ->
+    unit;
+  send_write :
+    op:Secrep_store.Oplog.op -> reply:(Master.write_ack -> unit) -> unit;
+  forward_pledge : Pledge.t -> unit;
+  report_proof : Pledge.t -> unit;
+  reconnect : unit -> unit;
+      (** Redo the setup phase (new slave, possibly new master). *)
+}
+
+type t
+
+val create :
+  id:int ->
+  rng:Secrep_crypto.Prng.t ->
+  config:Config.t ->
+  env:env ->
+  stats:Secrep_sim.Stats.t ->
+  ?max_latency_override:float ->
+  unit ->
+  t
+(** [max_latency_override] implements the §3.2 refinement where slow
+    clients pick their own freshness bound. *)
+
+val id : t -> int
+
+val read :
+  t ->
+  ?level:Security_level.t ->
+  ?mode:read_mode ->
+  Secrep_store.Query.t ->
+  on_done:(read_report -> unit) ->
+  unit
+
+val write : t -> Secrep_store.Oplog.op -> on_done:(Master.write_ack -> unit) -> unit
+
+val reads_issued : t -> int
+val reads_accepted : t -> int
+val reads_given_up : t -> int
+val stale_rejections : t -> int
+
+val on_slave_excluded : t -> slave_id:int -> int
+(** §3.5 rollback hook: called when a slave is excluded; returns how
+    many of this client's recently accepted reads came from it (the
+    reads an application would roll back).  They are counted in
+    [tainted_reads] and in the [client.reads_tainted] stat. *)
+
+val tainted_reads : t -> int

@@ -1,0 +1,51 @@
+(** System-wide protocol parameters.
+
+    Every knob the paper names is here: [max_latency] (the
+    inconsistency bound, §3), the keep-alive frequency (§3.1), the
+    double-check probability (§3.3), the auditor's lag slack and
+    verified fraction (§3.4), plus simulation cost constants that give
+    queries, signatures and verification realistic relative weight. *)
+
+type t = {
+  max_latency : float;
+      (** Bound on the staleness a client will accept (seconds). *)
+  keepalive_period : float;
+      (** How often masters re-sign and push the content version;
+          must be well under [max_latency] or honest slaves go
+          unavailable. *)
+  double_check_probability : float;
+      (** Per-read probability a client re-asks its master (§3.3). *)
+  audit_enabled : bool;
+  audit_fraction : float;
+      (** Fraction of forwarded pledges the auditor re-executes (§3.4
+          suggests lowering this when the auditor is over-used). *)
+  audit_lag_slack : float;
+      (** Extra wait (beyond [max_latency]) before the auditor moves
+          to the next content version (§3.4). *)
+  audit_cache_capacity : int;
+      (** Entries in the auditor's result cache ("cache results in the
+          simplest case", §3.4); 1 effectively disables it — the E9
+          ablation knob. *)
+  scheme : Secrep_crypto.Sig_scheme.scheme;
+  per_doc_cost : float;  (** simulated seconds per document scanned *)
+  signature_cost : float;  (** simulated seconds per signature made *)
+  verify_cost : float;  (** simulated seconds per signature check *)
+  write_cost : float;  (** simulated seconds to apply a write op *)
+  greedy_window : float;
+      (** Seconds of history used for greedy-client detection. *)
+  greedy_factor : float;
+      (** Clients whose double-check rate exceeds [greedy_factor] times
+          the cohort average are throttled (§3.3). *)
+  greedy_min_samples : int;
+      (** Minimum double-checks before a client can be suspected. *)
+  read_retry_limit : int;
+      (** Stale/failed read retries before a client gives up. *)
+}
+
+val default : t
+
+val validate : t -> (unit, string) result
+(** Rejects inconsistent settings (e.g. keep-alive period >= max
+    latency, probabilities outside [0,1]). *)
+
+val validate_exn : t -> t

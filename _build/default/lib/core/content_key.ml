@@ -1,0 +1,14 @@
+module Sig_scheme = Secrep_crypto.Sig_scheme
+
+type t = { keypair : Sig_scheme.keypair; id : string }
+
+let id_of_public public = "content:" ^ Sig_scheme.key_id public
+
+let create scheme g =
+  let keypair = Sig_scheme.generate scheme g in
+  { keypair; id = id_of_public (Sig_scheme.public_of keypair) }
+
+let public t = Sig_scheme.public_of t.keypair
+let content_id t = t.id
+let sign t msg = Sig_scheme.sign t.keypair msg
+let verify_id ~content_id public = String.equal content_id (id_of_public public)

@@ -1,0 +1,21 @@
+(** The content key: the public/private pair that identifies a piece of
+    replicated content (§2).  The private half stays with the content
+    owner and signs master certificates; the public half is embedded in
+    the content identifier (self-certifying names, after Mazières &
+    Kaashoek), so a client that knows the identifier can verify the
+    whole certificate chain with no PKI. *)
+
+type t
+
+val create : Secrep_crypto.Sig_scheme.scheme -> Secrep_crypto.Prng.t -> t
+
+val public : t -> Secrep_crypto.Sig_scheme.public
+
+val content_id : t -> string
+(** Self-certifying identifier derived from the public key. *)
+
+val sign : t -> string -> string
+(** Content-owner signature (certificate issuance). *)
+
+val verify_id : content_id:string -> Secrep_crypto.Sig_scheme.public -> bool
+(** Does this public key hash to the identifier? *)

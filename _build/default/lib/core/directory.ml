@@ -1,0 +1,29 @@
+type t = { table : (string, (int, Certificate.t) Hashtbl.t) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 8 }
+
+let bucket t content_id =
+  match Hashtbl.find_opt t.table content_id with
+  | Some b -> b
+  | None ->
+    let b = Hashtbl.create 8 in
+    Hashtbl.add t.table content_id b;
+    b
+
+let publish t (cert : Certificate.t) =
+  Hashtbl.replace (bucket t cert.content_id) cert.master_id cert
+
+let withdraw t ~content_id ~master_id =
+  match Hashtbl.find_opt t.table content_id with
+  | Some b -> Hashtbl.remove b master_id
+  | None -> ()
+
+let lookup t ~content_id =
+  match Hashtbl.find_opt t.table content_id with
+  | None -> []
+  | Some b ->
+    Hashtbl.fold (fun _ cert acc -> cert :: acc) b []
+    |> List.sort (fun (a : Certificate.t) b -> Int.compare a.master_id b.master_id)
+
+let content_ids t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.table [] |> List.sort String.compare

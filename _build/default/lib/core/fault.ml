@@ -1,0 +1,28 @@
+type lie_mode =
+  | Corrupt_result
+  | Collude of string
+  | Stale_state
+  | Bad_signature
+  | Omit_result
+
+type behavior =
+  | Honest
+  | Malicious of { probability : float; mode : lie_mode; from_time : float }
+
+let lies behavior ~now g =
+  match behavior with
+  | Honest -> None
+  | Malicious { probability; mode; from_time } ->
+    if now >= from_time && Secrep_crypto.Prng.bernoulli g probability then Some mode else None
+
+let mode_name = function
+  | Corrupt_result -> "corrupt-result"
+  | Collude tag -> "collude:" ^ tag
+  | Stale_state -> "stale-state"
+  | Bad_signature -> "bad-signature"
+  | Omit_result -> "omit-result"
+
+let describe = function
+  | Honest -> "honest"
+  | Malicious { probability; mode; from_time } ->
+    Printf.sprintf "malicious(%s, p=%.3g, from t=%.3g)" (mode_name mode) probability from_time

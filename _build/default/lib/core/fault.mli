@@ -1,0 +1,39 @@
+(** Malicious-slave behaviour injection.
+
+    The paper's threat model (§2, §3.3) is a slave that returns wrong
+    answers while remaining protocol-conformant enough to be believed;
+    these modes cover the attacks the protocol must catch, plus
+    cruder ones the client rejects immediately. *)
+
+type lie_mode =
+  | Corrupt_result
+      (** Execute honestly, then flip the answer before pledging — the
+          canonical "wrong answer, valid pledge" attack detected only
+          by double-check or audit. *)
+  | Collude of string
+      (** Like [Corrupt_result], but the fabricated answer is a
+          deterministic function of the shared tag and the query, so
+          every colluding slave returns the *same* wrong answer —
+          the attack §4's quorum-read variant must pay extra to
+          resist. *)
+  | Stale_state
+      (** Answer from a frozen, outdated copy of the content while
+          attaching the latest keep-alive — e.g. silently dropping
+          updates.  Detected like a corrupt result. *)
+  | Bad_signature
+      (** Pledge signature is garbage; clients reject on the spot. *)
+  | Omit_result
+      (** Drop the request on the floor (availability attack); clients
+          time out and retry elsewhere. *)
+
+type behavior =
+  | Honest
+  | Malicious of { probability : float; mode : lie_mode; from_time : float }
+      (** Lie on each read with [probability], starting at simulated
+          time [from_time]. *)
+
+val lies : behavior -> now:float -> Secrep_crypto.Prng.t -> lie_mode option
+(** Roll the dice: [Some mode] when this read should be answered
+    dishonestly. *)
+
+val describe : behavior -> string

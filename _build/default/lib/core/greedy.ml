@@ -1,0 +1,73 @@
+module Prng = Secrep_crypto.Prng
+
+type t = {
+  window : float;
+  factor : float;
+  min_samples : int;
+  rng : Prng.t;
+  arrivals : (int, float list ref) Hashtbl.t; (* newest first *)
+}
+
+let create ~window ~factor ~min_samples ~rng =
+  if window <= 0.0 then invalid_arg "Greedy.create: window must be positive";
+  if factor < 1.0 then invalid_arg "Greedy.create: factor must be >= 1";
+  { window; factor; min_samples; rng; arrivals = Hashtbl.create 32 }
+
+let bucket t client =
+  match Hashtbl.find_opt t.arrivals client with
+  | Some r -> r
+  | None ->
+    let r = ref [] in
+    Hashtbl.add t.arrivals client r;
+    r
+
+let prune t r ~now =
+  r := List.filter (fun ts -> now -. ts <= t.window) !r
+
+let record t ~client ~now =
+  let r = bucket t client in
+  prune t r ~now;
+  r := now :: !r
+
+let windowed_count t ~client ~now =
+  match Hashtbl.find_opt t.arrivals client with
+  | None -> 0
+  | Some r ->
+    prune t r ~now;
+    List.length !r
+
+(* Average windowed count over clients *other than* [excluding]: a
+   heavy client must not inflate the baseline it is judged against. *)
+let average_count t ~excluding ~now =
+  let total, clients =
+    Hashtbl.fold
+      (fun id r (total, clients) ->
+        if id = excluding then (total, clients)
+        else begin
+          prune t r ~now;
+          let n = List.length !r in
+          if n > 0 then (total + n, clients + 1) else (total, clients)
+        end)
+      t.arrivals (0, 0)
+  in
+  if clients = 0 then 0.0 else float_of_int total /. float_of_int clients
+
+let is_suspected t ~client ~now =
+  let mine = windowed_count t ~client ~now in
+  mine >= t.min_samples
+  && begin
+       let avg = average_count t ~excluding:client ~now in
+       avg > 0.0 && float_of_int mine > t.factor *. avg
+     end
+
+let should_serve t ~client ~now =
+  (* Decide on the state *before* this arrival, then record it, so a
+     client's own burst cannot immunise it. *)
+  let suspected = is_suspected t ~client ~now in
+  record t ~client ~now;
+  if suspected then Prng.float t.rng < 1.0 /. t.factor else true
+
+let suspected_clients t ~now =
+  Hashtbl.fold (fun client _ acc -> if is_suspected t ~client ~now then client :: acc else acc)
+    t.arrivals []
+  |> List.sort Int.compare

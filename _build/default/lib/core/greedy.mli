@@ -1,0 +1,32 @@
+(** Greedy-client detection (§3.3).
+
+    A client could burn master capacity by double-checking every read
+    instead of its small quota.  The master tracks recent double-check
+    arrivals per client and flags clients whose rate is far above the
+    cohort average; a flagged client's double-checks are then mostly
+    ignored ("the master can enforce fair play by simply ignoring a
+    large fraction of the double-check requests"). *)
+
+(** The rule is *relative* (a client far above its cohort's average):
+    a master whose only active double-checker is the abuser has no
+    baseline and cannot suspect it — the paper's statistical framing
+    shares this limit, since the master never sees total read counts. *)
+
+type t
+
+val create :
+  window:float -> factor:float -> min_samples:int -> rng:Secrep_crypto.Prng.t -> t
+
+val record : t -> client:int -> now:float -> unit
+(** Note one double-check arrival. *)
+
+val is_suspected : t -> client:int -> now:float -> bool
+(** True when the client's windowed count exceeds [factor] times the
+    average over clients seen in the window (and is at least
+    [min_samples]). *)
+
+val should_serve : t -> client:int -> now:float -> bool
+(** Record-and-decide: suspected clients are served with probability
+    [1/factor] so they degrade to roughly their fair share. *)
+
+val suspected_clients : t -> now:float -> int list

@@ -1,0 +1,28 @@
+module Sig_scheme = Secrep_crypto.Sig_scheme
+
+type t = {
+  content_id : string;
+  version : int;
+  timestamp : float;
+  master_id : int;
+  signature : string;
+}
+
+let payload ~content_id ~version ~timestamp ~master_id =
+  Printf.sprintf "keepalive|%s|%d|%h|%d" content_id version timestamp master_id
+
+let make ~master_key ~content_id ~master_id ~version ~now =
+  let signature =
+    Sig_scheme.sign master_key (payload ~content_id ~version ~timestamp:now ~master_id)
+  in
+  { content_id; version; timestamp = now; master_id; signature }
+
+let signed_payload t =
+  payload ~content_id:t.content_id ~version:t.version ~timestamp:t.timestamp
+    ~master_id:t.master_id
+
+let verify ~master_public t =
+  Sig_scheme.verify master_public ~msg:(signed_payload t) ~signature:t.signature
+
+let age t ~now = now -. t.timestamp
+let is_fresh t ~now ~max_latency = age t ~now <= max_latency

@@ -1,0 +1,45 @@
+module Sig_scheme = Secrep_crypto.Sig_scheme
+module Hex = Secrep_crypto.Hex
+module Query = Secrep_store.Query
+module Canonical = Secrep_store.Canonical
+
+type t = {
+  slave_id : int;
+  query : Query.t;
+  result_digest : string;
+  keepalive : Keepalive.t;
+  signature : string;
+}
+
+let payload ~slave_id ~query ~result_digest ~keepalive =
+  Printf.sprintf "pledge|%d|%s|%s|%s" slave_id
+    (Hex.encode (Canonical.of_query query))
+    (Hex.encode result_digest)
+    (Keepalive.signed_payload keepalive ^ "~" ^ Hex.encode keepalive.Keepalive.signature)
+
+let make ~slave_key ~slave_id ~query ~result_digest ~keepalive =
+  let signature =
+    Sig_scheme.sign slave_key (payload ~slave_id ~query ~result_digest ~keepalive)
+  in
+  { slave_id; query; result_digest; keepalive; signature }
+
+let signed_payload t =
+  payload ~slave_id:t.slave_id ~query:t.query ~result_digest:t.result_digest
+    ~keepalive:t.keepalive
+
+let verify_signature ~slave_public t =
+  Sig_scheme.verify slave_public ~msg:(signed_payload t) ~signature:t.signature
+
+let version t = t.keepalive.Keepalive.version
+
+let verify ~slave_public ~master_public ~result ~now ~max_latency t =
+  if not (String.equal (Canonical.result_digest result) t.result_digest) then
+    Error "result does not hash to the pledged digest"
+  else if not (verify_signature ~slave_public t) then Error "bad slave signature"
+  else if not (Keepalive.verify ~master_public t.keepalive) then
+    Error "keep-alive not signed by the master"
+  else if not (Keepalive.is_fresh t.keepalive ~now ~max_latency) then
+    Error
+      (Printf.sprintf "stale: keep-alive is %.3fs old (max_latency %.3fs)"
+         (Keepalive.age t.keepalive ~now) max_latency)
+  else Ok ()

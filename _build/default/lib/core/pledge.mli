@@ -1,0 +1,39 @@
+(** Pledge packets (§3.2): for every read it serves, a slave signs
+    (query, SHA-1 of the result, latest master keep-alive).  An
+    incorrect answer turns the pledge into irrefutable proof of
+    misbehaviour (§3.3) — and because only the slave can produce its
+    signature, a client cannot frame an innocent slave. *)
+
+type t = {
+  slave_id : int;
+  query : Secrep_store.Query.t;
+  result_digest : string;  (** SHA-1 of the canonical result *)
+  keepalive : Keepalive.t;  (** master-signed version + timestamp *)
+  signature : string;  (** slave's signature over all of the above *)
+}
+
+val make :
+  slave_key:Secrep_crypto.Sig_scheme.keypair ->
+  slave_id:int ->
+  query:Secrep_store.Query.t ->
+  result_digest:string ->
+  keepalive:Keepalive.t ->
+  t
+
+val signed_payload : t -> string
+
+val verify_signature : slave_public:Secrep_crypto.Sig_scheme.public -> t -> bool
+
+val verify :
+  slave_public:Secrep_crypto.Sig_scheme.public ->
+  master_public:Secrep_crypto.Sig_scheme.public ->
+  result:Secrep_store.Query_result.t ->
+  now:float ->
+  max_latency:float ->
+  t ->
+  (unit, string) result
+(** The full client-side check of §3.2: result hash matches the
+    pledge, slave signature valid, keep-alive master-signed, timestamp
+    fresh. *)
+
+val version : t -> int

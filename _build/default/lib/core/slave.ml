@@ -1,0 +1,200 @@
+module Sim = Secrep_sim.Sim
+module Work_queue = Secrep_sim.Work_queue
+module Stats = Secrep_sim.Stats
+module Prng = Secrep_crypto.Prng
+module Sig_scheme = Secrep_crypto.Sig_scheme
+module Store = Secrep_store.Store
+module Oplog = Secrep_store.Oplog
+module Query = Secrep_store.Query
+module Query_eval = Secrep_store.Query_eval
+module Query_result = Secrep_store.Query_result
+module Canonical = Secrep_store.Canonical
+
+type read_reply = { result : Query_result.t; pledge : Pledge.t }
+
+type t = {
+  sim : Sim.t;
+  rng : Prng.t;
+  id : int;
+  config : Config.t;
+  key : Sig_scheme.keypair;
+  store : Store.t;
+  work : Work_queue.t;
+  stats : Stats.t;
+  mutable master_id : int;
+  mutable behavior : Fault.behavior;
+  mutable keepalive : Keepalive.t option;
+  mutable excluded : bool;
+  mutable resync : (slave_id:int -> from_version:int -> unit) option;
+  mutable reads_served : int;
+  mutable lies_told : int;
+}
+
+let create sim ~rng ~id ~config ~master_id ~stats () =
+  {
+    sim;
+    rng;
+    id;
+    config;
+    key = Sig_scheme.generate config.Config.scheme rng;
+    store = Store.create ();
+    work = Work_queue.create sim ();
+    stats;
+    master_id;
+    behavior = Fault.Honest;
+    keepalive = None;
+    excluded = false;
+    resync = None;
+    reads_served = 0;
+    lies_told = 0;
+  }
+
+let id t = t.id
+let public t = Sig_scheme.public_of t.key
+let master_id t = t.master_id
+let set_master t ~master_id = t.master_id <- master_id
+let set_behavior t behavior = t.behavior <- behavior
+let behavior t = t.behavior
+let on_resync_needed t f = t.resync <- Some f
+
+let dropping_updates t =
+  match t.behavior with
+  | Fault.Malicious { mode = Fault.Stale_state; from_time; _ } -> Sim.now t.sim >= from_time
+  | Fault.Honest | Fault.Malicious _ -> false
+
+let receive_update t ~entries ~keepalive =
+  if not t.excluded then begin
+    t.keepalive <- Some keepalive;
+    if not (dropping_updates t) then begin
+      let gap = ref false in
+      List.iter
+        (fun (entry : Oplog.entry) ->
+          if entry.version = Store.version t.store + 1 then Store.apply_entry t.store entry
+          else if entry.version > Store.version t.store + 1 then gap := true
+          (* entry.version <= current: duplicate, ignore *))
+        entries;
+      if !gap then begin
+        Stats.incr t.stats "slave.resync_requests";
+        match t.resync with
+        | Some f -> f ~slave_id:t.id ~from_version:(Store.version t.store)
+        | None -> ()
+      end
+    end
+  end
+
+let version t = Store.version t.store
+let latest_keepalive t = t.keepalive
+
+let is_available t ~now =
+  (not t.excluded)
+  && begin
+       match t.keepalive with
+       | Some ka -> Keepalive.is_fresh ka ~now ~max_latency:t.config.Config.max_latency
+       | None -> false
+     end
+
+let exclude t = t.excluded <- true
+let is_excluded t = t.excluded
+
+let reinstate t ~checkpoint ~keepalive =
+  match Store.of_bytes checkpoint with
+  | Error msg -> Error ("Slave.reinstate: bad checkpoint: " ^ msg)
+  | Ok fresh ->
+    Store.assign t.store ~from:fresh;
+    t.keepalive <- Some keepalive;
+    t.behavior <- Fault.Honest;
+    t.excluded <- false;
+    Ok ()
+let reads_served t = t.reads_served
+let lies_told t = t.lies_told
+let work t = t.work
+
+let handle_read t ~client:_ ~query ~reply =
+  let now = Sim.now t.sim in
+  if t.excluded then reply None
+  else begin
+    match t.keepalive with
+    | None -> reply None
+    | Some keepalive ->
+      let honest_available =
+        Keepalive.is_fresh keepalive ~now ~max_latency:t.config.Config.max_latency
+      in
+      let lie = Fault.lies t.behavior ~now t.rng in
+      (* An honest slave out of sync "should stop handling user requests
+         until back in sync" (§3); an attacker ignores that rule. *)
+      if (not honest_available) && lie = None then begin
+        Stats.incr t.stats "slave.refused_stale";
+        reply None
+      end
+      else begin
+        match Query_eval.execute t.store query with
+        | Error _ ->
+          Stats.incr t.stats "slave.bad_queries";
+          reply None
+        | Ok { result; scanned } ->
+          let exec_cost =
+            Query_eval.cost_seconds ~scanned ~cost_class:(Query.cost_class query)
+              ~per_doc:t.config.Config.per_doc_cost
+          in
+          let cost = exec_cost +. t.config.Config.signature_cost in
+          Work_queue.submit t.work ~cost (fun () ->
+              if t.excluded then reply None
+              else begin
+                t.reads_served <- t.reads_served + 1;
+                Stats.incr t.stats "slave.reads_served";
+                let honest_digest = Canonical.result_digest result in
+                match lie with
+                | None ->
+                  let pledge =
+                    Pledge.make ~slave_key:t.key ~slave_id:t.id ~query
+                      ~result_digest:honest_digest ~keepalive
+                  in
+                  reply (Some { result; pledge })
+                | Some mode ->
+                  t.lies_told <- t.lies_told + 1;
+                  Stats.incr t.stats "slave.lies_told";
+                  (match mode with
+                  | Fault.Omit_result -> () (* silence; the client times out *)
+                  | Fault.Bad_signature ->
+                    let pledge =
+                      Pledge.make ~slave_key:t.key ~slave_id:t.id ~query
+                        ~result_digest:honest_digest ~keepalive
+                    in
+                    reply
+                      (Some { result; pledge = { pledge with Pledge.signature = "forged" } })
+                  | Fault.Corrupt_result | Fault.Collude _ ->
+                    (* A forged digest over the true result would fail the
+                       client's own hash check, so the attacker fabricates
+                       a *result* and signs its true hash: internally
+                       consistent, only re-execution exposes it.
+                       Colluders derive the fabrication from a shared tag
+                       and the query, so they agree with each other. *)
+                    let fake =
+                      let body =
+                        match mode with
+                        | Fault.Collude tag ->
+                          Printf.sprintf "collusion-%s-%s" tag
+                            (Secrep_crypto.Hex.encode (Canonical.query_digest query))
+                        | Fault.Corrupt_result | Fault.Stale_state | Fault.Bad_signature
+                        | Fault.Omit_result ->
+                          Printf.sprintf "corrupted-%d-%d" t.id t.lies_told
+                      in
+                      Query_result.Agg (Secrep_store.Value.String body)
+                    in
+                    let pledge =
+                      Pledge.make ~slave_key:t.key ~slave_id:t.id ~query
+                        ~result_digest:(Canonical.result_digest fake) ~keepalive
+                    in
+                    reply (Some { result = fake; pledge })
+                  | Fault.Stale_state ->
+                    (* The store silently stopped applying updates (see
+                       [dropping_updates]); the honest-looking reply over
+                       frozen state *is* the lie. *)
+                    let pledge =
+                      Pledge.make ~slave_key:t.key ~slave_id:t.id ~query
+                        ~result_digest:honest_digest ~keepalive
+                    in
+                    reply (Some { result; pledge }))
+              end)
+      end
+  end

@@ -1,0 +1,118 @@
+(** The assembled system: masters + slaves + clients + auditor over a
+    simulated WAN, with the setup phase, corrective action, ground-truth
+    tracking and metric collection wired in.  This is the entry point
+    examples, tests and experiments drive. *)
+
+type net_profile = {
+  master_master : Secrep_sim.Latency.t;
+  master_slave : Secrep_sim.Latency.t;
+  client_slave : Secrep_sim.Latency.t;
+  client_master : Secrep_sim.Latency.t;
+  client_auditor : Secrep_sim.Latency.t;
+  loss : float;
+}
+
+val default_net : net_profile
+(** A 2003-flavoured WAN: ~40ms master<->master, ~10ms client<->slave
+    (the "closest slave" of the setup phase), ~50ms client<->master. *)
+
+val lan_net : net_profile
+(** Sub-millisecond everywhere; for protocol-logic tests. *)
+
+type t
+
+val create :
+  ?n_masters:int ->
+  ?slaves_per_master:int ->
+  ?n_clients:int ->
+  ?n_auditors:int ->
+  ?config:Config.t ->
+  ?net:net_profile ->
+  ?seed:int64 ->
+  ?trace_capacity:int ->
+  ?track_ground_truth:bool ->
+  ?client_max_latency:(int -> float option) ->
+  unit ->
+  t
+(** Defaults: 3 masters, 4 slaves each, 10 clients, seed 1.  Creation
+    runs the setup phase for every client and starts keep-alives.
+    [track_ground_truth] (default true) keeps per-version oracle
+    snapshots so accepted reads can be labelled correct/wrong.
+    [client_max_latency] implements the §3.2 refinement: clients it
+    returns [Some bound] for use their own freshness bound instead of
+    the system-wide [max_latency]. *)
+
+val sim : t -> Secrep_sim.Sim.t
+val config : t -> Config.t
+val stats : t -> Secrep_sim.Stats.t
+val trace : t -> Secrep_sim.Trace.t
+val corrective : t -> Corrective.t
+
+val auditor : t -> Auditor.t
+(** The first auditor (the common single-auditor case). *)
+
+val auditors : t -> Auditor.t list
+(** All auditors; with [n_auditors > 1] (§3.4's "add extra auditors")
+    pledges shard across them by query digest. *)
+
+val directory : t -> Directory.t
+val content_id : t -> string
+
+val run_until : t -> float -> unit
+val run_for : t -> float -> unit
+
+val n_masters : t -> int
+val n_slaves : t -> int
+val n_clients : t -> int
+
+val master : t -> int -> Master.t
+val slave : t -> int -> Slave.t
+val client : t -> int -> Client.t
+
+val master_of_client : t -> int -> int
+val slave_of_client : t -> int -> int
+val master_of_slave : t -> int -> int
+
+val load_content : t -> (string * Secrep_store.Document.t) list -> unit
+(** Bootstrap the initial content onto every replica (before, or
+    between, runs; bypasses the write path and does not count against
+    the write-rate limit). *)
+
+val read :
+  t ->
+  client:int ->
+  ?level:Security_level.t ->
+  ?mode:Client.read_mode ->
+  Secrep_store.Query.t ->
+  on_done:(Client.read_report -> unit) ->
+  unit
+(** Issues the read and additionally labels the accepted result
+    against the oracle (stats [system.accepted_correct] /
+    [system.accepted_wrong]) and records latency histograms. *)
+
+val write :
+  t ->
+  client:int ->
+  Secrep_store.Oplog.op ->
+  on_done:(Master.write_ack -> unit) ->
+  unit
+
+val set_slave_behavior : t -> slave:int -> Fault.behavior -> unit
+val crash_master : t -> int -> unit
+
+val exclude_slave : t -> slave_id:int -> discovery:Corrective.discovery -> unit
+(** Normally triggered internally by proofs; exposed for tests. *)
+
+val readmit_slave : t -> slave_id:int -> (unit, string) result
+(** §3.5: bring a recovered slave back into service — wipe it, ship a
+    checkpoint from a live master, re-attach it to that master's slave
+    set.  The exclusion remains in the {!Corrective} history.  Fails
+    when the slave is not currently excluded or no master is alive. *)
+
+val oracle_version : t -> int
+
+val check_result :
+  t -> version:int -> Secrep_store.Query.t -> digest:string -> bool option
+(** Ground truth: is [digest] the correct answer for the query at
+    [version]?  [None] when tracking is off or the snapshot is
+    missing. *)

@@ -1,0 +1,77 @@
+module Codec = Secrep_store.Codec
+module Writer = Codec.Writer
+module Reader = Codec.Reader
+module Sig_scheme = Secrep_crypto.Sig_scheme
+
+let write_keepalive w (ka : Keepalive.t) =
+  Writer.bytes w ka.content_id;
+  Writer.varint w ka.version;
+  Writer.float w ka.timestamp;
+  Writer.varint w ka.master_id;
+  Writer.bytes w ka.signature
+
+let read_keepalive r : Keepalive.t =
+  let content_id = Reader.bytes r in
+  let version = Reader.varint r in
+  let timestamp = Reader.float r in
+  let master_id = Reader.varint r in
+  let signature = Reader.bytes r in
+  { content_id; version; timestamp; master_id; signature }
+
+let encode_keepalive ka =
+  let w = Writer.create () in
+  write_keepalive w ka;
+  Writer.contents w
+
+let decode_keepalive s = Reader.run s read_keepalive
+
+let encode_pledge (p : Pledge.t) =
+  let w = Writer.create () in
+  Writer.varint w p.slave_id;
+  Writer.bytes w (Codec.encode_query p.query);
+  Writer.bytes w p.result_digest;
+  write_keepalive w p.keepalive;
+  Writer.bytes w p.signature;
+  Writer.contents w
+
+let decode_pledge s =
+  Reader.run s (fun r ->
+      let slave_id = Reader.varint r in
+      let query_bytes = Reader.bytes r in
+      let query =
+        match Codec.decode_query query_bytes with
+        | Ok q -> q
+        | Error msg -> raise (Reader.Malformed ("pledge query: " ^ msg))
+      in
+      let result_digest = Reader.bytes r in
+      let keepalive = read_keepalive r in
+      let signature = Reader.bytes r in
+      { Pledge.slave_id; query; result_digest; keepalive; signature })
+
+let encode_certificate (c : Certificate.t) =
+  let w = Writer.create () in
+  Writer.bytes w c.content_id;
+  Writer.varint w c.master_id;
+  Writer.bytes w c.address;
+  Writer.bytes w (Sig_scheme.encode_public c.master_public);
+  Writer.bytes w c.signature;
+  Writer.contents w
+
+let decode_certificate s =
+  Reader.run s (fun r ->
+      let content_id = Reader.bytes r in
+      let master_id = Reader.varint r in
+      let address = Reader.bytes r in
+      let master_public =
+        match Sig_scheme.decode_public (Reader.bytes r) with
+        | Ok p -> p
+        | Error msg -> raise (Reader.Malformed ("certificate key: " ^ msg))
+      in
+      let signature = Reader.bytes r in
+      { Certificate.content_id; master_id; address; master_public; signature })
+
+let pledge_size p = String.length (encode_pledge p)
+let keepalive_size ka = String.length (encode_keepalive ka)
+
+let update_size entries ka =
+  String.length (Codec.encode_entries entries) + keepalive_size ka

@@ -1,0 +1,1 @@
+lib/crypto/mr_prime.mli: Bignum Prng

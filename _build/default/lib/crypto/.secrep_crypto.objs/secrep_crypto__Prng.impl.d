@@ -1,0 +1,1 @@
+lib/crypto/prng.ml: Array Char Int64 String

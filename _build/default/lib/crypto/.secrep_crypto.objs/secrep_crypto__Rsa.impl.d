@@ -1,0 +1,1 @@
+lib/crypto/rsa.ml: Bignum Bytes Format Hex Hmac Mr_prime Sha256 String

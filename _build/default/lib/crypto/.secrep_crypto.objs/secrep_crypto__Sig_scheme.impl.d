@@ -1,0 +1,1 @@
+lib/crypto/sig_scheme.ml: Bignum Buffer Format Hex Hmac Printf Prng Rsa Sha256 String

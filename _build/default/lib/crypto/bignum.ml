@@ -1,0 +1,404 @@
+(* Arbitrary-precision naturals over 26-bit limbs stored little-endian in an
+   int array.  26 bits is chosen so that a limb product (52 bits) plus the
+   running carries of schoolbook multiplication and of Knuth division stay
+   well inside a 63-bit native int. *)
+
+let limb_bits = 26
+let base = 1 lsl limb_bits
+let mask = base - 1
+
+type t = int array
+(* Invariant: normalized (no trailing zero limbs); zero = [||];
+   every limb is in [0, base). *)
+
+let zero : t = [||]
+let is_zero (a : t) = Array.length a = 0
+
+let normalize (a : int array) : t =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do decr n done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int n =
+  if n < 0 then invalid_arg "Bignum.of_int: negative";
+  let rec limbs n = if n = 0 then [] else (n land mask) :: limbs (n lsr limb_bits) in
+  Array.of_list (limbs n)
+
+let one = of_int 1
+let two = of_int 2
+
+let to_int_opt (a : t) =
+  (* Native ints hold 62 usable bits: at most 3 limbs with the top one
+     small enough. *)
+  let n = Array.length a in
+  if n > 3 then None
+  else begin
+    let rec go i acc =
+      if i < 0 then Some acc
+      else
+        let acc' = (acc lsl limb_bits) lor a.(i) in
+        if acc' < acc then None else go (i - 1) acc'
+    in
+    go (n - 1) 0
+  end
+
+let is_even (a : t) = is_zero a || a.(0) land 1 = 0
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let equal a b = compare a b = 0
+
+let add (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb in
+  let r = Array.make (n + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land mask;
+    carry := s lsr limb_bits
+  done;
+  r.(n) <- !carry;
+  normalize r
+
+(* [a - b] assuming [a >= b]. *)
+let sub (a : t) (b : t) : t =
+  if compare a b < 0 then invalid_arg "Bignum.sub: underflow";
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin r.(i) <- d + base; borrow := 1 end
+    else begin r.(i) <- d; borrow := 0 end
+  done;
+  assert (!borrow = 0);
+  normalize r
+
+let succ a = add a one
+let pred a = sub a one
+
+let mul (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        let carry = ref 0 in
+        for j = 0 to lb - 1 do
+          let p = (ai * b.(j)) + r.(i + j) + !carry in
+          r.(i + j) <- p land mask;
+          carry := p lsr limb_bits
+        done;
+        let k = ref (i + lb) in
+        while !carry <> 0 do
+          let s = r.(!k) + !carry in
+          r.(!k) <- s land mask;
+          carry := s lsr limb_bits;
+          incr k
+        done
+      end
+    done;
+    normalize r
+  end
+
+let bit_length (a : t) =
+  let n = Array.length a in
+  if n = 0 then 0
+  else begin
+    let top = a.(n - 1) in
+    let rec width w = if top lsr w = 0 then w else width (w + 1) in
+    ((n - 1) * limb_bits) + width 0
+  end
+
+let test_bit (a : t) i =
+  let limb = i / limb_bits and off = i mod limb_bits in
+  limb < Array.length a && (a.(limb) lsr off) land 1 = 1
+
+let shift_left (a : t) s =
+  if s < 0 then invalid_arg "Bignum.shift_left: negative shift";
+  if is_zero a || s = 0 then a
+  else begin
+    let limb_shift = s / limb_bits and bit_shift = s mod limb_bits in
+    let la = Array.length a in
+    let r = Array.make (la + limb_shift + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = a.(i) lsl bit_shift in
+      r.(i + limb_shift) <- r.(i + limb_shift) lor (v land mask);
+      r.(i + limb_shift + 1) <- v lsr limb_bits
+    done;
+    normalize r
+  end
+
+let shift_right (a : t) s =
+  if s < 0 then invalid_arg "Bignum.shift_right: negative shift";
+  if s = 0 then a
+  else begin
+    let limb_shift = s / limb_bits and bit_shift = s mod limb_bits in
+    let la = Array.length a in
+    if limb_shift >= la then zero
+    else begin
+      let n = la - limb_shift in
+      let r = Array.make n 0 in
+      for i = 0 to n - 1 do
+        let lo = a.(i + limb_shift) lsr bit_shift in
+        let hi =
+          if bit_shift = 0 || i + limb_shift + 1 >= la then 0
+          else (a.(i + limb_shift + 1) lsl (limb_bits - bit_shift)) land mask
+        in
+        r.(i) <- lo lor hi
+      done;
+      normalize r
+    end
+  end
+
+(* Division by a single limb: plain schoolbook from the most significant
+   limb down; the partial remainder times the base fits in 52 bits. *)
+let divmod_small (a : t) d =
+  assert (d > 0 && d < base);
+  let n = Array.length a in
+  let q = Array.make n 0 in
+  let r = ref 0 in
+  for i = n - 1 downto 0 do
+    let cur = (!r lsl limb_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (normalize q, of_int !r)
+
+(* Knuth TAOCP vol. 2, Algorithm D, specialised to 26-bit limbs. *)
+let divmod_knuth (u : t) (v : t) =
+  let n = Array.length v in
+  let m = Array.length u - n in
+  assert (n >= 2 && m >= 0);
+  (* D1: normalize so the top limb of v has its high bit set. *)
+  let s =
+    let top = v.(n - 1) in
+    let rec go w = if top lsr w = 0 then w else go (w + 1) in
+    limb_bits - go 0
+  in
+  let vn = Array.make n 0 in
+  for i = n - 1 downto 0 do
+    let hi = (v.(i) lsl s) land mask in
+    let lo = if i > 0 && s > 0 then v.(i - 1) lsr (limb_bits - s) else 0 in
+    vn.(i) <- hi lor lo
+  done;
+  let un = Array.make (m + n + 1) 0 in
+  un.(m + n) <- if s > 0 then u.(m + n - 1) lsr (limb_bits - s) else 0;
+  for i = m + n - 1 downto 0 do
+    let hi = (u.(i) lsl s) land mask in
+    let lo = if i > 0 && s > 0 then u.(i - 1) lsr (limb_bits - s) else 0 in
+    un.(i) <- hi lor lo
+  done;
+  let q = Array.make (m + 1) 0 in
+  for j = m downto 0 do
+    (* D3: estimate the quotient digit from the top two limbs. *)
+    let num = (un.(j + n) lsl limb_bits) lor un.(j + n - 1) in
+    let qhat = ref (num / vn.(n - 1)) and rhat = ref (num mod vn.(n - 1)) in
+    let continue = ref true in
+    while !continue do
+      if !qhat >= base
+         || !qhat * vn.(n - 2) > (!rhat lsl limb_bits) lor un.(j + n - 2)
+      then begin
+        decr qhat;
+        rhat := !rhat + vn.(n - 1);
+        if !rhat >= base then continue := false
+      end
+      else continue := false
+    done;
+    (* D4: multiply and subtract. *)
+    let carry = ref 0 and borrow = ref 0 in
+    for i = 0 to n - 1 do
+      let p = (!qhat * vn.(i)) + !carry in
+      carry := p lsr limb_bits;
+      let d = un.(i + j) - (p land mask) - !borrow in
+      if d < 0 then begin un.(i + j) <- d + base; borrow := 1 end
+      else begin un.(i + j) <- d; borrow := 0 end
+    done;
+    let d = un.(j + n) - !carry - !borrow in
+    if d < 0 then begin
+      (* D6: the estimate was one too large; add back. *)
+      un.(j + n) <- d + base;
+      q.(j) <- !qhat - 1;
+      let c = ref 0 in
+      for i = 0 to n - 1 do
+        let sum = un.(i + j) + vn.(i) + !c in
+        un.(i + j) <- sum land mask;
+        c := sum lsr limb_bits
+      done;
+      un.(j + n) <- (un.(j + n) + !c) land mask
+    end
+    else begin
+      un.(j + n) <- d;
+      q.(j) <- !qhat
+    end
+  done;
+  (* D8: denormalize the remainder. *)
+  let r = normalize (Array.sub un 0 n) in
+  (normalize q, shift_right r s)
+
+let divmod (a : t) (b : t) =
+  if is_zero b then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else if Array.length b = 1 then divmod_small a b.(0)
+  else divmod_knuth a b
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let mod_exp ~base:b ~exp ~modulus =
+  if is_zero modulus then raise Division_by_zero;
+  if equal modulus one then zero
+  else begin
+    let b = rem b modulus in
+    let bits = bit_length exp in
+    let acc = ref one in
+    for i = bits - 1 downto 0 do
+      acc := rem (mul !acc !acc) modulus;
+      if test_bit exp i then acc := rem (mul !acc b) modulus
+    done;
+    !acc
+  end
+
+let rec gcd a b = if is_zero b then a else gcd b (rem a b)
+
+(* Signed values, needed only inside the extended Euclid below. *)
+type signed = { neg : bool; mag : t }
+
+let s_of t = { neg = false; mag = t }
+
+let s_sub x y =
+  (* x - y for signed values *)
+  match (x.neg, y.neg) with
+  | false, true -> { neg = false; mag = add x.mag y.mag }
+  | true, false -> { neg = not (is_zero (add x.mag y.mag)); mag = add x.mag y.mag }
+  | false, false ->
+    if compare x.mag y.mag >= 0 then { neg = false; mag = sub x.mag y.mag }
+    else { neg = true; mag = sub y.mag x.mag }
+  | true, true ->
+    if compare y.mag x.mag >= 0 then { neg = false; mag = sub y.mag x.mag }
+    else { neg = true; mag = sub x.mag y.mag }
+
+let s_mul_nat x n =
+  let mag = mul x.mag n in
+  { neg = x.neg && not (is_zero mag); mag }
+
+let mod_inv a m =
+  if is_zero m then raise Division_by_zero;
+  (* Extended Euclid keeping only the Bezout coefficient of [a]. *)
+  let rec go old_r r old_t t =
+    if is_zero r then (old_r, old_t)
+    else begin
+      let qn, rn = divmod old_r r in
+      go r rn t (s_sub old_t (s_mul_nat t qn))
+    end
+  in
+  let g, t = go (rem a m) m (s_of one) (s_of zero) in
+  if not (equal g one) then None
+  else begin
+    let x = rem t.mag m in
+    if t.neg && not (is_zero x) then Some (sub m x) else Some x
+  end
+
+let of_bytes_be s =
+  let len = String.length s in
+  let r = ref zero in
+  for i = 0 to len - 1 do
+    r := add (shift_left !r 8) (of_int (Char.code s.[i]))
+  done;
+  !r
+
+let to_bytes_be ?length (a : t) =
+  let nbytes = (bit_length a + 7) / 8 in
+  let total =
+    match length with
+    | None -> max nbytes 1
+    | Some l ->
+      if nbytes > l then invalid_arg "Bignum.to_bytes_be: value too large";
+      l
+  in
+  let buf = Bytes.make total '\000' in
+  let rec go v i =
+    if not (is_zero v) then begin
+      assert (i >= 0);
+      let q, r = divmod_small v 256 in
+      let byte = match to_int_opt r with Some b -> b | None -> assert false in
+      Bytes.set buf i (Char.chr byte);
+      go q (i - 1)
+    end
+  in
+  go a (total - 1);
+  Bytes.unsafe_to_string buf
+
+let hex_digit c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg "Bignum.of_hex: bad digit"
+
+let of_hex s =
+  let r = ref zero in
+  String.iter (fun c -> if c <> '_' then r := add (shift_left !r 4) (of_int (hex_digit c))) s;
+  !r
+
+let to_hex (a : t) =
+  if is_zero a then "0"
+  else begin
+    let buf = Buffer.create 16 in
+    let rec go v =
+      if not (is_zero v) then begin
+        let q, r = divmod_small v 16 in
+        let d = match to_int_opt r with Some d -> d | None -> assert false in
+        Buffer.add_char buf "0123456789abcdef".[d];
+        go q
+      end
+    in
+    go a;
+    let s = Buffer.contents buf in
+    String.init (String.length s) (fun i -> s.[String.length s - 1 - i])
+  end
+
+let of_decimal s =
+  if String.length s = 0 then invalid_arg "Bignum.of_decimal: empty";
+  let r = ref zero in
+  String.iter
+    (fun c ->
+      match c with
+      | '0' .. '9' ->
+        r := add (mul !r (of_int 10)) (of_int (Char.code c - Char.code '0'))
+      | '_' -> ()
+      | _ -> invalid_arg "Bignum.of_decimal: bad digit")
+    s;
+  !r
+
+let to_decimal (a : t) =
+  if is_zero a then "0"
+  else begin
+    let buf = Buffer.create 16 in
+    let rec go v =
+      if not (is_zero v) then begin
+        let q, r = divmod_small v 10 in
+        let d = match to_int_opt r with Some d -> d | None -> assert false in
+        Buffer.add_char buf (Char.chr (d + Char.code '0'));
+        go q
+      end
+    in
+    go a;
+    let s = Buffer.contents buf in
+    String.init (String.length s) (fun i -> s.[String.length s - 1 - i])
+  end
+
+let pp fmt a = Format.pp_print_string fmt (to_decimal a)

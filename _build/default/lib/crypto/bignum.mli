@@ -1,0 +1,81 @@
+(** Arbitrary-precision natural numbers.
+
+    Implemented from scratch on top of OCaml's native [int]: numbers are
+    little-endian arrays of 26-bit limbs, so limb products and the column
+    sums of schoolbook multiplication fit comfortably in a 63-bit [int].
+    Values are immutable and always normalized (no most-significant zero
+    limbs; zero is the empty array).
+
+    This module backs {!Rsa} and {!Mr_prime}; only natural (non-negative)
+    arithmetic is exposed.  Subtraction of a larger number raises. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+
+val of_int : int -> t
+(** [of_int n] converts a non-negative [int].  Raises [Invalid_argument]
+    on negative input. *)
+
+val to_int_opt : t -> int option
+(** [to_int_opt n] is [Some i] when [n] fits in a native [int]. *)
+
+val is_zero : t -> bool
+val is_even : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val add : t -> t -> t
+val succ : t -> t
+val pred : t -> t
+(** [pred n] requires [n > 0]. *)
+
+val sub : t -> t -> t
+(** [sub a b] requires [a >= b]; raises [Invalid_argument] otherwise. *)
+
+val mul : t -> t -> t
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(q, r)] with [a = q*b + r] and [0 <= r < b].
+    Raises [Division_by_zero] when [b] is zero.  Long division is Knuth's
+    Algorithm D over 26-bit limbs. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+val bit_length : t -> int
+(** [bit_length n] is the index of the highest set bit plus one;
+    [bit_length zero = 0]. *)
+
+val test_bit : t -> int -> bool
+
+val mod_exp : base:t -> exp:t -> modulus:t -> t
+(** [mod_exp ~base ~exp ~modulus] is [base^exp mod modulus] by
+    left-to-right binary exponentiation.  [modulus] must be non-zero. *)
+
+val gcd : t -> t -> t
+
+val mod_inv : t -> t -> t option
+(** [mod_inv a m] is [Some x] with [a*x = 1 (mod m)] when
+    [gcd a m = 1], [None] otherwise. *)
+
+val of_bytes_be : string -> t
+(** Big-endian unsigned interpretation of a byte string. *)
+
+val to_bytes_be : ?length:int -> t -> string
+(** Big-endian bytes, left-padded with zeros to [length] when given.
+    Raises [Invalid_argument] if the value does not fit in [length]. *)
+
+val of_hex : string -> t
+val to_hex : t -> string
+(** Lower-case hex without leading zeros; ["0"] for zero. *)
+
+val of_decimal : string -> t
+val to_decimal : t -> string
+
+val pp : Format.formatter -> t -> unit
+(** Prints the decimal representation. *)

@@ -1,0 +1,8 @@
+(** Hexadecimal encoding of byte strings. *)
+
+val encode : string -> string
+(** Lower-case hex, two characters per byte. *)
+
+val decode : string -> string
+(** Inverse of {!encode}; raises [Invalid_argument] on odd length or
+    non-hex characters. *)

@@ -1,0 +1,26 @@
+type hash = Sha1 | Sha256
+
+let block_size = 64 (* both SHA-1 and SHA-256 use 64-byte blocks *)
+
+let raw_digest hash s =
+  match hash with Sha1 -> Sha1.digest s | Sha256 -> Sha256.digest s
+
+let mac ~hash ~key msg =
+  let key = if String.length key > block_size then raw_digest hash key else key in
+  let pad fill =
+    String.init block_size (fun i ->
+        let k = if i < String.length key then Char.code key.[i] else 0 in
+        Char.chr (k lxor fill))
+  in
+  let inner = raw_digest hash (pad 0x36 ^ msg) in
+  raw_digest hash (pad 0x5c ^ inner)
+
+let hex_mac ~hash ~key msg = Hex.encode (mac ~hash ~key msg)
+
+let equal_const_time a b =
+  String.length a = String.length b
+  && begin
+       let acc = ref 0 in
+       String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code b.[i])) a;
+       !acc = 0
+     end

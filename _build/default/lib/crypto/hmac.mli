@@ -1,0 +1,12 @@
+(** HMAC (RFC 2104) over either of the hash functions in this library.
+    Used by the fast simulated signature scheme in {!Sig_scheme}. *)
+
+type hash = Sha1 | Sha256
+
+val mac : hash:hash -> key:string -> string -> string
+(** [mac ~hash ~key msg] is the raw HMAC digest of [msg]. *)
+
+val hex_mac : hash:hash -> key:string -> string -> string
+
+val equal_const_time : string -> string -> bool
+(** Comparison that does not leak the position of the first mismatch. *)

@@ -1,0 +1,61 @@
+(* Levels are stored bottom-up: levels.(0) is the hashed leaves and the
+   last level is the singleton root.  Leaf and interior hashes are
+   domain-separated so a leaf cannot be replayed as an interior node. *)
+
+type t = { levels : string array array }
+
+let hash_leaf data = Sha256.digest ("\x00" ^ data)
+let hash_node l r = Sha256.digest ("\x01" ^ l ^ r)
+
+let build leaves =
+  if leaves = [] then invalid_arg "Merkle.build: no leaves";
+  let level0 = Array.of_list (List.map hash_leaf leaves) in
+  let rec up acc level =
+    if Array.length level = 1 then List.rev (level :: acc)
+    else begin
+      let n = Array.length level in
+      let parent =
+        Array.init ((n + 1) / 2) (fun i ->
+            let l = level.(2 * i) in
+            let r = if (2 * i) + 1 < n then level.((2 * i) + 1) else l in
+            hash_node l r)
+      in
+      up (level :: acc) parent
+    end
+  in
+  { levels = Array.of_list (up [] level0) }
+
+let root t =
+  let top = t.levels.(Array.length t.levels - 1) in
+  top.(0)
+
+let leaf_count t = Array.length t.levels.(0)
+
+type proof = { leaf_index : int; path : (string * [ `Left | `Right ]) list }
+
+let prove t index =
+  if index < 0 || index >= leaf_count t then invalid_arg "Merkle.prove: bad index";
+  let rec collect level i acc =
+    if level >= Array.length t.levels - 1 then List.rev acc
+    else begin
+      let nodes = t.levels.(level) in
+      let n = Array.length nodes in
+      let sibling, side =
+        if i land 1 = 0 then
+          ((if i + 1 < n then nodes.(i + 1) else nodes.(i)), `Right)
+        else (nodes.(i - 1), `Left)
+      in
+      collect (level + 1) (i / 2) ((sibling, side) :: acc)
+    end
+  in
+  { leaf_index = index; path = collect 0 index [] }
+
+let verify ~root:expected ~leaf proof =
+  let acc = ref (hash_leaf leaf) in
+  List.iter
+    (fun (sibling, side) ->
+      acc := (match side with `Left -> hash_node sibling !acc | `Right -> hash_node !acc sibling))
+    proof.path;
+  Hmac.equal_const_time !acc expected
+
+let proof_length proof = List.length proof.path

@@ -1,0 +1,28 @@
+(** Merkle hash trees (Merkle, Crypto '89), the authentication structure
+    behind the paper's *state signing* baseline: the content owner signs
+    only the root, and untrusted storage proves membership of each data
+    block with a logarithmic path. *)
+
+type t
+
+val build : string list -> t
+(** [build leaves] hashes every leaf and combines pairwise with SHA-256,
+    duplicating the last node of odd levels.  Raises [Invalid_argument]
+    on an empty list. *)
+
+val root : t -> string
+(** Raw root digest. *)
+
+val leaf_count : t -> int
+
+type proof = { leaf_index : int; path : (string * [ `Left | `Right ]) list }
+(** Sibling digests from leaf level to the root; the side says where the
+    sibling sits relative to the running hash. *)
+
+val prove : t -> int -> proof
+(** Inclusion proof for the leaf at the given index. *)
+
+val verify : root:string -> leaf:string -> proof -> bool
+(** Recomputes the path from the raw leaf data and compares roots. *)
+
+val proof_length : proof -> int

@@ -1,0 +1,46 @@
+(** Deterministic pseudo-random number generation.
+
+    Simulation runs must be reproducible, so every component that needs
+    randomness takes an explicit generator.  The generator is
+    xoshiro256** seeded through SplitMix64, both implemented here from
+    the reference algorithms. *)
+
+type t
+
+val create : seed:int64 -> t
+(** [create ~seed] builds a generator; equal seeds give equal streams. *)
+
+val split : t -> t
+(** [split g] derives an independent generator from [g], advancing [g].
+    Used to give each simulated node its own stream. *)
+
+val copy : t -> t
+
+val next_int64 : t -> int64
+(** Uniform over all 64-bit values. *)
+
+val bits : t -> int -> int
+(** [bits g n] is a uniform [n]-bit non-negative int, [0 <= n <= 62]. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [0, bound); [bound > 0]. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli g p] is true with probability [p]. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed with the given mean. *)
+
+val bytes : t -> int -> string
+(** [bytes g n] is an [n]-byte uniformly random string. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

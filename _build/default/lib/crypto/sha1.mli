@@ -1,0 +1,21 @@
+(** SHA-1 (FIPS 180-1), the hash function the paper specifies for
+    pledge packets.  Implemented from the standard; verified against
+    the FIPS test vectors in the test suite. *)
+
+type ctx
+
+val init : unit -> ctx
+val feed : ctx -> string -> unit
+val feed_bytes : ctx -> bytes -> off:int -> len:int -> unit
+
+val finalize : ctx -> string
+(** 20-byte raw digest.  The context must not be reused afterwards. *)
+
+val digest : string -> string
+(** One-shot 20-byte raw digest. *)
+
+val hex_digest : string -> string
+(** One-shot digest as 40 lower-case hex characters. *)
+
+val digest_size : int
+(** 20. *)

@@ -1,0 +1,18 @@
+(** SHA-256 (FIPS 180-2).  Offered alongside {!Sha1} so experiments can
+    measure the cost of a stronger digest; verified against the FIPS
+    test vectors in the test suite. *)
+
+type ctx
+
+val init : unit -> ctx
+val feed : ctx -> string -> unit
+val feed_bytes : ctx -> bytes -> off:int -> len:int -> unit
+
+val finalize : ctx -> string
+(** 32-byte raw digest.  The context must not be reused afterwards. *)
+
+val digest : string -> string
+val hex_digest : string -> string
+
+val digest_size : int
+(** 32. *)

@@ -1,0 +1,1 @@
+lib/sim/link.ml: Latency Secrep_crypto Sim

@@ -1,0 +1,1 @@
+lib/sim/sim.mli: Event_queue

@@ -1,0 +1,1 @@
+lib/sim/work_queue.ml: Float Sim

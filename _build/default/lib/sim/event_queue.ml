@@ -1,0 +1,106 @@
+type 'a entry = {
+  time : float;
+  seq : int;
+  payload : 'a;
+  mutable live : bool;
+}
+
+type handle = H : 'a entry -> handle
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable count : int;
+  mutable next_seq : int;
+  mutable live_count : int;
+}
+
+let create () = { heap = [||]; count = 0; next_seq = 0; live_count = 0 }
+
+let is_empty q = q.live_count = 0
+let size q = q.live_count
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap q i j =
+  let tmp = q.heap.(i) in
+  q.heap.(i) <- q.heap.(j);
+  q.heap.(j) <- tmp
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before q.heap.(i) q.heap.(parent) then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.count && before q.heap.(l) q.heap.(!smallest) then smallest := l;
+  if r < q.count && before q.heap.(r) q.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap q i !smallest;
+    sift_down q !smallest
+  end
+
+let ensure_capacity q seed =
+  let cap = Array.length q.heap in
+  if q.count = cap then begin
+    let fresh = Array.make (max 16 (2 * cap)) seed in
+    Array.blit q.heap 0 fresh 0 q.count;
+    q.heap <- fresh
+  end
+
+let push q ~time payload =
+  if Float.is_nan time then invalid_arg "Event_queue.push: NaN time";
+  let entry = { time; seq = q.next_seq; payload; live = true } in
+  q.next_seq <- q.next_seq + 1;
+  ensure_capacity q entry;
+  q.heap.(q.count) <- entry;
+  q.count <- q.count + 1;
+  q.live_count <- q.live_count + 1;
+  sift_up q (q.count - 1);
+  H entry
+
+let cancel q (H entry) =
+  (* The handle is only usable with the queue the entry came from; the
+     payload type is existential so we just flip the flag. *)
+  if entry.live then begin
+    entry.live <- false;
+    q.live_count <- q.live_count - 1
+  end
+
+let rec pop q =
+  if q.count = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.count <- q.count - 1;
+    if q.count > 0 then begin
+      q.heap.(0) <- q.heap.(q.count);
+      sift_down q 0
+    end;
+    if top.live then begin
+      top.live <- false;
+      q.live_count <- q.live_count - 1;
+      Some (top.time, top.payload)
+    end
+    else pop q
+  end
+
+let rec peek_time q =
+  if q.count = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    if top.live then Some top.time
+    else begin
+      (* Drop the dead head and retry. *)
+      q.count <- q.count - 1;
+      if q.count > 0 then begin
+        q.heap.(0) <- q.heap.(q.count);
+        sift_down q 0
+      end;
+      peek_time q
+    end
+  end

@@ -1,0 +1,26 @@
+(** Priority queue of timed events: a binary min-heap ordered by
+    (time, insertion sequence), so simultaneous events fire in the
+    order they were scheduled — a property several protocol tests rely
+    on. *)
+
+type 'a t
+
+type handle
+(** Identifies a scheduled event so it can be cancelled. *)
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> handle
+(** Raises [Invalid_argument] on NaN time. *)
+
+val cancel : 'a t -> handle -> unit
+(** Cancelling an already-fired or already-cancelled event is a no-op.
+    Cancelled events are dropped lazily on pop. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Earliest live event, or [None] when the queue has no live events. *)
+
+val peek_time : 'a t -> float option
+(** Time of the earliest live event without removing it. *)

@@ -1,0 +1,62 @@
+module Prng = Secrep_crypto.Prng
+
+type t = {
+  sim : Sim.t;
+  rng : Prng.t;
+  latency : Latency.t;
+  loss : float;
+  name : string;
+  mutable up : bool;
+  mutable epoch : int; (* bumped on every down transition: in-flight messages from an older epoch are dropped on arrival *)
+  mutable bandwidth : float; (* bytes/sec; infinity = unmetered *)
+  mutable delivered : int;
+  mutable dropped : int;
+}
+
+let create sim ~rng ~latency ?(loss = 0.0) ?(name = "link") () =
+  Latency.validate latency;
+  if loss < 0.0 || loss >= 1.0 then invalid_arg "Link.create: loss must be in [0, 1)";
+  {
+    sim;
+    rng;
+    latency;
+    loss;
+    name;
+    up = true;
+    epoch = 0;
+    bandwidth = infinity;
+    delivered = 0;
+    dropped = 0;
+  }
+
+let send_sized t ~bytes_len deliver =
+  if (not t.up) || Prng.bernoulli t.rng t.loss then t.dropped <- t.dropped + 1
+  else begin
+    let transfer =
+      if t.bandwidth = infinity then 0.0 else float_of_int bytes_len /. t.bandwidth
+    in
+    let delay = Latency.sample t.latency t.rng +. transfer in
+    let epoch = t.epoch in
+    ignore
+      (Sim.schedule t.sim ~delay (fun () ->
+           if t.up && t.epoch = epoch then begin
+             t.delivered <- t.delivered + 1;
+             deliver ()
+           end
+           else t.dropped <- t.dropped + 1))
+  end
+
+let send t deliver = send_sized t ~bytes_len:0 deliver
+
+let set_up t up =
+  if t.up && not up then t.epoch <- t.epoch + 1;
+  t.up <- up
+
+let is_up t = t.up
+let set_bandwidth t ~bytes_per_sec =
+  if bytes_per_sec <= 0.0 then invalid_arg "Link.set_bandwidth: must be positive";
+  t.bandwidth <- bytes_per_sec
+
+let delivered t = t.delivered
+let dropped t = t.dropped
+let name t = t.name

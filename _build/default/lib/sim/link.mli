@@ -1,0 +1,35 @@
+(** Point-to-point simulated network links.
+
+    A link carries opaque deliveries (thunks) from one node to another
+    with sampled latency, optional loss, and an up/down switch used to
+    model crashes and partitions.  Deliveries in flight when a link
+    goes down are dropped, matching a fail-stop network model. *)
+
+type t
+
+val create :
+  Sim.t ->
+  rng:Secrep_crypto.Prng.t ->
+  latency:Latency.t ->
+  ?loss:float ->
+  ?name:string ->
+  unit ->
+  t
+
+val send : t -> (unit -> unit) -> unit
+(** Schedule the delivery thunk after a sampled delay, unless the link
+    is down or the message is (probabilistically) lost. *)
+
+val send_sized : t -> bytes_len:int -> (unit -> unit) -> unit
+(** Like {!send} but additionally charges serialisation time
+    proportional to the payload size (see {!set_bandwidth}). *)
+
+val set_up : t -> bool -> unit
+val is_up : t -> bool
+
+val set_bandwidth : t -> bytes_per_sec:float -> unit
+(** Default: infinite (size charges nothing). *)
+
+val delivered : t -> int
+val dropped : t -> int
+val name : t -> string

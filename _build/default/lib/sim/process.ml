@@ -1,0 +1,49 @@
+module Prng = Secrep_crypto.Prng
+
+type t = {
+  sim : Sim.t;
+  period : float;
+  jitter : float;
+  rng : Prng.t option;
+  action : unit -> unit;
+  mutable running : bool;
+  mutable fired : int;
+  mutable next : Sim.handle option;
+}
+
+let interval t =
+  match (t.rng, t.jitter) with
+  | Some rng, j when j > 0.0 -> t.period +. ((Prng.float rng -. 0.5) *. 2.0 *. j)
+  | _ -> t.period
+
+let rec arm t delay =
+  t.next <-
+    Some
+      (Sim.schedule t.sim ~delay (fun () ->
+           if t.running then begin
+             t.fired <- t.fired + 1;
+             t.action ();
+             (* The action may have stopped us. *)
+             if t.running then arm t (interval t)
+           end))
+
+let periodic sim ~period ?(jitter = 0.0) ?rng ?(start_delay = 0.0) action =
+  if period <= 0.0 then invalid_arg "Process.periodic: period must be positive";
+  if jitter < 0.0 || jitter >= period then invalid_arg "Process.periodic: jitter out of range";
+  if jitter > 0.0 && rng = None then invalid_arg "Process.periodic: jitter requires an rng";
+  let t = { sim; period; jitter; rng; action; running = true; fired = 0; next = None } in
+  arm t start_delay;
+  t
+
+let stop t =
+  if t.running then begin
+    t.running <- false;
+    match t.next with
+    | Some h ->
+      Sim.cancel t.sim h;
+      t.next <- None
+    | None -> ()
+  end
+
+let is_running t = t.running
+let fired t = t.fired

@@ -1,0 +1,24 @@
+(** Periodic background activities (keep-alive broadcasts, audit
+    sweeps, workload ticks) expressed over {!Sim}. *)
+
+type t
+
+val periodic :
+  Sim.t ->
+  period:float ->
+  ?jitter:float ->
+  ?rng:Secrep_crypto.Prng.t ->
+  ?start_delay:float ->
+  (unit -> unit) ->
+  t
+(** [periodic sim ~period f] runs [f] every [period] seconds.  With
+    [jitter] (and an [rng]), each interval is perturbed uniformly by
+    up to [+-jitter] seconds, which avoids the lock-step artefacts of
+    perfectly synchronised timers.  Raises [Invalid_argument] unless
+    [0 <= jitter < period]. *)
+
+val stop : t -> unit
+(** Stops future firings; idempotent. *)
+
+val is_running : t -> bool
+val fired : t -> int

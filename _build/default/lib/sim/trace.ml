@@ -1,0 +1,40 @@
+type record = { time : float; source : string; event : string }
+
+type t = {
+  capacity : int;
+  ring : record option array;
+  mutable next : int; (* next write slot *)
+  mutable total : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity; ring = Array.make capacity None; next = 0; total = 0 }
+
+let log t ~time ~source event =
+  t.ring.(t.next) <- Some { time; source; event };
+  t.next <- (t.next + 1) mod t.capacity;
+  t.total <- t.total + 1
+
+let size t = min t.total t.capacity
+let total_logged t = t.total
+
+let to_list t =
+  let n = size t in
+  let start = if t.total <= t.capacity then 0 else t.next in
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    match t.ring.((start + i) mod t.capacity) with
+    | Some r -> out := r :: !out
+    | None -> assert false
+  done;
+  !out
+
+let find t ~f = List.find_opt f (to_list t)
+let count_matching t ~f = List.length (List.filter f (to_list t))
+
+let pp_tail ?(n = 20) fmt t =
+  let records = to_list t in
+  let len = List.length records in
+  let tail = if len <= n then records else List.filteri (fun i _ -> i >= len - n) records in
+  List.iter (fun r -> Format.fprintf fmt "[%10.4f] %-16s %s@." r.time r.source r.event) tail

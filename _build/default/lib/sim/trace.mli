@@ -1,0 +1,23 @@
+(** Bounded in-memory event trace.
+
+    Protocol components append human-readable records; tests assert on
+    them and failed experiment runs dump the tail.  The buffer is a
+    ring so long simulations cannot exhaust memory. *)
+
+type t
+
+type record = { time : float; source : string; event : string }
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity: 4096 records. *)
+
+val log : t -> time:float -> source:string -> string -> unit
+val size : t -> int
+val total_logged : t -> int
+
+val to_list : t -> record list
+(** Oldest first (of what is still retained). *)
+
+val find : t -> f:(record -> bool) -> record option
+val count_matching : t -> f:(record -> bool) -> int
+val pp_tail : ?n:int -> Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/store/canonical.ml: Buffer Document Int64 List Printf Query Query_result Secrep_crypto String Value

@@ -1,0 +1,1 @@
+lib/store/canonical.mli: Document Query Query_result Value

@@ -1,0 +1,1 @@
+lib/store/codec.ml: Buffer Char Document Int64 List Oplog Printf Query Query_result String Value

@@ -1,0 +1,1 @@
+lib/store/codec.mli: Document Oplog Query Query_result Value

@@ -1,0 +1,1 @@
+lib/store/document.ml: Format List Map String Value

@@ -1,0 +1,1 @@
+lib/store/document.mli: Format Value

@@ -1,0 +1,1 @@
+lib/store/oplog.ml: Document Format Value

@@ -1,0 +1,1 @@
+lib/store/oplog.mli: Document Format Value

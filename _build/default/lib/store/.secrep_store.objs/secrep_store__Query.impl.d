@@ -1,0 +1,1 @@
+lib/store/query.ml: Format List Printf Regex Stdlib String Value

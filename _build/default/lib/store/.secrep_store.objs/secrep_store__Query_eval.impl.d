@@ -1,0 +1,1 @@
+lib/store/query_eval.ml: Document Hashtbl List Option Query Query_result Regex Store Value

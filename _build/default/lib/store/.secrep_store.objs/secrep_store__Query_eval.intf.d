@@ -1,0 +1,1 @@
+lib/store/query_eval.mli: Query Query_result Store

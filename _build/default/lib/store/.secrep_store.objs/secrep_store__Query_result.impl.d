@@ -1,0 +1,1 @@
+lib/store/query_result.ml: Document Format List String Value

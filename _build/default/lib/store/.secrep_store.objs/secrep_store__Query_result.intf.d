@@ -1,0 +1,1 @@
+lib/store/query_result.mli: Document Format Value

@@ -1,0 +1,1 @@
+lib/store/regex.ml: Array Bytes Char List Printf String

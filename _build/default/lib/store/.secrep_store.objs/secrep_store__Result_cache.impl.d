@@ -1,0 +1,1 @@
+lib/store/result_cache.ml: Canonical Hashtbl

@@ -1,0 +1,1 @@
+lib/store/snapshot.ml: Document Map String

@@ -1,0 +1,1 @@
+lib/store/store.ml: Canonical Codec Document List Oplog Printf Query Secrep_crypto Seq Snapshot String

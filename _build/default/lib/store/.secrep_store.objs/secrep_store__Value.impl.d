@@ -1,0 +1,1 @@
+lib/store/value.ml: Bool Float Format Int List String

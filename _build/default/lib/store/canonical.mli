@@ -1,0 +1,17 @@
+(** Canonical (deterministic, self-delimiting) encodings.
+
+    Pledge packets hash the query result, and every replica must
+    produce byte-identical encodings for equal results, or honest
+    slaves would be flagged as cheats.  Floats are encoded by their
+    IEEE bit pattern; documents by sorted field order. *)
+
+val of_value : Value.t -> string
+val of_document : Document.t -> string
+val of_query : Query.t -> string
+val of_result : Query_result.t -> string
+
+val result_digest : Query_result.t -> string
+(** SHA-1 of the canonical result encoding — the hash carried by
+    pledge packets (the paper mandates SHA-1, §3.2). *)
+
+val query_digest : Query.t -> string

@@ -1,0 +1,35 @@
+type op =
+  | Put of { key : string; doc : Document.t }
+  | Delete of { key : string }
+  | Set_field of { key : string; field : string; value : Value.t }
+  | Remove_field of { key : string; field : string }
+
+type entry = { version : int; op : op }
+
+type t = { mutable entries : entry list (* newest first *); mutable length : int }
+
+let create () = { entries = []; length = 0 }
+
+let last_version t = match t.entries with [] -> 0 | e :: _ -> e.version
+
+let append t entry =
+  if entry.version <= last_version t then
+    invalid_arg "Oplog.append: version must be strictly increasing";
+  t.entries <- entry :: t.entries;
+  t.length <- t.length + 1
+
+let length t = t.length
+
+let entries_after t v =
+  let rec take acc = function
+    | [] -> acc
+    | e :: rest -> if e.version > v then take (e :: acc) rest else acc
+  in
+  take [] t.entries
+
+let pp_op fmt = function
+  | Put { key; doc } -> Format.fprintf fmt "put %s %a" key Document.pp doc
+  | Delete { key } -> Format.fprintf fmt "delete %s" key
+  | Set_field { key; field; value } ->
+    Format.fprintf fmt "set %s.%s = %a" key field Value.pp value
+  | Remove_field { key; field } -> Format.fprintf fmt "unset %s.%s" key field

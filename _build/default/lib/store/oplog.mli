@@ -1,0 +1,28 @@
+(** Write operations and the append-only operation log.
+
+    Masters ship committed ops (with their version numbers) to slaves;
+    a recovering or lagging replica replays the suffix it is missing. *)
+
+type op =
+  | Put of { key : string; doc : Document.t }
+  | Delete of { key : string }
+  | Set_field of { key : string; field : string; value : Value.t }
+  | Remove_field of { key : string; field : string }
+
+type entry = { version : int; op : op }
+
+type t
+
+val create : unit -> t
+val append : t -> entry -> unit
+(** Versions must be strictly increasing; raises [Invalid_argument]
+    otherwise. *)
+
+val length : t -> int
+val last_version : t -> int
+(** 0 when empty. *)
+
+val entries_after : t -> int -> entry list
+(** All entries with [version > v], oldest first. *)
+
+val pp_op : Format.formatter -> op -> unit

@@ -1,0 +1,128 @@
+type selector =
+  | All
+  | Key of string
+  | Prefix of string
+  | Key_range of { lo : string; hi : string }
+
+type predicate =
+  | True
+  | Field_equals of string * Value.t
+  | Field_less of string * Value.t
+  | Field_greater of string * Value.t
+  | Field_matches of string * string
+  | Has_field of string
+  | Not of predicate
+  | And of predicate * predicate
+  | Or of predicate * predicate
+
+type aggregate =
+  | Count
+  | Sum of string
+  | Min of string
+  | Max of string
+  | Avg of string
+
+type t =
+  | Select of {
+      from : selector;
+      where : predicate;
+      project : string list option;
+      limit : int option;
+    }
+  | Grep of { from : selector; pattern : string }
+  | Aggregate of { from : selector; where : predicate; agg : aggregate }
+
+let point_read key = Select { from = Key key; where = True; project = None; limit = None }
+
+let grep ?under pattern =
+  let from = match under with None -> All | Some prefix -> Prefix prefix in
+  Grep { from; pattern }
+
+let equal (a : t) (b : t) = Stdlib.compare a b = 0
+
+let rec predicate_patterns = function
+  | True | Field_equals _ | Field_less _ | Field_greater _ | Has_field _ -> []
+  | Field_matches (_, pattern) -> [ pattern ]
+  | Not p -> predicate_patterns p
+  | And (p, q) | Or (p, q) -> predicate_patterns p @ predicate_patterns q
+
+let validate t =
+  let patterns =
+    match t with
+    | Select { where; limit; _ } -> begin
+      match limit with
+      | Some l when l < 0 -> Error "negative limit"
+      | _ -> Ok (predicate_patterns where)
+    end
+    | Grep { pattern; _ } -> Ok [ pattern ]
+    | Aggregate { where; _ } -> Ok (predicate_patterns where)
+  in
+  match patterns with
+  | Error _ as e -> e
+  | Ok patterns -> begin
+    match
+      List.find_map
+        (fun p ->
+          match Regex.compile p with
+          | (_ : Regex.t) -> None
+          | exception Regex.Parse_error msg -> Some (p, msg))
+        patterns
+    with
+    | None -> Ok ()
+    | Some (p, msg) -> Error (Printf.sprintf "bad pattern %S: %s" p msg)
+  end
+
+let is_point_read = function
+  | Select { from = Key _; _ } -> true
+  | Select _ | Grep _ | Aggregate _ -> false
+
+let selector_class = function
+  | Key _ -> `Point
+  | Prefix _ | Key_range _ -> `Scan
+  | All -> `Full_scan
+
+let cost_class = function
+  | Select { from; _ } -> selector_class from
+  | Grep { from; _ } -> begin
+    match selector_class from with `Point -> `Scan | c -> c
+  end
+  | Aggregate { from; _ } -> begin
+    match selector_class from with `Point -> `Scan | c -> c
+  end
+
+let pp_selector fmt = function
+  | All -> Format.pp_print_string fmt "*"
+  | Key k -> Format.fprintf fmt "key:%S" k
+  | Prefix p -> Format.fprintf fmt "prefix:%S" p
+  | Key_range { lo; hi } -> Format.fprintf fmt "range:[%S,%S]" lo hi
+
+let rec pp_predicate fmt = function
+  | True -> Format.pp_print_string fmt "true"
+  | Field_equals (f, v) -> Format.fprintf fmt "%s = %a" f Value.pp v
+  | Field_less (f, v) -> Format.fprintf fmt "%s < %a" f Value.pp v
+  | Field_greater (f, v) -> Format.fprintf fmt "%s > %a" f Value.pp v
+  | Field_matches (f, p) -> Format.fprintf fmt "%s ~ %S" f p
+  | Has_field f -> Format.fprintf fmt "has(%s)" f
+  | Not p -> Format.fprintf fmt "not(%a)" pp_predicate p
+  | And (p, q) -> Format.fprintf fmt "(%a && %a)" pp_predicate p pp_predicate q
+  | Or (p, q) -> Format.fprintf fmt "(%a || %a)" pp_predicate p pp_predicate q
+
+let pp_aggregate fmt = function
+  | Count -> Format.pp_print_string fmt "count"
+  | Sum f -> Format.fprintf fmt "sum(%s)" f
+  | Min f -> Format.fprintf fmt "min(%s)" f
+  | Max f -> Format.fprintf fmt "max(%s)" f
+  | Avg f -> Format.fprintf fmt "avg(%s)" f
+
+let pp fmt = function
+  | Select { from; where; project; limit } ->
+    Format.fprintf fmt "select %s from %a where %a%s"
+      (match project with None -> "*" | Some fs -> String.concat "," fs)
+      pp_selector from pp_predicate where
+      (match limit with None -> "" | Some l -> Printf.sprintf " limit %d" l)
+  | Grep { from; pattern } -> Format.fprintf fmt "grep %S %a" pattern pp_selector from
+  | Aggregate { from; where; agg } ->
+    Format.fprintf fmt "select %a from %a where %a" pp_aggregate agg pp_selector from
+      pp_predicate where
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,65 @@
+(** The read-query language over the replicated content.
+
+    The paper requires "arbitrary queries … not only read FileName but
+    also grep Expression Path" (§2).  This AST covers point reads,
+    range/prefix scans with predicates and projection, grep-style regex
+    search, and aggregation — the query classes whose cost asymmetry
+    drives the paper's design (cheap on a hot cache, expensive to
+    recompute). *)
+
+type selector =
+  | All
+  | Key of string
+  | Prefix of string
+  | Key_range of { lo : string; hi : string }  (** inclusive *)
+
+type predicate =
+  | True
+  | Field_equals of string * Value.t
+  | Field_less of string * Value.t  (** numeric comparison *)
+  | Field_greater of string * Value.t
+  | Field_matches of string * string  (** field, regex *)
+  | Has_field of string
+  | Not of predicate
+  | And of predicate * predicate
+  | Or of predicate * predicate
+
+type aggregate =
+  | Count
+  | Sum of string
+  | Min of string
+  | Max of string
+  | Avg of string
+
+type t =
+  | Select of {
+      from : selector;
+      where : predicate;
+      project : string list option;  (** [None] = all fields *)
+      limit : int option;
+    }
+  | Grep of { from : selector; pattern : string }
+      (** All (key, field, value) triples whose string value matches. *)
+  | Aggregate of { from : selector; where : predicate; agg : aggregate }
+
+val point_read : string -> t
+(** [Select] of exactly one key. *)
+
+val grep : ?under:string -> string -> t
+(** [grep pattern] over all keys, or under a key prefix. *)
+
+val equal : t -> t -> bool
+
+val validate : t -> (unit, string) result
+(** Checks regex patterns compile and limits are sane; servers call
+    this before executing client-supplied queries. *)
+
+val is_point_read : t -> bool
+
+val cost_class : t -> [ `Point | `Scan | `Full_scan ]
+(** How much of the store the query touches: a point lookup, a
+    contiguous fraction, or everything.  The simulator charges
+    execution time from this. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

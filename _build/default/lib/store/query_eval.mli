@@ -1,0 +1,21 @@
+(** Query execution against a {!Store}.
+
+    Every replica runs the same evaluator, so an honest slave, a
+    double-checking master and the auditor produce byte-identical
+    canonical results for the same (query, version) pair. *)
+
+type outcome = {
+  result : Query_result.t;
+  scanned : int;  (** documents visited; drives simulated compute cost *)
+}
+
+val execute : Store.t -> Query.t -> (outcome, string) result
+(** [Error] on invalid queries (bad regex, negative limit). *)
+
+val execute_exn : Store.t -> Query.t -> outcome
+
+val cost_seconds :
+  scanned:int -> cost_class:[ `Point | `Scan | `Full_scan ] -> per_doc:float -> float
+(** Simulated server compute time for a query: a fixed dispatch cost
+    plus [per_doc] for every document visited (full scans pay a small
+    extra constant for planning). *)

@@ -1,0 +1,36 @@
+type t =
+  | Rows of (string * Document.t) list
+  | Matches of (string * string * string) list
+  | Agg of Value.t
+
+let equal a b =
+  match (a, b) with
+  | Rows x, Rows y ->
+    List.equal (fun (k1, d1) (k2, d2) -> String.equal k1 k2 && Document.equal d1 d2) x y
+  | Matches x, Matches y ->
+    List.equal
+      (fun (k1, f1, v1) (k2, f2, v2) ->
+        String.equal k1 k2 && String.equal f1 f2 && String.equal v1 v2)
+      x y
+  | Agg x, Agg y -> Value.equal x y
+  | (Rows _ | Matches _ | Agg _), _ -> false
+
+let size = function
+  | Rows rows -> List.length rows
+  | Matches ms -> List.length ms
+  | Agg _ -> 1
+
+let pp fmt = function
+  | Rows rows ->
+    Format.fprintf fmt "rows(%d):%a" (List.length rows)
+      (Format.pp_print_list
+         ~pp_sep:(fun f () -> Format.pp_print_string f " ")
+         (fun f (k, d) -> Format.fprintf f "%s=%a" k Document.pp d))
+      rows
+  | Matches ms ->
+    Format.fprintf fmt "matches(%d):%a" (List.length ms)
+      (Format.pp_print_list
+         ~pp_sep:(fun f () -> Format.pp_print_string f " ")
+         (fun f (k, field, v) -> Format.fprintf f "%s.%s=%S" k field v))
+      ms
+  | Agg v -> Format.fprintf fmt "agg:%a" Value.pp v

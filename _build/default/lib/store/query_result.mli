@@ -1,0 +1,12 @@
+(** Results of executing a {!Query}. *)
+
+type t =
+  | Rows of (string * Document.t) list  (** key, (projected) document *)
+  | Matches of (string * string * string) list  (** key, field, text *)
+  | Agg of Value.t
+
+val equal : t -> t -> bool
+val size : t -> int
+(** Number of rows / matches; 1 for aggregates. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,28 @@
+(** A small regular-expression engine for grep-style content queries.
+
+    Built from scratch: patterns parse to an AST, compile to a Thompson
+    NFA, and matching simulates the NFA with a state set — linear in
+    the input, no backtracking blow-up, so a malicious client cannot
+    craft a pathological query.
+
+    Supported syntax: literal characters, [.] any, [*] [+] [?]
+    repetition, [[abc]] / [[a-z]] / [[^...]] classes, [|] alternation,
+    [( )] grouping, [\\] escapes, and [^] / [$] anchors at the pattern
+    ends. *)
+
+type t
+
+exception Parse_error of string
+
+val compile : string -> t
+(** Raises {!Parse_error} on malformed patterns. *)
+
+val matches : t -> string -> bool
+(** Substring search semantics (like grep), except where the pattern
+    is anchored. *)
+
+val matches_exact : t -> string -> bool
+(** Whole-string semantics, ignoring anchors. *)
+
+val source : t -> string
+(** The original pattern text. *)

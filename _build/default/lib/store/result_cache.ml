@@ -1,0 +1,58 @@
+(* LRU over (version, canonical query) keys.  Recency is tracked with a
+   generation counter per entry; eviction removes the oldest.  Capacity
+   is small enough that the O(n) eviction scan is irrelevant next to
+   query re-execution. *)
+
+type entry = { digest : string; mutable last_used : int }
+
+type t = {
+  capacity : int;
+  table : (int * string, entry) Hashtbl.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Result_cache.create: capacity must be positive";
+  { capacity; table = Hashtbl.create 256; tick = 0; hits = 0; misses = 0 }
+
+let key ~version q = (version, Canonical.of_query q)
+
+let find t ~version q =
+  t.tick <- t.tick + 1;
+  match Hashtbl.find_opt t.table (key ~version q) with
+  | Some entry ->
+    entry.last_used <- t.tick;
+    t.hits <- t.hits + 1;
+    Some entry.digest
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let evict_oldest t =
+  let oldest = ref None in
+  Hashtbl.iter
+    (fun k entry ->
+      match !oldest with
+      | Some (_, e) when e.last_used <= entry.last_used -> ()
+      | _ -> oldest := Some (k, entry))
+    t.table;
+  match !oldest with Some (k, _) -> Hashtbl.remove t.table k | None -> ()
+
+let store t ~version q ~digest =
+  t.tick <- t.tick + 1;
+  let k = key ~version q in
+  if not (Hashtbl.mem t.table k) then begin
+    if Hashtbl.length t.table >= t.capacity then evict_oldest t;
+    Hashtbl.add t.table k { digest; last_used = t.tick }
+  end
+
+let hits t = t.hits
+let misses t = t.misses
+
+let hit_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total
+
+let size t = Hashtbl.length t.table

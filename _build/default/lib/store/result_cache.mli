@@ -1,0 +1,24 @@
+(** Query-result cache keyed by (content version, query).
+
+    The paper notes the auditor can "employ query optimization
+    mechanisms (cache results in the simplest case)" because it knows
+    all the reads it must re-execute in advance (§3.4).  Within one
+    content version results are immutable, so caching is sound; the
+    cache is LRU-bounded. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity: 4096 entries. *)
+
+val find : t -> version:int -> Query.t -> string option
+(** Cached canonical result digest, if present. *)
+
+val store : t -> version:int -> Query.t -> digest:string -> unit
+
+val hits : t -> int
+val misses : t -> int
+val hit_rate : t -> float
+(** 0 when never queried. *)
+
+val size : t -> int

@@ -1,0 +1,7 @@
+module Key_map = Map.Make (String)
+
+type t = { docs : Document.t Key_map.t; version : int }
+
+let make docs version = { docs; version }
+let docs t = t.docs
+let version t = t.version

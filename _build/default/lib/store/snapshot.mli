@@ -1,0 +1,13 @@
+(** Opaque point-in-time captures of a {!Store}, used to roll a client
+    or a recovered slave back to a safe state (§3.5).
+
+    [make]/[docs] are the plumbing {!Store} uses to create and restore
+    captures; user code should treat values of this type as opaque. *)
+
+module Key_map : Map.S with type key = string
+
+type t
+
+val make : Document.t Key_map.t -> int -> t
+val docs : t -> Document.t Key_map.t
+val version : t -> int

@@ -1,0 +1,64 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+
+let type_name = function
+  | Null -> "null"
+  | Bool _ -> "bool"
+  | Int _ -> "int"
+  | Float _ -> "float"
+  | String _ -> "string"
+  | List _ -> "list"
+
+let tag_rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Float _ -> 3
+  | String _ -> 4
+  | List _ -> 5
+
+let rec compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | String x, String y -> String.compare x y
+  | List x, List y -> List.compare compare x y
+  | _ -> Int.compare (tag_rank a) (tag_rank b)
+
+let equal a b = compare a b = 0
+
+let as_int = function Int i -> Some i | _ -> None
+
+let as_float = function Float f -> Some f | Int i -> Some (float_of_int i) | _ -> None
+
+let as_string = function String s -> Some s | _ -> None
+
+let add_numeric a b =
+  match (a, b) with
+  | Int x, Int y -> Some (Int (x + y))
+  | (Int _ | Float _), (Int _ | Float _) -> begin
+    match (as_float a, as_float b) with
+    | Some x, Some y -> Some (Float (x +. y))
+    | _ -> None
+  end
+  | _ -> None
+
+let rec pp fmt = function
+  | Null -> Format.pp_print_string fmt "null"
+  | Bool b -> Format.pp_print_bool fmt b
+  | Int i -> Format.pp_print_int fmt i
+  | Float f -> Format.fprintf fmt "%.17g" f
+  | String s -> Format.fprintf fmt "%S" s
+  | List items ->
+    Format.fprintf fmt "[%a]"
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f "; ") pp)
+      items
+
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,30 @@
+(** Scalar and list values held in document fields. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order: by type tag first, then value; floats compare with
+    [Float.compare] so the order is total even with NaN. *)
+
+val type_name : t -> string
+
+val as_int : t -> int option
+val as_float : t -> float option
+(** [as_float] also widens [Int]. *)
+
+val as_string : t -> string option
+
+val add_numeric : t -> t -> t option
+(** Numeric addition with Int/Float widening; [None] when either side
+    is not numeric.  Used by Sum/Avg aggregation. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/workload/catalog.ml: List Printf Secrep_crypto Secrep_store

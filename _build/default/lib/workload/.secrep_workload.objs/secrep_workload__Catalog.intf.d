@@ -1,0 +1,1 @@
+lib/workload/catalog.mli: Secrep_crypto Secrep_store

@@ -1,0 +1,1 @@
+lib/workload/diurnal.ml: Float Secrep_crypto

@@ -1,0 +1,1 @@
+lib/workload/diurnal.mli: Secrep_crypto

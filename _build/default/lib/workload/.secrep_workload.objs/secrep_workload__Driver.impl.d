@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Diurnal List Mix Secrep_core Secrep_crypto Secrep_sim Secrep_store

@@ -1,0 +1,1 @@
+lib/workload/driver.mli: Diurnal Mix Secrep_core Secrep_crypto

@@ -1,0 +1,1 @@
+lib/workload/mix.ml: Array Secrep_crypto Secrep_store Zipf

@@ -1,0 +1,1 @@
+lib/workload/mix.mli: Secrep_crypto Secrep_store

@@ -1,0 +1,18 @@
+(** Synthetic content generators: the product-catalogue / reference-
+    database shapes the paper motivates (CDN product catalogues,
+    academic/medical/legal databases). *)
+
+val product_catalog :
+  Secrep_crypto.Prng.t -> n:int -> (string * Secrep_store.Document.t) list
+(** Keys "product:0000".."product:n-1" with name/category/price/stock/
+    description fields; categories and prices are drawn from small
+    realistic pools so range, grep and aggregation queries have
+    non-trivial answers. *)
+
+val reference_db :
+  Secrep_crypto.Prng.t -> n:int -> (string * Secrep_store.Document.t) list
+(** Keys "article:..." with title/journal/year/citations/abstract
+    fields — the academic-database scenario. *)
+
+val categories : string list
+val journals : string list

@@ -1,0 +1,29 @@
+module Prng = Secrep_crypto.Prng
+
+type t = { base_rate : float; peak_factor : float; period : float }
+
+let create ~base_rate ~peak_factor ~period =
+  if base_rate <= 0.0 then invalid_arg "Diurnal.create: base_rate must be positive";
+  if peak_factor < 1.0 then invalid_arg "Diurnal.create: peak_factor must be >= 1";
+  if period <= 0.0 then invalid_arg "Diurnal.create: period must be positive";
+  { base_rate; peak_factor; period }
+
+let rate_at t time =
+  (* Sinusoid from base (trough, at t = 0) to base*peak (crest, at
+     t = period/2). *)
+  let phase = 2.0 *. Float.pi *. time /. t.period in
+  let lift = (1.0 -. cos phase) /. 2.0 in
+  t.base_rate *. (1.0 +. ((t.peak_factor -. 1.0) *. lift))
+
+let max_rate t = t.base_rate *. t.peak_factor
+
+let next_arrival t g ~now =
+  (* Ogata thinning against the constant envelope [max_rate]. *)
+  let envelope = max_rate t in
+  let rec step time =
+    let time = time +. Prng.exponential g ~mean:(1.0 /. envelope) in
+    if Prng.float g <= rate_at t time /. envelope then time else step time
+  in
+  step now
+
+let mean_rate t = t.base_rate *. (1.0 +. ((t.peak_factor -. 1.0) /. 2.0))

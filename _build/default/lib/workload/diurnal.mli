@@ -1,0 +1,18 @@
+(** Diurnal request-rate shaping (§3.4: "read requests show daily peak
+    patterns (few requests at 3AM in the night)"), used by the
+    auditor-catch-up experiment. *)
+
+type t
+
+val create : base_rate:float -> peak_factor:float -> period:float -> t
+(** Rate oscillates between [base_rate] and [base_rate * peak_factor]
+    over [period] seconds (sinusoidal, trough at t=0). *)
+
+val rate_at : t -> float -> float
+(** Instantaneous arrival rate (requests/second). *)
+
+val next_arrival : t -> Secrep_crypto.Prng.t -> now:float -> float
+(** Sample the next arrival time after [now] from the inhomogeneous
+    Poisson process with this rate (thinning). *)
+
+val mean_rate : t -> float

@@ -1,0 +1,31 @@
+(** Random query/write generation over a loaded content set. *)
+
+type weights = {
+  point : float;
+  range : float;
+  grep : float;
+  aggregate : float;
+}
+(** Relative weights of the four query classes; need not sum to 1. *)
+
+val default_weights : weights
+(** Read-heavy CDN shape: 70% point reads, 15% ranges, 10% greps,
+    5% aggregates. *)
+
+type t
+
+val create :
+  rng:Secrep_crypto.Prng.t ->
+  keys:string array ->
+  ?weights:weights ->
+  ?zipf_s:float ->
+  unit ->
+  t
+(** [zipf_s] (default 0.9) skews key popularity for point reads. *)
+
+val next_query : t -> Secrep_store.Query.t
+val next_write : t -> Secrep_store.Oplog.op
+(** Field update on a popular key (price/stock bumps — the
+    slowly-changing-content shape the paper targets). *)
+
+val queries_generated : t -> int

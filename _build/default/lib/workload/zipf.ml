@@ -1,0 +1,32 @@
+type t = { cdf : float array }
+
+let create ~n ~s =
+  if n < 1 then invalid_arg "Zipf.create: n must be at least 1";
+  if s < 0.0 then invalid_arg "Zipf.create: s must be non-negative";
+  let weights = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** s)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cdf.(i) <- !acc)
+    weights;
+  cdf.(n - 1) <- 1.0;
+  { cdf }
+
+let n t = Array.length t.cdf
+
+let sample t g =
+  let u = Secrep_crypto.Prng.float g in
+  (* Binary search for the first index with cdf >= u. *)
+  let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let probability t i =
+  if i < 0 || i >= Array.length t.cdf then invalid_arg "Zipf.probability: out of range";
+  if i = 0 then t.cdf.(0) else t.cdf.(i) -. t.cdf.(i - 1)

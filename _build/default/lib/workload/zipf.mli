@@ -1,0 +1,16 @@
+(** Zipfian popularity sampling — CDN catalogues and reference
+    databases have heavily skewed read popularity, which is what makes
+    the auditor's result cache effective (E6). *)
+
+type t
+
+val create : n:int -> s:float -> t
+(** Ranks 1..n with P(k) proportional to 1/k^s.  Requires [n >= 1] and
+    [s >= 0] ([s = 0] is uniform). *)
+
+val sample : t -> Secrep_crypto.Prng.t -> int
+(** 0-based rank (0 = most popular). *)
+
+val n : t -> int
+val probability : t -> int -> float
+(** Probability of the 0-based rank. *)

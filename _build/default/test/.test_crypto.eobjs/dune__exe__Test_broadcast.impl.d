@@ -1,0 +1,1 @@
+test/test_broadcast.ml: Alcotest Election Hashtbl Int64 List Printf QCheck2 QCheck_alcotest Secrep_broadcast Secrep_crypto Secrep_sim Total_order

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Array Bignum Bytes Char Fun Hex Hmac Int Int64 Lazy List Merkle Mr_prime Option Printf Prng QCheck2 QCheck_alcotest Rsa Secrep_crypto Sha1 Sha256 Sig_scheme String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Event_queue Float Histogram Int Latency Link List Option Printf Process QCheck2 QCheck_alcotest Secrep_crypto Secrep_sim Sim Stats Timeseries Trace Work_queue

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Catalog Diurnal Driver Float Hashtbl List Mix Option Printf Secrep_core Secrep_crypto Secrep_sim Secrep_store Secrep_workload String Zipf

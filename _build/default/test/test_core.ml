@@ -1,0 +1,1098 @@
+(* Tests for the paper's core protocol: configuration, identities and
+   certificates, keep-alives, pledges, greedy-client detection,
+   security levels, and full end-to-end system scenarios — honest
+   runs, every attack mode, corrective action, master crashes, write
+   rate limiting and the freshness bound. *)
+
+open Secrep_core
+module Sim = Secrep_sim.Sim
+module Stats = Secrep_sim.Stats
+module Prng = Secrep_crypto.Prng
+module Sig_scheme = Secrep_crypto.Sig_scheme
+module Query = Secrep_store.Query
+module Query_result = Secrep_store.Query_result
+module Oplog = Secrep_store.Oplog
+module Document = Secrep_store.Document
+module Value = Secrep_store.Value
+module Canonical = Secrep_store.Canonical
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let string_t = Alcotest.string
+
+(* ---------------- Config ---------------- *)
+
+let test_config_default_valid () =
+  check bool_t "default validates" true (Config.validate Config.default = Ok ())
+
+let test_config_rejects () =
+  let bad f = Config.validate (f Config.default) <> Ok () in
+  check bool_t "keepalive >= max_latency" true
+    (bad (fun c -> { c with Config.keepalive_period = c.Config.max_latency }));
+  check bool_t "negative max_latency" true (bad (fun c -> { c with Config.max_latency = -1.0 }));
+  check bool_t "p > 1" true (bad (fun c -> { c with Config.double_check_probability = 1.5 }));
+  check bool_t "audit fraction" true (bad (fun c -> { c with Config.audit_fraction = -0.1 }));
+  check bool_t "greedy factor < 1" true (bad (fun c -> { c with Config.greedy_factor = 0.5 }))
+
+(* ---------------- Content key / certificate / directory ---------------- *)
+
+let test_content_identity () =
+  let g = Prng.create ~seed:1L in
+  let content = Content_key.create Sig_scheme.Hmac_sim g in
+  let public = Content_key.public content in
+  check bool_t "self-certifying id" true
+    (Content_key.verify_id ~content_id:(Content_key.content_id content) public);
+  let other = Content_key.create Sig_scheme.Hmac_sim g in
+  check bool_t "different key, different id" false
+    (Content_key.verify_id ~content_id:(Content_key.content_id content)
+       (Content_key.public other))
+
+let test_certificate_verify () =
+  let g = Prng.create ~seed:2L in
+  let content = Content_key.create Sig_scheme.Hmac_sim g in
+  let master_key = Sig_scheme.generate Sig_scheme.Hmac_sim g in
+  let cert =
+    Certificate.issue content ~master_id:3 ~address:"host:1234"
+      (Sig_scheme.public_of master_key)
+  in
+  check bool_t "valid" true (Certificate.verify ~content_public:(Content_key.public content) cert);
+  check bool_t "tampered address" false
+    (Certificate.verify ~content_public:(Content_key.public content)
+       { cert with Certificate.address = "evil:1234" });
+  let other = Content_key.create Sig_scheme.Hmac_sim g in
+  check bool_t "wrong content key" false
+    (Certificate.verify ~content_public:(Content_key.public other) cert)
+
+let test_directory () =
+  let g = Prng.create ~seed:3L in
+  let content = Content_key.create Sig_scheme.Hmac_sim g in
+  let dir = Directory.create () in
+  let cid = Content_key.content_id content in
+  check (Alcotest.list Alcotest.reject) "unknown id empty" [] (Directory.lookup dir ~content_id:cid);
+  let mk i =
+    let key = Sig_scheme.generate Sig_scheme.Hmac_sim g in
+    Certificate.issue content ~master_id:i
+      ~address:(Printf.sprintf "m%d:1" i)
+      (Sig_scheme.public_of key)
+  in
+  Directory.publish dir (mk 2);
+  Directory.publish dir (mk 0);
+  Directory.publish dir (mk 1);
+  let certs = Directory.lookup dir ~content_id:cid in
+  check (Alcotest.list int_t) "sorted by master id" [ 0; 1; 2 ]
+    (List.map (fun c -> c.Certificate.master_id) certs);
+  Directory.withdraw dir ~content_id:cid ~master_id:1;
+  check int_t "withdrawn" 2 (List.length (Directory.lookup dir ~content_id:cid));
+  check (Alcotest.list string_t) "content ids" [ cid ] (Directory.content_ids dir)
+
+(* ---------------- Keepalive ---------------- *)
+
+let test_keepalive () =
+  let g = Prng.create ~seed:4L in
+  let key = Sig_scheme.generate Sig_scheme.Hmac_sim g in
+  let ka =
+    Keepalive.make ~master_key:key ~content_id:"cid" ~master_id:0 ~version:7 ~now:100.0
+  in
+  check bool_t "verifies" true (Keepalive.verify ~master_public:(Sig_scheme.public_of key) ka);
+  check bool_t "tampered version" false
+    (Keepalive.verify ~master_public:(Sig_scheme.public_of key)
+       { ka with Keepalive.version = 8 });
+  check bool_t "fresh" true (Keepalive.is_fresh ka ~now:103.0 ~max_latency:5.0);
+  check bool_t "stale" false (Keepalive.is_fresh ka ~now:106.0 ~max_latency:5.0);
+  check bool_t "age" true (Float.abs (Keepalive.age ka ~now:103.0 -. 3.0) < 1e-9)
+
+(* ---------------- Pledge ---------------- *)
+
+let pledge_fixture () =
+  let g = Prng.create ~seed:5L in
+  let master_key = Sig_scheme.generate Sig_scheme.Hmac_sim g in
+  let slave_key = Sig_scheme.generate Sig_scheme.Hmac_sim g in
+  let keepalive =
+    Keepalive.make ~master_key ~content_id:"cid" ~master_id:0 ~version:3 ~now:10.0
+  in
+  let query = Query.point_read "k" in
+  let result = Query_result.Agg (Value.Int 42) in
+  let pledge =
+    Pledge.make ~slave_key ~slave_id:9 ~query
+      ~result_digest:(Canonical.result_digest result)
+      ~keepalive
+  in
+  (master_key, slave_key, keepalive, query, result, pledge)
+
+let test_pledge_ok () =
+  let master_key, slave_key, _, _, result, pledge = pledge_fixture () in
+  check bool_t "full verification passes" true
+    (Pledge.verify
+       ~slave_public:(Sig_scheme.public_of slave_key)
+       ~master_public:(Sig_scheme.public_of master_key)
+       ~result ~now:12.0 ~max_latency:5.0 pledge
+    = Ok ());
+  check int_t "version" 3 (Pledge.version pledge)
+
+let test_pledge_failure_branches () =
+  let master_key, slave_key, keepalive, query, result, pledge = pledge_fixture () in
+  let sp = Sig_scheme.public_of slave_key and mp = Sig_scheme.public_of master_key in
+  let is_err = function Error _ -> true | Ok () -> false in
+  check bool_t "wrong result" true
+    (is_err
+       (Pledge.verify ~slave_public:sp ~master_public:mp
+          ~result:(Query_result.Agg (Value.Int 43)) ~now:12.0 ~max_latency:5.0 pledge));
+  check bool_t "forged slave signature" true
+    (is_err
+       (Pledge.verify ~slave_public:sp ~master_public:mp ~result ~now:12.0 ~max_latency:5.0
+          { pledge with Pledge.signature = "forged" }));
+  check bool_t "keep-alive not from master" true
+    (is_err
+       (Pledge.verify ~slave_public:sp ~master_public:sp ~result ~now:12.0 ~max_latency:5.0
+          pledge));
+  (match
+     Pledge.verify ~slave_public:sp ~master_public:mp ~result ~now:100.0 ~max_latency:5.0
+       pledge
+   with
+  | Error reason -> check bool_t "stale reason" true (String.sub reason 0 5 = "stale")
+  | Ok () -> Alcotest.fail "expected stale rejection");
+  (* A client cannot frame the slave: altering the pledged digest
+     invalidates the slave's signature. *)
+  let framed = { pledge with Pledge.result_digest = String.make 20 'x' } in
+  check bool_t "framing detected" false (Pledge.verify_signature ~slave_public:sp framed);
+  ignore (keepalive, query)
+
+(* ---------------- Wire ---------------- *)
+
+let test_wire_keepalive_roundtrip () =
+  let g = Prng.create ~seed:15L in
+  let key = Sig_scheme.generate Sig_scheme.Hmac_sim g in
+  let ka = Keepalive.make ~master_key:key ~content_id:"cid" ~master_id:3 ~version:17 ~now:42.5 in
+  (match Wire.decode_keepalive (Wire.encode_keepalive ka) with
+  | Ok ka' ->
+    check bool_t "roundtrip equal" true (ka = ka');
+    check bool_t "still verifies" true
+      (Keepalive.verify ~master_public:(Sig_scheme.public_of key) ka')
+  | Error msg -> Alcotest.fail msg);
+  check bool_t "size positive" true (Wire.keepalive_size ka > 0)
+
+let test_wire_pledge_roundtrip () =
+  let _, slave_key, _, _, _, pledge = pledge_fixture () in
+  (match Wire.decode_pledge (Wire.encode_pledge pledge) with
+  | Ok pledge' ->
+    check bool_t "roundtrip equal" true (pledge = pledge');
+    check bool_t "signature still verifies" true
+      (Pledge.verify_signature ~slave_public:(Sig_scheme.public_of slave_key) pledge')
+  | Error msg -> Alcotest.fail msg);
+  check bool_t "pledge size sane" true (Wire.pledge_size pledge > 40)
+
+let test_wire_certificate_roundtrip () =
+  let g = Prng.create ~seed:16L in
+  let content = Content_key.create Sig_scheme.Hmac_sim g in
+  let master_key = Sig_scheme.generate Sig_scheme.Hmac_sim g in
+  let cert =
+    Certificate.issue content ~master_id:1 ~address:"h:1" (Sig_scheme.public_of master_key)
+  in
+  match Wire.decode_certificate (Wire.encode_certificate cert) with
+  | Ok cert' ->
+    check bool_t "still verifies after the wire" true
+      (Certificate.verify ~content_public:(Content_key.public content) cert')
+  | Error msg -> Alcotest.fail msg
+
+let test_wire_rsa_public_roundtrip () =
+  let g = Prng.create ~seed:17L in
+  let kp = Sig_scheme.generate (Sig_scheme.Rsa { bits = 320 }) g in
+  let public = Sig_scheme.public_of kp in
+  let s = Sig_scheme.sign kp "msg" in
+  match Sig_scheme.decode_public (Sig_scheme.encode_public public) with
+  | Ok public' ->
+    check bool_t "decoded key verifies" true
+      (Sig_scheme.verify public' ~msg:"msg" ~signature:s)
+  | Error msg -> Alcotest.fail msg
+
+let test_wire_garbage_rejected () =
+  let garbage = [ ""; "\x00"; "zzzz"; String.make 100 '\xff' ] in
+  List.iter
+    (fun s ->
+      check bool_t "keepalive garbage" true
+        (match Wire.decode_keepalive s with Error _ -> true | Ok _ -> false);
+      check bool_t "pledge garbage" true
+        (match Wire.decode_pledge s with Error _ -> true | Ok _ -> false);
+      check bool_t "certificate garbage" true
+        (match Wire.decode_certificate s with Error _ -> true | Ok _ -> false);
+      check bool_t "public-key garbage" true
+        (match Sig_scheme.decode_public s with Error _ -> true | Ok _ -> false))
+    garbage
+
+(* ---------------- Greedy detection ---------------- *)
+
+let test_greedy_flags_heavy_client () =
+  let g = Prng.create ~seed:6L in
+  let greedy = Greedy.create ~window:60.0 ~factor:4.0 ~min_samples:10 ~rng:g in
+  (* 5 normal clients, 1 greedy one. *)
+  for i = 0 to 99 do
+    let now = float_of_int i in
+    Greedy.record greedy ~client:1000 ~now;
+    if i mod 10 = 0 then
+      for c = 1 to 5 do
+        Greedy.record greedy ~client:c ~now
+      done
+  done;
+  check bool_t "greedy flagged" true (Greedy.is_suspected greedy ~client:1000 ~now:99.0);
+  check bool_t "normal not flagged" false (Greedy.is_suspected greedy ~client:1 ~now:99.0);
+  check (Alcotest.list int_t) "suspect list" [ 1000 ] (Greedy.suspected_clients greedy ~now:99.0)
+
+let test_greedy_throttles () =
+  let g = Prng.create ~seed:7L in
+  let greedy = Greedy.create ~window:1000.0 ~factor:4.0 ~min_samples:5 ~rng:g in
+  (* background clients *)
+  for i = 0 to 9 do
+    Greedy.record greedy ~client:(i mod 3) ~now:(float_of_int i)
+  done;
+  (* hammering client: count how many get served *)
+  let served = ref 0 in
+  for i = 0 to 199 do
+    if Greedy.should_serve greedy ~client:99 ~now:(10.0 +. float_of_int i) then incr served
+  done;
+  check bool_t "mostly throttled" true (!served < 120);
+  check bool_t "not fully starved" true (!served > 10)
+
+let test_greedy_window_expiry () =
+  let g = Prng.create ~seed:8L in
+  let greedy = Greedy.create ~window:10.0 ~factor:2.0 ~min_samples:3 ~rng:g in
+  for i = 0 to 19 do
+    Greedy.record greedy ~client:7 ~now:(float_of_int i)
+  done;
+  Greedy.record greedy ~client:8 ~now:19.0;
+  check bool_t "active inside window" true (Greedy.is_suspected greedy ~client:7 ~now:19.0);
+  check bool_t "forgotten after window" false (Greedy.is_suspected greedy ~client:7 ~now:100.0)
+
+(* ---------------- Security levels ---------------- *)
+
+let test_security_levels () =
+  let p t = Security_level.double_check_probability ~base:0.05 t in
+  check bool_t "normal is base" true (Float.abs (p Security_level.Normal -. 0.05) < 1e-12);
+  check bool_t "sensitive is 1" true (p Security_level.Sensitive = 1.0);
+  check bool_t "level 0 is base" true (Float.abs (p (Security_level.Leveled 0) -. 0.05) < 1e-9);
+  check bool_t "top level is 1" true
+    (Float.abs (p (Security_level.Leveled (Security_level.levels - 1)) -. 1.0) < 1e-9);
+  check bool_t "monotonic" true
+    (p (Security_level.Leveled 0) < p (Security_level.Leveled 1)
+    && p (Security_level.Leveled 1) < p (Security_level.Leveled 2));
+  check bool_t "sensitive on master" true
+    (Security_level.executes_on_master ~base:0.05 Security_level.Sensitive);
+  check bool_t "normal not on master" false
+    (Security_level.executes_on_master ~base:0.05 Security_level.Normal);
+  check bool_t "out of range" true
+    (try ignore (p (Security_level.Leveled 99)); false with Invalid_argument _ -> true)
+
+(* ---------------- Fault ---------------- *)
+
+let test_fault_behavior () =
+  let g = Prng.create ~seed:9L in
+  check bool_t "honest never lies" true (Fault.lies Fault.Honest ~now:5.0 g = None);
+  let always =
+    Fault.Malicious { probability = 1.0; mode = Fault.Corrupt_result; from_time = 10.0 }
+  in
+  check bool_t "before from_time" true (Fault.lies always ~now:5.0 g = None);
+  check bool_t "after from_time" true (Fault.lies always ~now:15.0 g = Some Fault.Corrupt_result);
+  let never = Fault.Malicious { probability = 0.0; mode = Fault.Omit_result; from_time = 0.0 } in
+  check bool_t "p=0 never" true (Fault.lies never ~now:5.0 g = None)
+
+(* ---------------- Corrective log ---------------- *)
+
+let test_corrective_log () =
+  let log = Corrective.create () in
+  Corrective.record log
+    { Corrective.time = 5.0; slave_id = 2; discovery = Corrective.Immediate; clients_reassigned = 3 };
+  Corrective.record log
+    { Corrective.time = 9.0; slave_id = 4; discovery = Corrective.Delayed; clients_reassigned = 1 };
+  check (Alcotest.list int_t) "excluded" [ 2; 4 ] (Corrective.excluded log);
+  check bool_t "is_excluded" true (Corrective.is_excluded log ~slave_id:2);
+  check bool_t "not excluded" false (Corrective.is_excluded log ~slave_id:3);
+  check int_t "immediate count" 1 (Corrective.count log ~discovery:Corrective.Immediate);
+  (match Corrective.first_detection log ~slave_id:4 with
+  | Some e -> check bool_t "detection time" true (e.Corrective.time = 9.0)
+  | None -> Alcotest.fail "expected event");
+  check int_t "chronological" 2 (List.length (Corrective.events log))
+
+(* ================= End-to-end system scenarios ================= *)
+
+let fast_config =
+  {
+    Config.default with
+    Config.max_latency = 2.0;
+    keepalive_period = 0.5;
+    double_check_probability = 0.05;
+    audit_lag_slack = 0.5;
+  }
+
+let catalog =
+  List.init 20 (fun i ->
+      ( Printf.sprintf "item:%03d" i,
+        Document.of_fields
+          [
+            ("name", Value.String (Printf.sprintf "item number %d" i));
+            ("price", Value.Float (float_of_int (i * 10)));
+            ("stock", Value.Int i);
+          ] ))
+
+let make_system ?(config = fast_config) ?(n_masters = 2) ?(slaves_per_master = 2)
+    ?(n_clients = 4) ?(seed = 11L) () =
+  let system =
+    System.create ~n_masters ~slaves_per_master ~n_clients ~config ~net:System.lan_net ~seed ()
+  in
+  System.load_content system catalog;
+  system
+
+(* Issue [n] reads from rotating clients, return collected reports. *)
+let issue_reads ?level ?mode system ~n ~spacing =
+  let reports = ref [] in
+  let sim = System.sim system in
+  for i = 0 to n - 1 do
+    ignore
+      (Sim.schedule sim ~delay:(spacing *. float_of_int i) (fun () ->
+           System.read system
+             ~client:(i mod System.n_clients system)
+             ?level ?mode
+             (Query.point_read (Printf.sprintf "item:%03d" (i mod 20)))
+             ~on_done:(fun r -> reports := r :: !reports)))
+  done;
+  reports
+
+let test_e2e_honest_run () =
+  let system = make_system () in
+  let reports = issue_reads system ~n:40 ~spacing:0.2 in
+  System.run_for system 60.0;
+  check int_t "all reads completed" 40 (List.length !reports);
+  List.iter
+    (fun r ->
+      match r.Client.outcome with
+      | `Accepted _ -> ()
+      | `Served_by_master _ | `Gave_up -> Alcotest.fail "expected slave-served accept")
+    !reports;
+  check int_t "no wrong accepts" 0 (Stats.get (System.stats system) "system.accepted_wrong");
+  check bool_t "correct accepts recorded" true
+    (Stats.get (System.stats system) "system.accepted_correct" = 40);
+  check int_t "nothing caught" 0 (Auditor.caught (System.auditor system));
+  check int_t "no exclusions" 0 (List.length (Corrective.excluded (System.corrective system)))
+
+let test_e2e_audit_catches_liar () =
+  (* Double-checking off: only the background audit can catch the liar. *)
+  let config = { fast_config with Config.double_check_probability = 0.0 } in
+  let system = make_system ~config () in
+  let victim = System.slave_of_client system 0 in
+  System.set_slave_behavior system ~slave:victim
+    (Fault.Malicious { probability = 1.0; mode = Fault.Corrupt_result; from_time = 0.0 });
+  let reports = issue_reads system ~n:30 ~spacing:0.2 in
+  System.run_for system 120.0;
+  check int_t "reads completed" 30 (List.length !reports);
+  check bool_t "auditor caught the slave" true (Auditor.caught (System.auditor system) >= 1);
+  check bool_t "slave excluded" true
+    (Corrective.is_excluded (System.corrective system) ~slave_id:victim);
+  (match Corrective.first_detection (System.corrective system) ~slave_id:victim with
+  | Some e -> check bool_t "delayed discovery" true (e.Corrective.discovery = Corrective.Delayed)
+  | None -> Alcotest.fail "expected corrective event");
+  (* The wrong answers that got through before detection are labelled. *)
+  check bool_t "some wrong accepts recorded" true
+    (Stats.get (System.stats system) "system.accepted_wrong" >= 1);
+  check bool_t "slave stopped serving" true (Slave.is_excluded (System.slave system victim))
+
+let test_e2e_double_check_catches_liar () =
+  (* p = 1: the first lying read is caught immediately. *)
+  let config = { fast_config with Config.double_check_probability = 1.0 } in
+  let system = make_system ~config () in
+  let victim = System.slave_of_client system 0 in
+  System.set_slave_behavior system ~slave:victim
+    (Fault.Malicious { probability = 1.0; mode = Fault.Corrupt_result; from_time = 0.0 });
+  let report = ref None in
+  System.read system ~client:0 (Query.point_read "item:001") ~on_done:(fun r ->
+      report := Some r);
+  System.run_for system 60.0;
+  (match !report with
+  | Some r -> begin
+    check bool_t "read eventually accepted (from a new slave)" true
+      (match r.Client.outcome with `Accepted _ -> true | _ -> false);
+    check bool_t "the liar was caught on this read" true (r.Client.caught_slave = Some victim);
+    check bool_t "retried" true (r.Client.retries >= 1)
+  end
+  | None -> Alcotest.fail "read never completed");
+  check bool_t "immediate discovery recorded" true
+    (match Corrective.first_detection (System.corrective system) ~slave_id:victim with
+    | Some e -> e.Corrective.discovery = Corrective.Immediate
+    | None -> false);
+  check int_t "no wrong accepts with p=1" 0
+    (Stats.get (System.stats system) "system.accepted_wrong")
+
+let test_e2e_bad_signature_rejected_client_side () =
+  let system = make_system () in
+  let victim = System.slave_of_client system 0 in
+  System.set_slave_behavior system ~slave:victim
+    (Fault.Malicious { probability = 1.0; mode = Fault.Bad_signature; from_time = 0.0 });
+  let report = ref None in
+  System.read system ~client:0 (Query.point_read "item:002") ~on_done:(fun r ->
+      report := Some r);
+  System.run_for system 60.0;
+  (match !report with
+  | Some r ->
+    check bool_t "accepted after moving away" true
+      (match r.Client.outcome with `Accepted _ -> true | _ -> false)
+  | None -> Alcotest.fail "read never completed");
+  check bool_t "client-side rejections counted" true
+    (Stats.get (System.stats system) "client.pledge_rejected" >= 1);
+  check int_t "never accepted a wrong answer" 0
+    (Stats.get (System.stats system) "system.accepted_wrong")
+
+let test_e2e_omit_attack_times_out () =
+  let system = make_system () in
+  let victim = System.slave_of_client system 0 in
+  System.set_slave_behavior system ~slave:victim
+    (Fault.Malicious { probability = 1.0; mode = Fault.Omit_result; from_time = 0.0 });
+  let report = ref None in
+  System.read system ~client:0 (Query.point_read "item:003") ~on_done:(fun r ->
+      report := Some r);
+  System.run_for system 120.0;
+  (match !report with
+  | Some r ->
+    check bool_t "eventually served elsewhere" true
+      (match r.Client.outcome with `Accepted _ -> true | _ -> false)
+  | None -> Alcotest.fail "read never completed");
+  check bool_t "timeouts counted" true
+    (Stats.get (System.stats system) "client.read_timeouts" >= 1)
+
+let test_e2e_stale_state_attack_caught () =
+  let config = { fast_config with Config.double_check_probability = 0.0 } in
+  let system = make_system ~config () in
+  let victim = System.slave_of_client system 0 in
+  System.set_slave_behavior system ~slave:victim
+    (Fault.Malicious { probability = 1.0; mode = Fault.Stale_state; from_time = 0.0 });
+  (* A write changes the truth; the stale slave keeps answering from the
+     old state. *)
+  System.write system ~client:1
+    (Oplog.Set_field { key = "item:001"; field = "price"; value = Value.Float 999.0 })
+    ~on_done:(fun _ -> ());
+  System.run_for system 10.0;
+  (* Client 0 (connected to the frozen slave) reads the changed key. *)
+  let reports = ref [] in
+  for i = 0 to 9 do
+    ignore
+      (Sim.schedule (System.sim system) ~delay:(0.3 *. float_of_int i) (fun () ->
+           System.read system ~client:0 (Query.point_read "item:001") ~on_done:(fun r ->
+               reports := r :: !reports)))
+  done;
+  System.run_for system 120.0;
+  check int_t "reads completed" 10 (List.length !reports);
+  check bool_t "audit catches the frozen replica" true
+    (Corrective.is_excluded (System.corrective system) ~slave_id:victim)
+
+let test_e2e_sensitive_reads_bypass_slaves () =
+  let system = make_system () in
+  let victim = System.slave_of_client system 0 in
+  System.set_slave_behavior system ~slave:victim
+    (Fault.Malicious { probability = 1.0; mode = Fault.Corrupt_result; from_time = 0.0 });
+  let reports = ref [] in
+  for i = 0 to 4 do
+    ignore
+      (Sim.schedule (System.sim system) ~delay:(0.5 *. float_of_int i) (fun () ->
+           System.read system ~client:0 ~level:Security_level.Sensitive
+             (Query.point_read (Printf.sprintf "item:%03d" i))
+             ~on_done:(fun r -> reports := r :: !reports)))
+  done;
+  System.run_for system 30.0;
+  check int_t "all completed" 5 (List.length !reports);
+  List.iter
+    (fun r ->
+      check bool_t "served by master" true
+        (match r.Client.outcome with `Served_by_master _ -> true | _ -> false))
+    !reports;
+  check int_t "sensitive reads counted" 5
+    (Stats.get (System.stats system) "master.sensitive_reads");
+  check int_t "no wrong accepts" 0 (Stats.get (System.stats system) "system.accepted_wrong")
+
+let test_e2e_quorum_read_detects_mismatch () =
+  let config = { fast_config with Config.double_check_probability = 0.0 } in
+  let system = make_system ~config ~slaves_per_master:3 () in
+  let victim = System.slave_of_client system 0 in
+  System.set_slave_behavior system ~slave:victim
+    (Fault.Malicious { probability = 1.0; mode = Fault.Corrupt_result; from_time = 0.0 });
+  let report = ref None in
+  System.read system ~client:0 ~mode:(Client.Quorum 2) (Query.point_read "item:004")
+    ~on_done:(fun r -> report := Some r);
+  System.run_for system 60.0;
+  (match !report with
+  | Some r ->
+    check bool_t "accepted" true (match r.Client.outcome with `Accepted _ -> true | _ -> false)
+  | None -> Alcotest.fail "read never completed");
+  check bool_t "mismatch observed" true
+    (Stats.get (System.stats system) "client.quorum_mismatches" >= 1);
+  check bool_t "liar excluded via automatic double-check" true
+    (Corrective.is_excluded (System.corrective system) ~slave_id:victim);
+  check int_t "no wrong accepts" 0 (Stats.get (System.stats system) "system.accepted_wrong")
+
+let test_e2e_quorum_read_honest () =
+  let system = make_system ~slaves_per_master:3 () in
+  let report = ref None in
+  System.read system ~client:0 ~mode:(Client.Quorum 3) (Query.point_read "item:005")
+    ~on_done:(fun r -> report := Some r);
+  System.run_for system 30.0;
+  (match !report with
+  | Some r ->
+    check bool_t "accepted" true (match r.Client.outcome with `Accepted _ -> true | _ -> false)
+  | None -> Alcotest.fail "read never completed");
+  check int_t "no mismatch" 0 (Stats.get (System.stats system) "client.quorum_mismatches")
+
+let test_e2e_write_rate_limited () =
+  let system = make_system () in
+  (* Fire 5 writes in quick succession; the §3.1 rule forces commits at
+     least max_latency apart. *)
+  let commit_versions = ref [] in
+  for i = 0 to 4 do
+    ignore
+      (Sim.schedule (System.sim system) ~delay:(0.01 *. float_of_int i) (fun () ->
+           System.write system ~client:0
+             (Oplog.Set_field
+                { key = "item:000"; field = "stock"; value = Value.Int (100 + i) })
+             ~on_done:(fun ack ->
+               match ack with
+               | Master.Committed { version } ->
+                 commit_versions := (Sim.now (System.sim system), version) :: !commit_versions
+               | Master.Denied _ -> ())))
+  done;
+  System.run_for system 60.0;
+  check int_t "all committed" 5 (List.length !commit_versions);
+  let times = List.sort Float.compare (List.map fst !commit_versions) in
+  let rec gaps = function a :: (b :: _ as rest) -> (b -. a) :: gaps rest | _ -> [] in
+  List.iter
+    (fun gap ->
+      check bool_t
+        (Printf.sprintf "commit gap %.3f >= max_latency" gap)
+        true
+        (gap >= fast_config.Config.max_latency -. 0.2))
+    (gaps times)
+  (* commit acks include network latency back to the client, so allow
+     a little slack below the exact bound *)
+
+let test_e2e_write_acl () =
+  let system = make_system () in
+  Master.set_acl (System.master system (System.master_of_client system 0))
+    ~allowed_writers:(Some [ 1 ]);
+  let ack = ref None in
+  System.write system ~client:0
+    (Oplog.Set_field { key = "item:000"; field = "stock"; value = Value.Int 1 })
+    ~on_done:(fun a -> ack := Some a);
+  System.run_for system 10.0;
+  (match !ack with
+  | Some (Master.Denied _) -> ()
+  | Some (Master.Committed _) -> Alcotest.fail "ACL should have denied"
+  | None -> Alcotest.fail "no ack")
+
+let test_e2e_master_crash_failover () =
+  let system = make_system ~n_masters:2 () in
+  let dead = System.master_of_client system 0 in
+  System.crash_master system dead;
+  System.run_for system 30.0;
+  check bool_t "client re-homed" true (System.master_of_client system 0 <> dead);
+  (* Reads and writes still work through the surviving master. *)
+  let report = ref None and ack = ref None in
+  System.read system ~client:0 (Query.point_read "item:006") ~on_done:(fun r ->
+      report := Some r);
+  System.write system ~client:0
+    (Oplog.Set_field { key = "item:006"; field = "stock"; value = Value.Int 77 })
+    ~on_done:(fun a -> ack := Some a);
+  System.run_for system 120.0;
+  check bool_t "read survives failover" true
+    (match !report with Some { Client.outcome = `Accepted _; _ } -> true | _ -> false);
+  check bool_t "write survives failover" true
+    (match !ack with Some (Master.Committed _) -> true | _ -> false)
+
+let test_e2e_freshness_bound_holds () =
+  (* E4's invariant, in miniature: every accepted read reflects a
+     version whose keep-alive was at most max_latency old; with the
+     oracle we check accepted results are never older than the commit
+     preceding the read by more than max_latency + epsilon. *)
+  let system = make_system () in
+  let ok = ref true in
+  let n = ref 0 in
+  let sim = System.sim system in
+  (* Interleave writes and reads. *)
+  for i = 0 to 9 do
+    ignore
+      (Sim.schedule sim ~delay:(4.0 *. float_of_int i) (fun () ->
+           System.write system ~client:1
+             (Oplog.Set_field
+                { key = "item:007"; field = "stock"; value = Value.Int (1000 + i) })
+             ~on_done:(fun _ -> ())))
+  done;
+  for i = 0 to 39 do
+    ignore
+      (Sim.schedule sim ~delay:(1.0 *. float_of_int i) (fun () ->
+           System.read system ~client:(i mod 4) (Query.point_read "item:007")
+             ~on_done:(fun r ->
+               incr n;
+               match r.Client.outcome with
+               | `Accepted result -> begin
+                 let digest = Canonical.result_digest result in
+                 match
+                   System.check_result system ~version:r.Client.version r.Client.query ~digest
+                 with
+                 | Some true -> ()
+                 | Some false -> ok := false
+                 | None -> ()
+               end
+               | `Served_by_master _ | `Gave_up -> ())))
+  done;
+  System.run_for system 120.0;
+  check int_t "reads done" 40 !n;
+  check bool_t "every accepted read matches the oracle at its version" true !ok;
+  check int_t "no wrong accepts" 0 (Stats.get (System.stats system) "system.accepted_wrong")
+
+let test_e2e_audit_cache_effective () =
+  (* Repeated identical queries within one version should mostly hit
+     the auditor's result cache. *)
+  let config = { fast_config with Config.double_check_probability = 0.0 } in
+  let system = make_system ~config () in
+  let reports = ref [] in
+  for i = 0 to 19 do
+    ignore
+      (Sim.schedule (System.sim system) ~delay:(0.2 *. float_of_int i) (fun () ->
+           System.read system ~client:(i mod 4) (Query.point_read "item:010")
+             ~on_done:(fun r -> reports := r :: !reports)))
+  done;
+  System.run_for system 60.0;
+  check int_t "reads done" 20 (List.length !reports);
+  let cache = Auditor.cache (System.auditor system) in
+  check bool_t "cache hits dominate" true
+    (Secrep_store.Result_cache.hits cache >= 15);
+  check int_t "auditor audited all" 20 (Auditor.audited (System.auditor system))
+
+let test_e2e_audit_fraction_samples () =
+  let config =
+    { fast_config with Config.double_check_probability = 0.0; audit_fraction = 0.3 }
+  in
+  let system = make_system ~config ~seed:21L () in
+  let reports = issue_reads system ~n:40 ~spacing:0.2 in
+  System.run_for system 60.0;
+  check int_t "reads done" 40 (List.length !reports);
+  let audited = Auditor.audited (System.auditor system) in
+  let sampled_out = Stats.get (System.stats system) "auditor.sampled_out" in
+  check int_t "every pledge either audited or sampled out" 40 (audited + sampled_out);
+  check bool_t "sampling happened" true (sampled_out > 10 && audited > 2)
+
+let test_e2e_two_simultaneous_attackers () =
+  let config = { fast_config with Config.double_check_probability = 0.1 } in
+  let system = make_system ~config ~slaves_per_master:3 ~n_clients:6 () in
+  let v1 = System.slave_of_client system 0 in
+  let v2 =
+    (* a second victim distinct from the first *)
+    let rec pick c = if System.slave_of_client system c <> v1 then System.slave_of_client system c else pick (c + 1) in
+    pick 1
+  in
+  List.iter
+    (fun v ->
+      System.set_slave_behavior system ~slave:v
+        (Fault.Malicious { probability = 1.0; mode = Fault.Corrupt_result; from_time = 0.0 }))
+    [ v1; v2 ];
+  let reports = issue_reads system ~n:80 ~spacing:0.2 in
+  System.run_for system 240.0;
+  check int_t "reads completed" 80 (List.length !reports);
+  check bool_t "both attackers excluded" true
+    (Corrective.is_excluded (System.corrective system) ~slave_id:v1
+    && Corrective.is_excluded (System.corrective system) ~slave_id:v2);
+  (* Honest slaves were never excluded. *)
+  check int_t "exactly two exclusions" 2
+    (List.length (Corrective.excluded (System.corrective system)))
+
+let test_e2e_all_slaves_excluded_gives_up () =
+  (* One master, one slave; once it is excluded there is nowhere to go
+     and reads must fail cleanly rather than hang. *)
+  let config = { fast_config with Config.double_check_probability = 1.0 } in
+  let system =
+    System.create ~n_masters:1 ~slaves_per_master:1 ~n_clients:1 ~config
+      ~net:System.lan_net ~seed:31L ()
+  in
+  System.load_content system catalog;
+  System.set_slave_behavior system ~slave:0
+    (Fault.Malicious { probability = 1.0; mode = Fault.Corrupt_result; from_time = 0.0 });
+  let outcome = ref None in
+  System.read system ~client:0 (Query.point_read "item:001") ~on_done:(fun r ->
+      outcome := Some r.Client.outcome);
+  System.run_for system 240.0;
+  check bool_t "read completed (did not hang)" true (!outcome <> None);
+  check bool_t "slave excluded" true
+    (Corrective.is_excluded (System.corrective system) ~slave_id:0);
+  (match !outcome with
+  | Some `Gave_up -> ()
+  | Some (`Accepted _ | `Served_by_master _) -> Alcotest.fail "nothing could have served this"
+  | None -> ())
+
+let test_e2e_greedy_client_throttled () =
+  (* Client 0 double-checks everything (p=1 via a tight greedy config);
+     the other clients behave.  The master must start ignoring some of
+     client 0's double-checks. *)
+  let config =
+    {
+      fast_config with
+      Config.double_check_probability = 1.0;
+      greedy_window = 120.0;
+      greedy_factor = 3.0;
+      greedy_min_samples = 8;
+    }
+  in
+  let system = make_system ~config ~n_clients:6 () in
+  (* All clients share master 0's view of greediness only if they share
+     the master; force all reads through client 0 plus light traffic
+     from the siblings on the same master. *)
+  let m0 = System.master_of_client system 0 in
+  let siblings =
+    List.filter
+      (fun c -> c <> 0 && System.master_of_client system c = m0)
+      (List.init (System.n_clients system) Fun.id)
+  in
+  let sim = System.sim system in
+  for i = 0 to 99 do
+    ignore
+      (Sim.schedule sim ~delay:(0.5 *. float_of_int i) (fun () ->
+           System.read system ~client:0
+             (Query.point_read (Printf.sprintf "item:%03d" (i mod 20)))
+             ~on_done:(fun _ -> ())))
+  done;
+  List.iteri
+    (fun j c ->
+      for i = 0 to 4 do
+        ignore
+          (Sim.schedule sim
+             ~delay:(10.0 *. float_of_int ((j * 5) + i))
+             (fun () ->
+               System.read system ~client:c
+                 (Query.point_read (Printf.sprintf "item:%03d" (i mod 20)))
+                 ~on_done:(fun _ -> ())))
+      done)
+    siblings;
+  System.run_for system 240.0;
+  check bool_t "greedy client got throttled" true
+    (Stats.get (System.stats system) "master.double_checks_throttled" > 0)
+
+let test_e2e_leveled_reads () =
+  (* The top graded level has effective probability 1.0 and therefore
+     executes on the master (§4's refinement). *)
+  let system = make_system () in
+  let top = Security_level.Leveled (Security_level.levels - 1) in
+  let report = ref None in
+  System.read system ~client:0 ~level:top (Query.point_read "item:001") ~on_done:(fun r ->
+      report := Some r);
+  System.run_for system 30.0;
+  (match !report with
+  | Some r ->
+    check bool_t "top level served by master" true
+      (match r.Client.outcome with `Served_by_master _ -> true | _ -> false)
+  | None -> Alcotest.fail "read never completed")
+
+let test_e2e_slave_resync_after_partition () =
+  (* Cut the master->slave update channel, commit writes, heal: the
+     slave detects the version gap via the next keep-alive/update and
+     the master's resync closes it. *)
+  let system = make_system ~n_masters:1 ~slaves_per_master:1 ~n_clients:1 () in
+  let write i ~on_done =
+    System.write system ~client:0
+      (Oplog.Set_field { key = "item:000"; field = "stock"; value = Value.Int (100 + i) })
+      ~on_done
+  in
+  System.run_for system 5.0;
+  check int_t "slave in sync initially" (Master.version (System.master system 0))
+    (Slave.version (System.slave system 0));
+  (* There is no direct link handle exposed for master->slave, so
+     emulate the partition by making the slave drop updates: a
+     Stale_state behavior switched on and off. *)
+  System.set_slave_behavior system ~slave:0
+    (Fault.Malicious { probability = 0.0; mode = Fault.Stale_state; from_time = 0.0 });
+  let committed = ref false in
+  write 1 ~on_done:(fun _ -> committed := true);
+  System.run_for system 30.0;
+  check bool_t "write committed" true !committed;
+  check bool_t "slave is behind" true
+    (Slave.version (System.slave system 0) < Master.version (System.master system 0));
+  (* Heal: honest again; the next update or keep-alive carries a gap
+     which triggers the resync pull. *)
+  System.set_slave_behavior system ~slave:0 Fault.Honest;
+  write 2 ~on_done:(fun _ -> ());
+  System.run_for system 60.0;
+  check int_t "slave caught up" (Master.version (System.master system 0))
+    (Slave.version (System.slave system 0));
+  check bool_t "a resync was served" true
+    (Stats.get (System.stats system) "master.resyncs_served" >= 1)
+
+let test_e2e_audit_disabled_no_forwarding () =
+  let config = { fast_config with Config.audit_enabled = false } in
+  let system = make_system ~config () in
+  let reports = issue_reads system ~n:10 ~spacing:0.2 in
+  System.run_for system 30.0;
+  check int_t "reads done" 10 (List.length !reports);
+  check int_t "auditor saw nothing" 0
+    (Stats.get (System.stats system) "auditor.pledges_received")
+
+let test_e2e_slave_list_gossip () =
+  (* §3: masters learn each other's slave sets from the periodic
+     broadcast, and crash recovery uses the gossiped list. *)
+  let system = make_system ~n_masters:2 () in
+  System.run_for system 20.0;
+  let m0 = System.master system 0 and m1 = System.master system 1 in
+  check bool_t "m0 knows m1's slaves" true
+    (List.length (Master.peer_slaves m0 ~of_:1) > 0);
+  check bool_t "m1 knows m0's slaves" true
+    (List.length (Master.peer_slaves m1 ~of_:0) > 0);
+  check bool_t "gossip matches reality" true
+    (Master.peer_slaves m0 ~of_:1 = Master.slave_ids m1);
+  let orphans = Master.slave_ids m0 in
+  System.crash_master system 0;
+  System.run_for system 30.0;
+  (* Every orphan now belongs to the survivor. *)
+  List.iter
+    (fun s -> check int_t "orphan re-homed to master 1" 1 (System.master_of_slave system s))
+    orphans
+
+let test_e2e_tainted_reads_on_delayed_discovery () =
+  (* Delayed discovery: the reads a client accepted from the convict
+     are identified for rollback (§3.5). *)
+  let config = { fast_config with Config.double_check_probability = 0.0 } in
+  let system = make_system ~config () in
+  let victim = System.slave_of_client system 0 in
+  System.set_slave_behavior system ~slave:victim
+    (Fault.Malicious { probability = 1.0; mode = Fault.Corrupt_result; from_time = 0.0 });
+  let sim = System.sim system in
+  for i = 0 to 9 do
+    ignore
+      (Sim.schedule sim ~delay:(0.2 *. float_of_int i) (fun () ->
+           System.read system ~client:0
+             (Query.point_read (Printf.sprintf "item:%03d" i))
+             ~on_done:(fun _ -> ())))
+  done;
+  System.run_for system 120.0;
+  check bool_t "victim excluded" true
+    (Corrective.is_excluded (System.corrective system) ~slave_id:victim);
+  check bool_t "client 0 has tainted reads to roll back" true
+    (Client.tainted_reads (System.client system 0) >= 1);
+  check bool_t "stat recorded" true
+    (Stats.get (System.stats system) "client.reads_tainted" >= 1)
+
+let test_e2e_multiple_auditors_share_load () =
+  let config = { fast_config with Config.double_check_probability = 0.0 } in
+  let system =
+    System.create ~n_masters:2 ~slaves_per_master:2 ~n_clients:4 ~n_auditors:2 ~config
+      ~net:System.lan_net ~seed:11L ()
+  in
+  System.load_content system catalog;
+  let sim = System.sim system in
+  for i = 0 to 39 do
+    ignore
+      (Sim.schedule sim ~delay:(0.2 *. float_of_int i) (fun () ->
+           System.read system ~client:(i mod 4)
+             (Query.point_read (Printf.sprintf "item:%03d" (i mod 20)))
+             ~on_done:(fun _ -> ())))
+  done;
+  System.run_for system 60.0;
+  let audited = List.map Auditor.audited (System.auditors system) in
+  check int_t "two auditors" 2 (List.length audited);
+  check int_t "every pledge audited exactly once" 40 (List.fold_left ( + ) 0 audited);
+  List.iter
+    (fun n -> check bool_t "both shards got work" true (n > 0))
+    audited
+
+let test_e2e_slave_readmission () =
+  (* §3.5: a hacked slave is excluded, repaired, readmitted with a
+     fresh checkpoint, and serves correct reads again; the exclusion
+     stays on its record. *)
+  let config = { fast_config with Config.double_check_probability = 1.0 } in
+  let system = make_system ~config () in
+  let victim = System.slave_of_client system 0 in
+  System.set_slave_behavior system ~slave:victim
+    (Fault.Malicious { probability = 1.0; mode = Fault.Corrupt_result; from_time = 0.0 });
+  System.read system ~client:0 (Query.point_read "item:001") ~on_done:(fun _ -> ());
+  System.run_for system 60.0;
+  check bool_t "excluded" true
+    (Corrective.is_currently_excluded (System.corrective system) ~slave_id:victim);
+  check bool_t "cannot readmit a non-excluded slave" true
+    (match System.readmit_slave system ~slave_id:(victim + 1) with
+    | Error _ -> true
+    | Ok () -> false);
+  (* A write while the slave is out, so its old state is stale. *)
+  System.write system ~client:1
+    (Oplog.Set_field { key = "item:001"; field = "price"; value = Value.Float 123.0 })
+    ~on_done:(fun _ -> ());
+  System.run_for system 30.0;
+  (match System.readmit_slave system ~slave_id:victim with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  check bool_t "no longer currently excluded" false
+    (Corrective.is_currently_excluded (System.corrective system) ~slave_id:victim);
+  check bool_t "history preserved" true
+    (Corrective.is_excluded (System.corrective system) ~slave_id:victim);
+  check int_t "checkpoint brought it to the master's version"
+    (Master.version (System.master system (System.master_of_slave system victim)))
+    (Slave.version (System.slave system victim));
+  (* Drive reads directly through the readmitted slave. *)
+  let correct = ref 0 in
+  let s = System.slave system victim in
+  for _ = 1 to 3 do
+    Slave.handle_read s ~client:0 ~query:(Query.point_read "item:001")
+      ~reply:(fun r ->
+        match r with
+        | Some { Slave.result; _ } ->
+          let digest = Canonical.result_digest result in
+          (match
+             System.check_result system ~version:(Slave.version s)
+               (Query.point_read "item:001") ~digest
+           with
+          | Some true -> incr correct
+          | Some false | None -> ())
+        | None -> ())
+  done;
+  System.run_for system 10.0;
+  check int_t "serves fresh, correct state" 3 !correct
+
+let test_e2e_determinism () =
+  (* Equal seeds must replay byte-identical runs: same counters, same
+     exclusions, same latencies. *)
+  let run () =
+    let system = make_system ~seed:12345L () in
+    let victim = System.slave_of_client system 0 in
+    System.set_slave_behavior system ~slave:victim
+      (Fault.Malicious { probability = 0.5; mode = Fault.Corrupt_result; from_time = 2.0 });
+    let reports = issue_reads system ~n:30 ~spacing:0.25 in
+    System.run_for system 120.0;
+    let latencies =
+      List.map (fun r -> Printf.sprintf "%.9f" r.Client.latency) (List.rev !reports)
+    in
+    (Stats.counters (System.stats system), Corrective.excluded (System.corrective system), latencies)
+  in
+  let c1, e1, l1 = run () in
+  let c2, e2, l2 = run () in
+  check bool_t "counters identical" true (c1 = c2);
+  check bool_t "exclusions identical" true (e1 = e2);
+  check bool_t "latencies identical" true (l1 = l2)
+
+let test_e2e_client_setup_counts () =
+  let system = make_system () in
+  check bool_t "every client set up" true
+    (Stats.get (System.stats system) "system.client_setups" >= System.n_clients system);
+  (* Assignments are consistent: each client's slave belongs to its
+     master. *)
+  for c = 0 to System.n_clients system - 1 do
+    let m = System.master_of_client system c and s = System.slave_of_client system c in
+    check int_t "slave owned by client's master" m (System.master_of_slave system s)
+  done
+
+(* The paper's headline guarantee as a property: across random seeds,
+   lie modes and double-check probabilities, a permanently lying slave
+   is ALWAYS eventually excluded while the audit is on — and no read
+   that the oracle can check is ever accepted wrong without being
+   followed by that exclusion. *)
+let prop_eventual_detection =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:15 ~name:"e2e: audit-on always catches a permanent liar"
+       QCheck2.Gen.(triple (int_range 1 5000) (int_bound 2) (int_bound 2))
+       (fun (seed, mode_i, p_i) ->
+         let mode =
+           match mode_i with
+           | 0 -> Fault.Corrupt_result
+           | 1 -> Fault.Collude "prop"
+           | _ -> Fault.Stale_state
+         in
+         let p = [| 0.0; 0.05; 0.3 |].(p_i) in
+         let config = { fast_config with Config.double_check_probability = p } in
+         let system = make_system ~config ~seed:(Int64.of_int seed) () in
+         let victim = System.slave_of_client system 0 in
+         System.set_slave_behavior system ~slave:victim
+           (Fault.Malicious { probability = 1.0; mode; from_time = 0.0 });
+         (* A write *after* the freeze, so Stale_state actually
+            diverges on the key the reads will hit. *)
+         System.write system ~client:1
+           (Oplog.Set_field { key = "item:000"; field = "stock"; value = Value.Int 9999 })
+           ~on_done:(fun _ -> ());
+         System.run_for system 10.0;
+         for i = 0 to 29 do
+           ignore
+             (Sim.schedule (System.sim system) ~delay:(0.3 *. float_of_int i) (fun () ->
+                  System.read system ~client:0 (Query.point_read "item:000")
+                    ~on_done:(fun _ -> ())))
+         done;
+         System.run_for system 240.0;
+         Corrective.is_excluded (System.corrective system) ~slave_id:victim))
+
+let () =
+  Alcotest.run "secrep_core"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "default valid" `Quick test_config_default_valid;
+          Alcotest.test_case "rejects bad settings" `Quick test_config_rejects;
+        ] );
+      ( "identity",
+        [
+          Alcotest.test_case "self-certifying content id" `Quick test_content_identity;
+          Alcotest.test_case "certificates" `Quick test_certificate_verify;
+          Alcotest.test_case "directory" `Quick test_directory;
+        ] );
+      ("keepalive", [ Alcotest.test_case "sign/verify/freshness" `Quick test_keepalive ]);
+      ( "pledge",
+        [
+          Alcotest.test_case "verifies" `Quick test_pledge_ok;
+          Alcotest.test_case "failure branches + framing" `Quick test_pledge_failure_branches;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "keepalive roundtrip" `Quick test_wire_keepalive_roundtrip;
+          Alcotest.test_case "pledge roundtrip" `Quick test_wire_pledge_roundtrip;
+          Alcotest.test_case "certificate roundtrip" `Quick test_wire_certificate_roundtrip;
+          Alcotest.test_case "rsa public roundtrip" `Quick test_wire_rsa_public_roundtrip;
+          Alcotest.test_case "garbage rejected" `Quick test_wire_garbage_rejected;
+        ] );
+      ( "greedy",
+        [
+          Alcotest.test_case "flags heavy client" `Quick test_greedy_flags_heavy_client;
+          Alcotest.test_case "throttles" `Quick test_greedy_throttles;
+          Alcotest.test_case "window expiry" `Quick test_greedy_window_expiry;
+        ] );
+      ("security_level", [ Alcotest.test_case "ladder" `Quick test_security_levels ]);
+      ("fault", [ Alcotest.test_case "behavior" `Quick test_fault_behavior ]);
+      ("corrective", [ Alcotest.test_case "log" `Quick test_corrective_log ]);
+      ( "end_to_end",
+        [
+          Alcotest.test_case "honest run" `Quick test_e2e_honest_run;
+          Alcotest.test_case "audit catches liar (delayed discovery)" `Quick
+            test_e2e_audit_catches_liar;
+          Alcotest.test_case "double-check catches liar (immediate)" `Quick
+            test_e2e_double_check_catches_liar;
+          Alcotest.test_case "bad signature rejected client-side" `Quick
+            test_e2e_bad_signature_rejected_client_side;
+          Alcotest.test_case "omit attack times out" `Quick test_e2e_omit_attack_times_out;
+          Alcotest.test_case "stale-state attack caught" `Quick test_e2e_stale_state_attack_caught;
+          Alcotest.test_case "sensitive reads bypass slaves" `Quick
+            test_e2e_sensitive_reads_bypass_slaves;
+          Alcotest.test_case "quorum read detects mismatch" `Quick
+            test_e2e_quorum_read_detects_mismatch;
+          Alcotest.test_case "quorum read honest" `Quick test_e2e_quorum_read_honest;
+          Alcotest.test_case "write rate limited" `Quick test_e2e_write_rate_limited;
+          Alcotest.test_case "write ACL" `Quick test_e2e_write_acl;
+          Alcotest.test_case "master crash failover" `Quick test_e2e_master_crash_failover;
+          Alcotest.test_case "freshness bound holds" `Quick test_e2e_freshness_bound_holds;
+          Alcotest.test_case "audit cache effective" `Quick test_e2e_audit_cache_effective;
+          Alcotest.test_case "audit fraction samples" `Quick test_e2e_audit_fraction_samples;
+          Alcotest.test_case "two simultaneous attackers" `Quick
+            test_e2e_two_simultaneous_attackers;
+          Alcotest.test_case "all slaves excluded -> clean give-up" `Quick
+            test_e2e_all_slaves_excluded_gives_up;
+          Alcotest.test_case "greedy client throttled" `Quick test_e2e_greedy_client_throttled;
+          Alcotest.test_case "leveled reads reach the master" `Quick test_e2e_leveled_reads;
+          Alcotest.test_case "slave resync after partition" `Quick
+            test_e2e_slave_resync_after_partition;
+          Alcotest.test_case "audit disabled: no forwarding" `Quick
+            test_e2e_audit_disabled_no_forwarding;
+          Alcotest.test_case "slave-list gossip + crash recovery" `Quick
+            test_e2e_slave_list_gossip;
+          Alcotest.test_case "tainted reads on delayed discovery" `Quick
+            test_e2e_tainted_reads_on_delayed_discovery;
+          Alcotest.test_case "multiple auditors share load" `Quick
+            test_e2e_multiple_auditors_share_load;
+          Alcotest.test_case "slave recovery and readmission" `Quick
+            test_e2e_slave_readmission;
+          Alcotest.test_case "determinism across equal seeds" `Quick test_e2e_determinism;
+          Alcotest.test_case "client setup" `Quick test_e2e_client_setup_counts;
+          prop_eventual_detection;
+        ] );
+    ]

@@ -1,0 +1,527 @@
+(* Tests for the discrete-event simulation substrate: event queue
+   ordering, clock semantics, latency models, links, periodic
+   processes, work queues and the statistics helpers. *)
+
+open Secrep_sim
+module Prng = Secrep_crypto.Prng
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let float_t = Alcotest.(float 1e-9)
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ---------------- Event_queue ---------------- *)
+
+let test_eq_time_order () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.push q ~time:3.0 "c");
+  ignore (Event_queue.push q ~time:1.0 "a");
+  ignore (Event_queue.push q ~time:2.0 "b");
+  check (Alcotest.option (Alcotest.pair float_t Alcotest.string)) "first" (Some (1.0, "a"))
+    (Event_queue.pop q);
+  check (Alcotest.option (Alcotest.pair float_t Alcotest.string)) "second" (Some (2.0, "b"))
+    (Event_queue.pop q);
+  check (Alcotest.option (Alcotest.pair float_t Alcotest.string)) "third" (Some (3.0, "c"))
+    (Event_queue.pop q);
+  check bool_t "drained" true (Event_queue.pop q = None)
+
+let test_eq_fifo_ties () =
+  let q = Event_queue.create () in
+  for i = 0 to 9 do
+    ignore (Event_queue.push q ~time:1.0 i)
+  done;
+  for i = 0 to 9 do
+    match Event_queue.pop q with
+    | Some (_, v) -> check int_t "insertion order preserved" i v
+    | None -> Alcotest.fail "queue exhausted early"
+  done
+
+let test_eq_cancel () =
+  let q = Event_queue.create () in
+  let _a = Event_queue.push q ~time:1.0 "a" in
+  let b = Event_queue.push q ~time:2.0 "b" in
+  let _c = Event_queue.push q ~time:3.0 "c" in
+  Event_queue.cancel q b;
+  check int_t "size after cancel" 2 (Event_queue.size q);
+  check bool_t "a first" true (Event_queue.pop q = Some (1.0, "a"));
+  check bool_t "c skips b" true (Event_queue.pop q = Some (3.0, "c"));
+  Event_queue.cancel q b;
+  check int_t "empty" 0 (Event_queue.size q)
+
+let test_eq_peek () =
+  let q = Event_queue.create () in
+  check bool_t "peek empty" true (Event_queue.peek_time q = None);
+  let a = Event_queue.push q ~time:5.0 "a" in
+  ignore (Event_queue.push q ~time:7.0 "b");
+  check (Alcotest.option float_t) "peek" (Some 5.0) (Event_queue.peek_time q);
+  Event_queue.cancel q a;
+  check (Alcotest.option float_t) "peek skips cancelled" (Some 7.0) (Event_queue.peek_time q)
+
+let test_eq_nan () =
+  let q = Event_queue.create () in
+  Alcotest.check_raises "NaN rejected" (Invalid_argument "Event_queue.push: NaN time")
+    (fun () -> ignore (Event_queue.push q ~time:Float.nan "x"))
+
+let prop_eq_sorts =
+  qtest "event_queue: pops in non-decreasing time order"
+    QCheck2.Gen.(list_size (int_range 0 200) (float_bound_inclusive 1000.0))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iter (fun time -> ignore (Event_queue.push q ~time ())) times;
+      let rec drain last =
+        match Event_queue.pop q with
+        | None -> true
+        | Some (t, ()) -> t >= last && drain t
+      in
+      drain neg_infinity)
+
+let prop_eq_model =
+  (* Random interleaving of push/pop checked against a naive
+     list-based model (ties break by insertion id, matching the
+     queue's FIFO-tie contract). *)
+  qtest ~count:100 "event_queue: agrees with a reference model"
+    QCheck2.Gen.(list_size (int_range 0 120) (pair (int_bound 2) (float_bound_inclusive 100.0)))
+    (fun ops ->
+      let q = Event_queue.create () in
+      let model = ref [] in
+      let next_id = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun (op, time) ->
+          match op with
+          | 0 | 1 ->
+            let id = !next_id in
+            incr next_id;
+            ignore (Event_queue.push q ~time id);
+            model := (time, id) :: !model
+          | _ -> begin
+            let sorted =
+              List.sort
+                (fun (t1, i1) (t2, i2) ->
+                  if t1 <> t2 then Float.compare t1 t2 else Int.compare i1 i2)
+                !model
+            in
+            match (Event_queue.pop q, sorted) with
+            | None, [] -> ()
+            | Some (t, v), (mt, mi) :: rest ->
+              if t <> mt || v <> mi then ok := false;
+              model := rest
+            | Some _, [] | None, _ :: _ -> ok := false
+          end)
+        ops;
+      !ok)
+
+(* ---------------- Sim ---------------- *)
+
+let test_sim_ordering () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore (Sim.schedule sim ~delay:2.0 (fun () -> log := "b" :: !log));
+  ignore (Sim.schedule sim ~delay:1.0 (fun () -> log := "a" :: !log));
+  ignore (Sim.schedule sim ~delay:3.0 (fun () -> log := "c" :: !log));
+  Sim.run sim;
+  check (Alcotest.list Alcotest.string) "order" [ "a"; "b"; "c" ] (List.rev !log);
+  check float_t "clock at last event" 3.0 (Sim.now sim)
+
+let test_sim_until () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  for i = 1 to 10 do
+    ignore (Sim.schedule sim ~delay:(float_of_int i) (fun () -> incr fired))
+  done;
+  Sim.run ~until:5.5 sim;
+  check int_t "five fired" 5 !fired;
+  check float_t "clock exactly at until" 5.5 (Sim.now sim);
+  Sim.run sim;
+  check int_t "rest fired" 10 !fired
+
+let test_sim_nested_scheduling () =
+  let sim = Sim.create () in
+  let hits = ref [] in
+  ignore
+    (Sim.schedule sim ~delay:1.0 (fun () ->
+         hits := Sim.now sim :: !hits;
+         ignore (Sim.schedule sim ~delay:0.5 (fun () -> hits := Sim.now sim :: !hits))));
+  Sim.run sim;
+  check (Alcotest.list float_t) "nested times" [ 1.0; 1.5 ] (List.rev !hits)
+
+let test_sim_negative_delay () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Sim.schedule: negative delay")
+    (fun () -> ignore (Sim.schedule sim ~delay:(-1.0) (fun () -> ())))
+
+let test_sim_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let h = Sim.schedule sim ~delay:1.0 (fun () -> fired := true) in
+  Sim.cancel sim h;
+  Sim.run sim;
+  check bool_t "cancelled event does not fire" false !fired
+
+let test_sim_max_events () =
+  let sim = Sim.create () in
+  let rec rearm () = ignore (Sim.schedule sim ~delay:1.0 rearm) in
+  rearm ();
+  Sim.run ~max_events:25 sim;
+  check int_t "bounded" 25 (Sim.executed_events sim)
+
+(* ---------------- Latency ---------------- *)
+
+let test_latency_validate () =
+  let bad l = try Latency.validate l; false with Invalid_argument _ -> true in
+  check bool_t "negative constant" true (bad (Latency.Constant (-1.0)));
+  check bool_t "lo > hi" true (bad (Latency.Uniform { lo = 2.0; hi = 1.0 }));
+  check bool_t "zero mean" true (bad (Latency.Exponential { mean = 0.0; floor = 0.0 }));
+  check bool_t "pareto shape <= 1" true
+    (bad (Latency.Pareto { scale = 1.0; shape = 1.0; cap = 2.0 }));
+  check bool_t "empty empirical" true (bad (Latency.Empirical [||]));
+  Latency.validate (Latency.Constant 0.1);
+  Latency.validate (Latency.Uniform { lo = 0.0; hi = 1.0 })
+
+let test_latency_samples_in_range () =
+  let g = Prng.create ~seed:21L in
+  let models =
+    [
+      Latency.Constant 0.05;
+      Latency.Uniform { lo = 0.01; hi = 0.02 };
+      Latency.Exponential { mean = 0.01; floor = 0.005 };
+      Latency.Pareto { scale = 0.01; shape = 2.0; cap = 0.5 };
+      Latency.Empirical [| 0.001; 0.002; 0.003 |];
+    ]
+  in
+  List.iter
+    (fun m ->
+      for _ = 1 to 500 do
+        let s = Latency.sample m g in
+        check bool_t "non-negative" true (s >= 0.0);
+        match m with
+        | Latency.Uniform { lo; hi } -> check bool_t "uniform range" true (s >= lo && s <= hi)
+        | Latency.Exponential { floor; _ } -> check bool_t "above floor" true (s >= floor)
+        | Latency.Pareto { scale; cap; _ } ->
+          check bool_t "pareto range" true (s >= scale && s <= cap)
+        | Latency.Constant c -> check bool_t "constant" true (s = c)
+        | Latency.Empirical arr ->
+          check bool_t "from samples" true (Array.exists (fun x -> x = s) arr)
+      done)
+    models
+
+let test_latency_mean_estimates () =
+  let g = Prng.create ~seed:22L in
+  let m = Latency.Exponential { mean = 0.01; floor = 0.005 } in
+  let n = 20000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Latency.sample m g
+  done;
+  let sample_mean = !sum /. float_of_int n in
+  check bool_t "sample mean near analytic" true
+    (Float.abs (sample_mean -. Latency.mean m) < 0.001)
+
+(* ---------------- Link ---------------- *)
+
+let test_link_delivers () =
+  let sim = Sim.create () in
+  let g = Prng.create ~seed:23L in
+  let link = Link.create sim ~rng:g ~latency:(Latency.Constant 0.01) () in
+  let got = ref 0 in
+  for _ = 1 to 5 do
+    Link.send link (fun () -> incr got)
+  done;
+  Sim.run sim;
+  check int_t "all delivered" 5 !got;
+  check int_t "counted" 5 (Link.delivered link);
+  check float_t "took one hop" 0.01 (Sim.now sim)
+
+let test_link_down_drops () =
+  let sim = Sim.create () in
+  let g = Prng.create ~seed:24L in
+  let link = Link.create sim ~rng:g ~latency:(Latency.Constant 0.01) () in
+  Link.set_up link false;
+  let got = ref 0 in
+  Link.send link (fun () -> incr got);
+  Sim.run sim;
+  check int_t "nothing delivered" 0 !got;
+  check int_t "dropped" 1 (Link.dropped link)
+
+let test_link_inflight_dropped_on_down () =
+  let sim = Sim.create () in
+  let g = Prng.create ~seed:25L in
+  let link = Link.create sim ~rng:g ~latency:(Latency.Constant 1.0) () in
+  let got = ref 0 in
+  Link.send link (fun () -> incr got);
+  ignore (Sim.schedule sim ~delay:0.5 (fun () -> Link.set_up link false));
+  ignore (Sim.schedule sim ~delay:0.6 (fun () -> Link.set_up link true));
+  Sim.run sim;
+  check int_t "in-flight message lost" 0 !got
+
+let test_link_loss () =
+  let sim = Sim.create () in
+  let g = Prng.create ~seed:26L in
+  let link = Link.create sim ~rng:g ~latency:(Latency.Constant 0.001) ~loss:0.5 () in
+  let got = ref 0 in
+  for _ = 1 to 1000 do
+    Link.send link (fun () -> incr got)
+  done;
+  Sim.run sim;
+  check bool_t "roughly half lost" true (!got > 400 && !got < 600)
+
+let test_link_bandwidth () =
+  let sim = Sim.create () in
+  let g = Prng.create ~seed:27L in
+  let link = Link.create sim ~rng:g ~latency:(Latency.Constant 0.01) () in
+  Link.set_bandwidth link ~bytes_per_sec:1000.0;
+  let arrival = ref 0.0 in
+  Link.send_sized link ~bytes_len:100 (fun () -> arrival := Sim.now sim);
+  Sim.run sim;
+  check float_t "latency + transfer" 0.11 !arrival
+
+(* ---------------- Process ---------------- *)
+
+let test_process_periodic () =
+  let sim = Sim.create () in
+  let ticks = ref 0 in
+  let p = Process.periodic sim ~period:1.0 (fun () -> incr ticks) in
+  Sim.run ~until:10.5 sim;
+  check int_t "ticks" 11 !ticks;
+  check int_t "fired counter" 11 (Process.fired p);
+  Process.stop p;
+  Sim.run ~until:20.0 sim;
+  check int_t "no ticks after stop" 11 !ticks;
+  check bool_t "not running" false (Process.is_running p)
+
+let test_process_stop_from_inside () =
+  let sim = Sim.create () in
+  let ticks = ref 0 in
+  let p_ref = ref None in
+  let p =
+    Process.periodic sim ~period:1.0 (fun () ->
+        incr ticks;
+        if !ticks = 3 then Process.stop (Option.get !p_ref))
+  in
+  p_ref := Some p;
+  Sim.run ~until:100.0 sim;
+  check int_t "stopped itself at 3" 3 !ticks
+
+let test_process_jitter_requires_rng () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "jitter without rng"
+    (Invalid_argument "Process.periodic: jitter requires an rng") (fun () ->
+      ignore (Process.periodic sim ~period:1.0 ~jitter:0.1 (fun () -> ())))
+
+let test_process_jitter_bounds () =
+  let sim = Sim.create () in
+  let g = Prng.create ~seed:31L in
+  let times = ref [] in
+  ignore
+    (Process.periodic sim ~period:1.0 ~jitter:0.2 ~rng:g (fun () ->
+         times := Sim.now sim :: !times));
+  Sim.run ~until:50.0 sim;
+  let times = List.rev !times in
+  let rec gaps = function
+    | a :: (b :: _ as rest) -> (b -. a) :: gaps rest
+    | _ -> []
+  in
+  List.iter
+    (fun gap ->
+      check bool_t "gap within jitter" true (gap >= 0.8 -. 1e-9 && gap <= 1.2 +. 1e-9))
+    (gaps times)
+
+(* ---------------- Work_queue ---------------- *)
+
+let test_work_queue_sequential () =
+  let sim = Sim.create () in
+  let wq = Work_queue.create sim () in
+  let finishes = ref [] in
+  Work_queue.submit wq ~cost:1.0 (fun () -> finishes := Sim.now sim :: !finishes);
+  Work_queue.submit wq ~cost:2.0 (fun () -> finishes := Sim.now sim :: !finishes);
+  Work_queue.submit wq ~cost:0.5 (fun () -> finishes := Sim.now sim :: !finishes);
+  Sim.run sim;
+  check (Alcotest.list float_t) "sequential finish times" [ 1.0; 3.0; 3.5 ]
+    (List.rev !finishes);
+  check int_t "completed" 3 (Work_queue.completed wq);
+  check float_t "busy seconds" 3.5 (Work_queue.busy_seconds wq)
+
+let test_work_queue_idle_gap () =
+  let sim = Sim.create () in
+  let wq = Work_queue.create sim () in
+  let t1 = ref 0.0 in
+  Work_queue.submit wq ~cost:1.0 (fun () -> ());
+  ignore
+    (Sim.schedule sim ~delay:5.0 (fun () ->
+         Work_queue.submit wq ~cost:1.0 (fun () -> t1 := Sim.now sim)));
+  Sim.run sim;
+  check float_t "starts when submitted" 6.0 !t1
+
+let test_work_queue_negative_cost () =
+  let sim = Sim.create () in
+  let wq = Work_queue.create sim () in
+  Alcotest.check_raises "negative" (Invalid_argument "Work_queue.submit: bad cost")
+    (fun () -> Work_queue.submit wq ~cost:(-1.0) (fun () -> ()))
+
+(* ---------------- Histogram ---------------- *)
+
+let test_histogram_percentiles () =
+  let h = Histogram.create ~name:"t" () in
+  for i = 1 to 100 do
+    Histogram.add h (float_of_int i)
+  done;
+  check float_t "p50" 50.0 (Histogram.percentile h 50.0);
+  check float_t "p99" 99.0 (Histogram.percentile h 99.0);
+  check float_t "p100" 100.0 (Histogram.percentile h 100.0);
+  check float_t "min" 1.0 (Histogram.min_value h);
+  check float_t "max" 100.0 (Histogram.max_value h);
+  check float_t "mean" 50.5 (Histogram.mean h);
+  check int_t "count" 100 (Histogram.count h)
+
+let test_histogram_empty_errors () =
+  let h = Histogram.create () in
+  check bool_t "is_empty" true (Histogram.is_empty h);
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  check bool_t "mean raises" true (raises (fun () -> Histogram.mean h));
+  check bool_t "percentile raises" true (raises (fun () -> Histogram.percentile h 50.0))
+
+let test_histogram_merge_stddev () =
+  let a = Histogram.create ~name:"a" () and b = Histogram.create ~name:"b" () in
+  List.iter (Histogram.add a) [ 1.0; 2.0 ];
+  List.iter (Histogram.add b) [ 3.0; 4.0 ];
+  let m = Histogram.merge a b in
+  check int_t "merged count" 4 (Histogram.count m);
+  check float_t "merged mean" 2.5 (Histogram.mean m);
+  check bool_t "stddev" true (Float.abs (Histogram.stddev m -. sqrt 1.25) < 1e-9)
+
+let prop_histogram_percentile_bounds =
+  qtest "histogram: percentiles lie within [min,max]"
+    QCheck2.Gen.(list_size (int_range 1 50) (float_bound_inclusive 100.0))
+    (fun samples ->
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) samples;
+      List.for_all
+        (fun p ->
+          let v = Histogram.percentile h p in
+          v >= Histogram.min_value h && v <= Histogram.max_value h)
+        [ 0.0; 25.0; 50.0; 75.0; 99.0; 100.0 ])
+
+(* ---------------- Stats ---------------- *)
+
+let test_stats_counters () =
+  let s = Stats.create () in
+  check int_t "unknown is 0" 0 (Stats.get s "nope");
+  Stats.incr s "a";
+  Stats.incr s "a";
+  Stats.add s "b" 5;
+  check int_t "a" 2 (Stats.get s "a");
+  check int_t "b" 5 (Stats.get s "b");
+  check (Alcotest.list (Alcotest.pair Alcotest.string int_t)) "sorted list"
+    [ ("a", 2); ("b", 5) ] (Stats.counters s);
+  Stats.set_gauge s "g" 1.5;
+  check (Alcotest.option float_t) "gauge" (Some 1.5) (Stats.gauge s "g");
+  let h = Stats.histogram s "h" in
+  Histogram.add h 1.0;
+  check int_t "histogram shared" 1 (Histogram.count (Stats.histogram s "h"))
+
+(* ---------------- Timeseries ---------------- *)
+
+let test_timeseries_basic () =
+  let ts = Timeseries.create ~name:"t" () in
+  Timeseries.record ts ~time:0.0 1.0;
+  Timeseries.record ts ~time:1.0 3.0;
+  Timeseries.record ts ~time:2.0 2.0;
+  check int_t "length" 3 (Timeseries.length ts);
+  check (Alcotest.option (Alcotest.pair float_t float_t)) "last" (Some (2.0, 2.0))
+    (Timeseries.last ts);
+  check (Alcotest.option float_t) "max" (Some 3.0) (Timeseries.max_value ts);
+  Alcotest.check_raises "time goes backwards"
+    (Invalid_argument "Timeseries.record: time went backwards") (fun () ->
+      Timeseries.record ts ~time:1.0 0.0)
+
+let test_timeseries_downsample () =
+  let ts = Timeseries.create () in
+  for i = 0 to 99 do
+    Timeseries.record ts ~time:(float_of_int i) (float_of_int (i mod 10))
+  done;
+  let buckets = Timeseries.downsample ts ~buckets:10 in
+  check int_t "10 buckets" 10 (Array.length buckets);
+  Array.iter (fun (_, v) -> check bool_t "bucket mean" true (v >= 0.0 && v <= 9.0)) buckets
+
+(* ---------------- Trace ---------------- *)
+
+let test_trace_ring () =
+  let tr = Trace.create ~capacity:3 () in
+  for i = 1 to 5 do
+    Trace.log tr ~time:(float_of_int i) ~source:"s" (Printf.sprintf "e%d" i)
+  done;
+  check int_t "capped size" 3 (Trace.size tr);
+  check int_t "total" 5 (Trace.total_logged tr);
+  let events = List.map (fun r -> r.Trace.event) (Trace.to_list tr) in
+  check (Alcotest.list Alcotest.string) "keeps newest" [ "e3"; "e4"; "e5" ] events;
+  check bool_t "find" true (Trace.find tr ~f:(fun r -> r.Trace.event = "e4") <> None);
+  check int_t "count" 3 (Trace.count_matching tr ~f:(fun r -> r.Trace.source = "s"))
+
+let () =
+  Alcotest.run "secrep_sim"
+    [
+      ( "event_queue",
+        [
+          Alcotest.test_case "time order" `Quick test_eq_time_order;
+          Alcotest.test_case "FIFO ties" `Quick test_eq_fifo_ties;
+          Alcotest.test_case "cancel" `Quick test_eq_cancel;
+          Alcotest.test_case "peek" `Quick test_eq_peek;
+          Alcotest.test_case "NaN rejected" `Quick test_eq_nan;
+          prop_eq_sorts;
+          prop_eq_model;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "ordering" `Quick test_sim_ordering;
+          Alcotest.test_case "run until" `Quick test_sim_until;
+          Alcotest.test_case "nested scheduling" `Quick test_sim_nested_scheduling;
+          Alcotest.test_case "negative delay" `Quick test_sim_negative_delay;
+          Alcotest.test_case "cancel" `Quick test_sim_cancel;
+          Alcotest.test_case "max events" `Quick test_sim_max_events;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "validate" `Quick test_latency_validate;
+          Alcotest.test_case "samples in range" `Quick test_latency_samples_in_range;
+          Alcotest.test_case "mean estimate" `Quick test_latency_mean_estimates;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "delivers" `Quick test_link_delivers;
+          Alcotest.test_case "down drops" `Quick test_link_down_drops;
+          Alcotest.test_case "in-flight dropped on down" `Quick
+            test_link_inflight_dropped_on_down;
+          Alcotest.test_case "loss rate" `Quick test_link_loss;
+          Alcotest.test_case "bandwidth charge" `Quick test_link_bandwidth;
+        ] );
+      ( "process",
+        [
+          Alcotest.test_case "periodic" `Quick test_process_periodic;
+          Alcotest.test_case "stop from inside" `Quick test_process_stop_from_inside;
+          Alcotest.test_case "jitter requires rng" `Quick test_process_jitter_requires_rng;
+          Alcotest.test_case "jitter bounds" `Quick test_process_jitter_bounds;
+        ] );
+      ( "work_queue",
+        [
+          Alcotest.test_case "sequential" `Quick test_work_queue_sequential;
+          Alcotest.test_case "idle gap" `Quick test_work_queue_idle_gap;
+          Alcotest.test_case "negative cost" `Quick test_work_queue_negative_cost;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "percentiles" `Quick test_histogram_percentiles;
+          Alcotest.test_case "empty errors" `Quick test_histogram_empty_errors;
+          Alcotest.test_case "merge and stddev" `Quick test_histogram_merge_stddev;
+          prop_histogram_percentile_bounds;
+        ] );
+      ("stats", [ Alcotest.test_case "counters/gauges/histograms" `Quick test_stats_counters ]);
+      ( "timeseries",
+        [
+          Alcotest.test_case "basics" `Quick test_timeseries_basic;
+          Alcotest.test_case "downsample" `Quick test_timeseries_downsample;
+        ] );
+      ("trace", [ Alcotest.test_case "ring semantics" `Quick test_trace_ring ]);
+    ]
