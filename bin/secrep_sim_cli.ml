@@ -17,6 +17,9 @@ module Fault = Secrep_core.Fault
 module Corrective = Secrep_core.Corrective
 module Auditor = Secrep_core.Auditor
 module Stats = Secrep_sim.Stats
+module Trace = Secrep_sim.Trace
+module Event = Secrep_sim.Event
+module Export = Secrep_sim.Export
 module Prng = Secrep_crypto.Prng
 module Catalog = Secrep_workload.Catalog
 module Mix = Secrep_workload.Mix
@@ -31,9 +34,23 @@ let lie_mode_of_string = function
     Ok (Fault.Collude (String.sub s 8 (String.length s - 8)))
   | s -> Error (Printf.sprintf "unknown lie mode %S" s)
 
+(* "-" means stdout, anything else is a file path. *)
+let write_out path content =
+  match path with
+  | "-" -> print_string content
+  | path ->
+    let oc = open_out path in
+    output_string oc content;
+    close_out oc
+
 let run_simulation ~masters ~slaves_per_master ~clients ~items ~duration ~read_rate
     ~write_rate ~double_check_p ~max_latency ~keepalive ~audit ~malicious ~lie_prob
-    ~lie_mode ~lie_from ~seed ~csv =
+    ~lie_mode ~lie_from ~seed ~csv ~trace_out ~trace_format ~metrics_out =
+  (* Reject a bad format before spending time on the simulation. *)
+  if trace_format <> "jsonl" && trace_format <> "chrome" then begin
+    Printf.eprintf "unknown trace format %S (expected jsonl or chrome)\n" trace_format;
+    exit 2
+  end;
   let config =
     Config.validate_exn
       {
@@ -118,7 +135,20 @@ let run_simulation ~masters ~slaves_per_master ~clients ~items ~duration ~read_r
                 | Corrective.Immediate -> "immediate"
                 | Corrective.Delayed -> "delayed"))
             (Corrective.events (System.corrective system))))
-  end
+  end;
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+    let rendered =
+      match trace_format with
+      | "jsonl" -> Export.jsonl_of_trace (System.trace system)
+      | _ ->
+        Export.chrome_of ~spans:(System.spans system) ~trace:(System.trace system) ()
+    in
+    write_out path rendered);
+  match metrics_out with
+  | None -> ()
+  | Some path -> write_out path (Export.prometheus_of_stats stats)
 
 open Cmdliner
 
@@ -172,22 +202,131 @@ let run_cmd =
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic seed.") in
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Machine-readable one-line output.") in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Dump the event trace to $(docv) after the run ('-' = stdout).")
+  in
+  let trace_format =
+    Arg.(
+      value
+      & opt string "jsonl"
+      & info [ "trace-format" ] ~docv:"FMT"
+          ~doc:
+            "Trace dump format: $(b,jsonl) (one event per line, replayable with the \
+             $(b,trace) subcommand) or $(b,chrome) (trace_event JSON, loadable in \
+             Perfetto / chrome://tracing).")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write counters, gauges and per-phase latency quantiles in Prometheus text \
+             format to $(docv) ('-' = stdout).")
+  in
   let term =
     Term.(
       const
         (fun masters slaves_per_master clients items duration read_rate write_rate
              double_check_p max_latency keepalive audit malicious lie_prob lie_mode lie_from
-             seed csv ->
+             seed csv trace_out trace_format metrics_out ->
           run_simulation ~masters ~slaves_per_master ~clients ~items ~duration ~read_rate
             ~write_rate ~double_check_p ~max_latency ~keepalive ~audit ~malicious ~lie_prob
-            ~lie_mode ~lie_from ~seed ~csv)
+            ~lie_mode ~lie_from ~seed ~csv ~trace_out ~trace_format ~metrics_out)
       $ masters $ slaves $ clients $ items $ duration $ read_rate $ write_rate $ p
       $ max_latency $ keepalive $ audit $ malicious $ lie_prob $ lie_mode $ lie_from $ seed
-      $ csv)
+      $ csv $ trace_out $ trace_format $ metrics_out)
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Simulate a deployment of the secure-replication protocol under a workload.")
+    term
+
+(* -- trace replay ------------------------------------------------------- *)
+
+let replay_trace ~file ~sources ~kinds ~limit =
+  let ic =
+    if file = "-" then stdin
+    else
+      try open_in file
+      with Sys_error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2
+  in
+  let matches_filter values value = values = [] || List.mem value values in
+  let shown = ref 0 in
+  let lineno = ref 0 in
+  let errors = ref 0 in
+  (try
+     while limit = 0 || !shown < limit do
+       let line = input_line ic in
+       incr lineno;
+       if String.trim line <> "" then begin
+         match Export.record_of_line line with
+         | Error msg ->
+           incr errors;
+           Printf.eprintf "line %d: %s\n" !lineno msg
+         | Ok r ->
+           if
+             matches_filter sources r.Trace.source
+             && matches_filter kinds (Event.kind r.Trace.event)
+           then begin
+             incr shown;
+             Printf.printf "%12.6f  %-12s %s\n" r.Trace.time r.Trace.source
+               (Event.to_string r.Trace.event)
+           end
+       end
+     done
+   with End_of_file -> ());
+  if file <> "-" then close_in ic;
+  if !errors > 0 then begin
+    Printf.eprintf "%d malformed line(s)\n" !errors;
+    exit 1
+  end
+
+let trace_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"JSONL trace dump produced by run --trace-out ('-' = stdin).")
+  in
+  let sources =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "source" ] ~docv:"SOURCE"
+          ~doc:
+            "Only show events from $(docv) (e.g. master-0, slave-3, client-1, auditor, \
+             system).  Repeatable.")
+  in
+  let kinds =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:
+            (Printf.sprintf "Only show events of kind $(docv).  Repeatable.  Known kinds: %s."
+               (String.concat ", " Event.all_kinds)))
+  in
+  let limit =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "limit" ] ~docv:"N" ~doc:"Stop after printing $(docv) events (0 = no limit).")
+  in
+  let term =
+    Term.(
+      const (fun file sources kinds limit -> replay_trace ~file ~sources ~kinds ~limit)
+      $ file $ sources $ kinds $ limit)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Replay a JSONL trace dump with optional source / event-kind filters.")
     term
 
 let () =
@@ -197,4 +336,4 @@ let () =
         "Simulator for 'Secure Data Replication over Untrusted Hosts' (Popescu, Crispo, \
          Tanenbaum; HotOS 2003)."
   in
-  exit (Cmd.eval (Cmd.group info [ run_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; trace_cmd ]))

@@ -2,6 +2,7 @@ module Sim = Secrep_sim.Sim
 module Link = Secrep_sim.Link
 module Latency = Secrep_sim.Latency
 module Trace = Secrep_sim.Trace
+module Event = Secrep_sim.Event
 module Prng = Secrep_crypto.Prng
 
 type config = {
@@ -57,6 +58,12 @@ let trace t m fmt =
       | Some tr -> Trace.log tr ~time:(Sim.now t.sim) ~source:(Printf.sprintf "master-%d" m) s
       | None -> ())
     fmt
+
+let emit t m event =
+  match t.trace with
+  | Some tr ->
+    Trace.emit tr ~time:(Sim.now t.sim) ~source:(Printf.sprintf "master-%d" m) event
+  | None -> ()
 
 let member t id =
   match Hashtbl.find_opt t.members id with
@@ -165,6 +172,7 @@ and try_deliver t me =
       if not (Hashtbl.mem me.delivered_reqs (slot.origin, slot.req_id)) then begin
         Hashtbl.replace me.delivered_reqs (slot.origin, slot.req_id) ();
         me.delivered <- me.delivered + 1;
+        emit t me.id (Event.Order_delivered { member = me.id; seq });
         t.deliver ~member:me.id ~seq slot.payload
       end;
       drain ()
@@ -242,7 +250,7 @@ and on_state_reply t me ~view ~replier ~highest_seq =
 
 and on_new_view t me ~view ~sequencer ~next_seq =
   if view >= me.view then begin
-    trace t me.id "install view %d (sequencer %d, next=%d)" view sequencer next_seq;
+    emit t me.id (Event.View_installed { member = me.id; view; sequencer });
     me.view <- view;
     me.sequencer <- sequencer;
     me.last_heartbeat <- Sim.now t.sim;
@@ -299,6 +307,7 @@ and finish_take_over t me ~view =
   me.syncing <- false;
   me.view <- view;
   me.sequencer <- me.id;
+  emit t me.id (Event.View_installed { member = me.id; view; sequencer = me.id });
   (* Recompute our own log top *now*: slots may have arrived (and even
      been delivered) while the state-sync rounds were running, and
      re-using their numbers would orphan the requests they carry. *)

@@ -2,6 +2,8 @@ module Sim = Secrep_sim.Sim
 module Work_queue = Secrep_sim.Work_queue
 module Stats = Secrep_sim.Stats
 module Trace = Secrep_sim.Trace
+module Event = Secrep_sim.Event
+module Span = Secrep_sim.Span
 module Timeseries = Secrep_sim.Timeseries
 module Prng = Secrep_crypto.Prng
 module Store = Secrep_store.Store
@@ -19,6 +21,7 @@ type t = {
   stats : Stats.t;
   rng : Prng.t;
   trace : Trace.t option;
+  spans : Span.t option;
   store : Store.t; (* lags the masters *)
   cache : Result_cache.t;
   work : Work_queue.t;
@@ -34,15 +37,18 @@ type t = {
   mutable backlog : int;
 }
 
-let trace t fmt =
-  Printf.ksprintf
-    (fun s ->
-      match t.trace with
-      | Some tr -> Trace.log tr ~time:(Sim.now t.sim) ~source:"auditor" s
-      | None -> ())
-    fmt
+let emit t event =
+  match t.trace with
+  | Some tr -> Trace.emit tr ~time:(Sim.now t.sim) ~source:"auditor" event
+  | None -> ()
 
-let create sim ~config ~stats ~rng ~slave_public ~report ?trace:trace_buf () =
+let span t ~start ~duration name =
+  match t.spans with
+  | Some spans -> Span.record spans ~source:"auditor" ~start ~duration name
+  | None -> ()
+
+let create sim ~config ~stats ~rng ~slave_public ~report ?trace:trace_buf ?spans ()
+    =
   let t =
     {
       sim;
@@ -50,6 +56,7 @@ let create sim ~config ~stats ~rng ~slave_public ~report ?trace:trace_buf () =
       stats;
       rng;
       trace = trace_buf;
+      spans;
       store = Store.create ();
       cache = Result_cache.create ~capacity:config.Config.audit_cache_capacity ();
       work = Work_queue.create sim ();
@@ -110,7 +117,7 @@ let rec pump t =
         Store.apply_entry t.store entry;
         t.committed <- rest;
         Hashtbl.remove t.pending current;
-        trace t "advance to version %d" (current + 1);
+        emit t (Event.Audit_advance { version = current + 1 });
         pump t
       | (entry, commit_time) :: _ when entry.Oplog.version = current + 1 ->
         (* Come back once the lag slack has elapsed. *)
@@ -125,18 +132,23 @@ let rec pump t =
   end
 
 and audit_one t pledge =
+  let submitted = Sim.now t.sim in
   let finish verdict cost =
     Work_queue.submit t.work ~cost (fun () ->
         t.audited <- t.audited + 1;
         t.backlog <- t.backlog - 1;
         Stats.incr t.stats "auditor.audited";
         note_backlog t;
+        (* Queueing plus re-execution: the span covers the pledge's
+           whole stay on the audit work queue. *)
+        span t ~start:submitted ~duration:(Sim.now t.sim -. submitted) "audit";
         (match verdict with
         | Slave_caught ->
           t.caught <- t.caught + 1;
           Stats.incr t.stats "auditor.caught";
-          trace t "caught slave %d (version %d)" pledge.Pledge.slave_id
-            (Pledge.version pledge);
+          emit t
+            (Event.Audit_conviction
+               { slave = pledge.Pledge.slave_id; version = Pledge.version pledge });
           t.report pledge
         | Bad_pledge_signature -> Stats.incr t.stats "auditor.bad_signatures"
         | Pledge_ok -> ());

@@ -23,6 +23,7 @@ val create :
   slave_public:(int -> Secrep_crypto.Sig_scheme.public option) ->
   report:(Pledge.t -> unit) ->
   ?trace:Secrep_sim.Trace.t ->
+  ?spans:Secrep_sim.Span.t ->
   unit ->
   t
 (** [report] fires on every caught slave (delayed discovery); the

@@ -1,4 +1,7 @@
 module Stats = Secrep_sim.Stats
+module Trace = Secrep_sim.Trace
+module Event = Secrep_sim.Event
+module Span = Secrep_sim.Span
 module Prng = Secrep_crypto.Prng
 module Query = Secrep_store.Query
 module Query_result = Secrep_store.Query_result
@@ -44,6 +47,8 @@ type t = {
   config : Config.t;
   env : env;
   stats : Stats.t;
+  trace : Trace.t option;
+  spans : Span.t option;
   max_latency : float; (* effective freshness bound for this client *)
   mutable reads_issued : int;
   mutable reads_accepted : int;
@@ -57,7 +62,7 @@ type t = {
   mutable tainted_reads : int;
 }
 
-let create ~id ~rng ~config ~env ~stats ?max_latency_override () =
+let create ~id ~rng ~config ~env ~stats ?trace ?spans ?max_latency_override () =
   let max_latency =
     match max_latency_override with
     | Some m ->
@@ -71,6 +76,8 @@ let create ~id ~rng ~config ~env ~stats ?max_latency_override () =
     config;
     env;
     stats;
+    trace;
+    spans;
     max_latency;
     reads_issued = 0;
     reads_accepted = 0;
@@ -79,6 +86,23 @@ let create ~id ~rng ~config ~env ~stats ?max_latency_override () =
     accepted_log = [];
     tainted_reads = 0;
   }
+
+let source t = Printf.sprintf "client-%d" t.id
+
+let emit t event =
+  match t.trace with
+  | Some tr -> Trace.emit tr ~time:(t.env.now ()) ~source:(source t) event
+  | None -> ()
+
+(* Pledge verification is instantaneous on the simulated clock (the
+   client is not a modelled CPU), so the phase is recorded with the
+   cost model's verify cost. *)
+let verify_span t =
+  match t.spans with
+  | Some spans ->
+    Span.record spans ~source:(source t) ~start:(t.env.now ())
+      ~duration:t.config.Config.verify_cost "verify"
+  | None -> ()
 
 let id t = t.id
 let reads_issued t = t.reads_issued
@@ -94,11 +118,15 @@ let read_timeout t = 2.0 *. t.max_latency
 let give_up t ~query ~start ~retries ~double_checked ~caught =
   t.reads_given_up <- t.reads_given_up + 1;
   Stats.incr t.stats "client.reads_given_up";
+  let latency = t.env.now () -. start in
+  emit t
+    (Event.Read_answered
+       { client = t.id; slave = -1; outcome = "gave-up"; version = -1; latency });
   {
     query;
     outcome = `Gave_up;
     version = -1;
-    latency = t.env.now () -. start;
+    latency;
     retries;
     double_checked;
     caught_slave = caught;
@@ -135,11 +163,21 @@ let accept ?served_by t ~query ~result ~version ~start ~retries ~double_checked 
   t.reads_accepted <- t.reads_accepted + 1;
   Stats.incr t.stats "client.reads_accepted";
   (match served_by with Some slave_id -> note_accepted t ~slave_id | None -> ());
+  let latency = t.env.now () -. start in
+  emit t
+    (Event.Read_answered
+       {
+         client = t.id;
+         slave = (match served_by with Some s -> s | None -> -1);
+         outcome = "accepted";
+         version;
+         latency;
+       });
   {
     query;
     outcome = `Accepted result;
     version;
-    latency = t.env.now () -. start;
+    latency;
     retries;
     double_checked;
     caught_slave = caught;
@@ -152,12 +190,16 @@ let sensitive_read t query ~on_done =
       match reply with
       | Some (result, version) ->
         t.reads_accepted <- t.reads_accepted + 1;
+        let latency = t.env.now () -. start in
+        emit t
+          (Event.Read_answered
+             { client = t.id; slave = -1; outcome = "by-master"; version; latency });
         on_done
           {
             query;
             outcome = `Served_by_master result;
             version;
-            latency = t.env.now () -. start;
+            latency;
             retries = 0;
             double_checked = false;
             caught_slave = None;
@@ -192,12 +234,16 @@ let rec single_attempt t ~query ~dc_probability ~start ~retries ~caught ~on_done
           match reply with
           | None -> retry ~reconnect:true ~caught
           | Some { Slave.result; pledge } -> begin
+            verify_span t;
             match
               Pledge.verify ~slave_public ~master_public ~result ~now:(t.env.now ())
                 ~max_latency:t.max_latency pledge
             with
             | Error reason ->
               Stats.incr t.stats "client.pledge_rejected";
+              emit t
+                (Event.Pledge_verified
+                   { client = t.id; slave = pledge.Pledge.slave_id; ok = false; reason });
               if String.length reason >= 5 && String.sub reason 0 5 = "stale" then begin
                 t.stale_rejections <- t.stale_rejections + 1;
                 Stats.incr t.stats "client.stale_rejections";
@@ -206,12 +252,21 @@ let rec single_attempt t ~query ~dc_probability ~start ~retries ~caught ~on_done
               end
               else retry ~reconnect:true ~caught
             | Ok () ->
+              emit t
+                (Event.Pledge_verified
+                   { client = t.id; slave = pledge.Pledge.slave_id; ok = true; reason = "" });
               if Prng.bernoulli t.rng dc_probability then begin
                 Stats.incr t.stats "client.double_checks";
                 t.env.send_double_check ~query ~reply:(fun dc ->
                     if not !settled then begin
+                      let dc_event outcome =
+                        emit t
+                          (Event.Double_check
+                             { client = t.id; slave = pledge.Pledge.slave_id; outcome })
+                      in
                       match dc with
                       | Master.Throttled ->
+                        dc_event Event.Throttled;
                         (* Quota enforced; fall back to the audit path. *)
                         settled := true;
                         t.env.forward_pledge pledge;
@@ -226,6 +281,7 @@ let rec single_attempt t ~query ~dc_probability ~start ~retries ~caught ~on_done
                         else if String.equal digest pledge.Pledge.result_digest then begin
                           settled := true;
                           Stats.incr t.stats "client.double_checks_passed";
+                          dc_event Event.Passed;
                           on_done
                             (accept t ~served_by:pledge.Pledge.slave_id ~query ~result
                                ~version ~start ~retries ~double_checked:true ~caught)
@@ -233,6 +289,7 @@ let rec single_attempt t ~query ~dc_probability ~start ~retries ~caught ~on_done
                         else begin
                           (* Immediate discovery (§3.5). *)
                           Stats.incr t.stats "client.immediate_discoveries";
+                          dc_event Event.Mismatch;
                           t.env.report_proof pledge;
                           retry ~reconnect:true ~caught:(Some pledge.Pledge.slave_id)
                         end
@@ -293,12 +350,21 @@ let rec quorum_attempt t ~query ~k ~dc_probability ~start ~retries ~caught ~on_d
                   match t.env.public_of_slave slave_id with
                   | None -> None
                   | Some slave_public -> begin
+                    verify_span t;
                     match
                       Pledge.verify ~slave_public ~master_public ~result
                         ~now:(t.env.now ()) ~max_latency:t.max_latency pledge
                     with
-                    | Ok () -> Some (slave_id, result, pledge)
-                    | Error _ -> None
+                    | Ok () ->
+                      emit t
+                        (Event.Pledge_verified
+                           { client = t.id; slave = slave_id; ok = true; reason = "" });
+                      Some (slave_id, result, pledge)
+                    | Error reason ->
+                      emit t
+                        (Event.Pledge_verified
+                           { client = t.id; slave = slave_id; ok = false; reason });
+                      None
                   end
                 end)
               !replies
@@ -319,8 +385,14 @@ let rec quorum_attempt t ~query ~k ~dc_probability ~start ~retries ~caught ~on_d
                 Stats.incr t.stats "client.double_checks";
                 t.env.send_double_check ~query ~reply:(fun dc ->
                     if not !settled then begin
+                      let dc_event outcome =
+                        emit t
+                          (Event.Double_check
+                             { client = t.id; slave = first_pledge.Pledge.slave_id; outcome })
+                      in
                       match dc with
                       | Master.Throttled ->
+                        dc_event Event.Throttled;
                         settled := true;
                         List.iter (fun (_, _, p) -> t.env.forward_pledge p) valid;
                         on_done
@@ -332,6 +404,8 @@ let rec quorum_attempt t ~query ~k ~dc_probability ~start ~retries ~caught ~on_d
                         else if String.equal digest first_pledge.Pledge.result_digest
                         then begin
                           settled := true;
+                          Stats.incr t.stats "client.double_checks_passed";
+                          dc_event Event.Passed;
                           on_done
                             (accept t ~served_by:first_pledge.Pledge.slave_id ~query
                                ~result:first_result ~version ~start ~retries
@@ -339,6 +413,7 @@ let rec quorum_attempt t ~query ~k ~dc_probability ~start ~retries ~caught ~on_d
                         end
                         else begin
                           (* The whole quorum colluded; every pledge is proof. *)
+                          dc_event Event.Mismatch;
                           Stats.incr t.stats "client.immediate_discoveries";
                           List.iter (fun (_, _, p) -> t.env.report_proof p) valid;
                           retry ~caught:(Some first_pledge.Pledge.slave_id)
@@ -422,6 +497,11 @@ let read t ?(level = Security_level.Normal) ?(mode = Single) query ~on_done =
   t.reads_issued <- t.reads_issued + 1;
   Stats.incr t.stats "client.reads_issued";
   let base = t.config.Config.double_check_probability in
+  let mode_tag =
+    if Security_level.executes_on_master ~base level then "sensitive"
+    else match mode with Single -> "single" | Quorum k -> Printf.sprintf "quorum-%d" k
+  in
+  emit t (Event.Read_issued { client = t.id; mode = mode_tag });
   if Security_level.executes_on_master ~base level then sensitive_read t query ~on_done
   else begin
     let dc_probability = Security_level.double_check_probability ~base level in

@@ -67,6 +67,8 @@ val create :
   config:Config.t ->
   env:env ->
   stats:Secrep_sim.Stats.t ->
+  ?trace:Secrep_sim.Trace.t ->
+  ?spans:Secrep_sim.Span.t ->
   ?max_latency_override:float ->
   unit ->
   t

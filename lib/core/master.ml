@@ -2,6 +2,8 @@ module Sim = Secrep_sim.Sim
 module Work_queue = Secrep_sim.Work_queue
 module Stats = Secrep_sim.Stats
 module Trace = Secrep_sim.Trace
+module Event = Secrep_sim.Event
+module Span = Secrep_sim.Span
 module Process = Secrep_sim.Process
 module Prng = Secrep_crypto.Prng
 module Sig_scheme = Secrep_crypto.Sig_scheme
@@ -31,6 +33,7 @@ type t = {
   work : Work_queue.t;
   stats : Stats.t;
   trace : Trace.t option;
+  spans : Span.t option;
   greedy : Greedy.t;
   order_write : origin:int -> write_id:int -> Oplog.op -> unit;
   mutable acl : int list option;
@@ -49,15 +52,27 @@ type t = {
   peer_slave_sets : (int, int list) Hashtbl.t;
 }
 
+let source t = Printf.sprintf "master-%d" t.id
+
 let trace t fmt =
   Printf.ksprintf
     (fun s ->
       match t.trace with
-      | Some tr -> Trace.log tr ~time:(Sim.now t.sim) ~source:(Printf.sprintf "master-%d" t.id) s
+      | Some tr -> Trace.log tr ~time:(Sim.now t.sim) ~source:(source t) s
       | None -> ())
     fmt
 
-let create sim ~rng ~id ~config ~content ~order_write ~stats ?trace:trace_buf () =
+let emit t event =
+  match t.trace with
+  | Some tr -> Trace.emit tr ~time:(Sim.now t.sim) ~source:(source t) event
+  | None -> ()
+
+let span t ~duration name =
+  match t.spans with
+  | Some spans -> Span.record spans ~source:(source t) ~start:(Sim.now t.sim) ~duration name
+  | None -> ()
+
+let create sim ~rng ~id ~config ~content ~order_write ~stats ?trace:trace_buf ?spans () =
   let key = Sig_scheme.generate config.Config.scheme rng in
   let certificate =
     Certificate.issue content ~master_id:id
@@ -76,6 +91,7 @@ let create sim ~rng ~id ~config ~content ~order_write ~stats ?trace:trace_buf ()
     work = Work_queue.create sim ();
     stats;
     trace = trace_buf;
+    spans;
     greedy =
       Greedy.create ~window:config.Config.greedy_window ~factor:config.Config.greedy_factor
         ~min_samples:config.Config.greedy_min_samples ~rng:(Prng.split rng);
@@ -200,7 +216,7 @@ let apply_committed t ~origin ~write_id op =
   t.writes_committed <- t.writes_committed + 1;
   t.last_commit_time <- Sim.now t.sim;
   Stats.incr t.stats "master.writes_committed";
-  trace t "commit v%d (%s)" entry.Oplog.version (Format.asprintf "%a" Oplog.pp_op op);
+  emit t (Event.Write_committed { master = t.id; version = entry.Oplog.version });
   broadcast_to_slaves t [ entry ];
   (match t.committed_observer with
   | Some f -> f entry ~commit_time:(Sim.now t.sim)
@@ -240,6 +256,8 @@ let start_keepalive t =
       Process.periodic t.sim ~period:t.config.Config.keepalive_period (fun () ->
           if t.alive then begin
             Stats.incr t.stats "master.keepalives_sent";
+            emit t (Event.Keepalive_sent { master = t.id; version = version t });
+            span t ~duration:t.config.Config.signature_cost "sign";
             broadcast_to_slaves t []
           end)
     in
@@ -268,6 +286,7 @@ let handle_double_check t ~client ~query ~reply =
     | Error _ -> reply Throttled
     | Ok (result, cost) ->
       Stats.incr t.stats "master.double_checks_served";
+      span t ~duration:cost "query_eval";
       let v = version t in
       Work_queue.submit t.work ~cost (fun () ->
           if t.alive then
@@ -281,6 +300,7 @@ let handle_sensitive_read t ~client:_ ~query ~reply =
     | Error _ -> reply None
     | Ok (result, cost) ->
       Stats.incr t.stats "master.sensitive_reads";
+      span t ~duration:cost "query_eval";
       let v = version t in
       Work_queue.submit t.work ~cost (fun () -> if t.alive then reply (Some (result, v)))
   end

@@ -30,6 +30,7 @@ val create :
   order_write:(origin:int -> write_id:int -> Secrep_store.Oplog.op -> unit) ->
   stats:Secrep_sim.Stats.t ->
   ?trace:Secrep_sim.Trace.t ->
+  ?spans:Secrep_sim.Span.t ->
   unit ->
   t
 (** [order_write] hands the op to the total-order broadcast; the

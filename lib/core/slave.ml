@@ -1,6 +1,9 @@
 module Sim = Secrep_sim.Sim
 module Work_queue = Secrep_sim.Work_queue
 module Stats = Secrep_sim.Stats
+module Trace = Secrep_sim.Trace
+module Event = Secrep_sim.Event
+module Span = Secrep_sim.Span
 module Prng = Secrep_crypto.Prng
 module Sig_scheme = Secrep_crypto.Sig_scheme
 module Store = Secrep_store.Store
@@ -21,6 +24,8 @@ type t = {
   store : Store.t;
   work : Work_queue.t;
   stats : Stats.t;
+  trace : Trace.t option;
+  spans : Span.t option;
   mutable master_id : int;
   mutable behavior : Fault.behavior;
   mutable keepalive : Keepalive.t option;
@@ -30,7 +35,7 @@ type t = {
   mutable lies_told : int;
 }
 
-let create sim ~rng ~id ~config ~master_id ~stats () =
+let create sim ~rng ~id ~config ~master_id ~stats ?trace ?spans () =
   {
     sim;
     rng;
@@ -40,6 +45,8 @@ let create sim ~rng ~id ~config ~master_id ~stats () =
     store = Store.create ();
     work = Work_queue.create sim ();
     stats;
+    trace;
+    spans;
     master_id;
     behavior = Fault.Honest;
     keepalive = None;
@@ -48,6 +55,18 @@ let create sim ~rng ~id ~config ~master_id ~stats () =
     reads_served = 0;
     lies_told = 0;
   }
+
+let source t = Printf.sprintf "slave-%d" t.id
+
+let emit t event =
+  match t.trace with
+  | Some tr -> Trace.emit tr ~time:(Sim.now t.sim) ~source:(source t) event
+  | None -> ()
+
+let span t ~start ~duration name =
+  match t.spans with
+  | Some spans -> Span.record spans ~source:(source t) ~start ~duration name
+  | None -> ()
 
 let id t = t.id
 let public t = Sig_scheme.public_of t.key
@@ -66,6 +85,7 @@ let receive_update t ~entries ~keepalive =
   if not t.excluded then begin
     t.keepalive <- Some keepalive;
     if not (dropping_updates t) then begin
+      let before = Store.version t.store in
       let gap = ref false in
       List.iter
         (fun (entry : Oplog.entry) ->
@@ -73,6 +93,10 @@ let receive_update t ~entries ~keepalive =
           else if entry.version > Store.version t.store + 1 then gap := true
           (* entry.version <= current: duplicate, ignore *))
         entries;
+      let after = Store.version t.store in
+      if after > before then
+        emit t
+          (Event.State_update_applied { slave = t.id; from_version = before; to_version = after });
       if !gap then begin
         Stats.incr t.stats "slave.resync_requests";
         match t.resync with
@@ -137,6 +161,10 @@ let handle_read t ~client:_ ~query ~reply =
               ~per_doc:t.config.Config.per_doc_cost
           in
           let cost = exec_cost +. t.config.Config.signature_cost in
+          (* Span durations follow the cost model: evaluation first,
+             then the pledge signature. *)
+          span t ~start:now ~duration:exec_cost "query_eval";
+          span t ~start:(now +. exec_cost) ~duration:t.config.Config.signature_cost "sign";
           Work_queue.submit t.work ~cost (fun () ->
               if t.excluded then reply None
               else begin
@@ -149,10 +177,20 @@ let handle_read t ~client:_ ~query ~reply =
                     Pledge.make ~slave_key:t.key ~slave_id:t.id ~query
                       ~result_digest:honest_digest ~keepalive
                   in
+                  emit t
+                    (Event.Pledge_signed
+                       { slave = t.id; version = Pledge.version pledge; lied = false });
                   reply (Some { result; pledge })
                 | Some mode ->
                   t.lies_told <- t.lies_told + 1;
                   Stats.incr t.stats "slave.lies_told";
+                  (match mode with
+                  | Fault.Omit_result -> ()
+                  | Fault.Bad_signature | Fault.Corrupt_result | Fault.Collude _
+                  | Fault.Stale_state ->
+                    emit t
+                      (Event.Pledge_signed
+                         { slave = t.id; version = keepalive.Keepalive.version; lied = true }));
                   (match mode with
                   | Fault.Omit_result -> () (* silence; the client times out *)
                   | Fault.Bad_signature ->

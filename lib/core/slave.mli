@@ -21,6 +21,8 @@ val create :
   config:Config.t ->
   master_id:int ->
   stats:Secrep_sim.Stats.t ->
+  ?trace:Secrep_sim.Trace.t ->
+  ?spans:Secrep_sim.Span.t ->
   unit ->
   t
 

@@ -3,6 +3,9 @@ module Link = Secrep_sim.Link
 module Latency = Secrep_sim.Latency
 module Stats = Secrep_sim.Stats
 module Trace = Secrep_sim.Trace
+module Event = Secrep_sim.Event
+module Span = Secrep_sim.Span
+module Work_queue = Secrep_sim.Work_queue
 module Histogram = Secrep_sim.Histogram
 module Prng = Secrep_crypto.Prng
 module Sig_scheme = Secrep_crypto.Sig_scheme
@@ -60,6 +63,7 @@ type t = {
   rng : Prng.t;
   stats : Stats.t;
   trace : Trace.t;
+  spans : Span.t;
   corrective : Corrective.t;
   content : Content_key.t;
   directory : Directory.t;
@@ -84,6 +88,7 @@ let sim t = t.sim
 let config t = t.config
 let stats t = t.stats
 let trace t = t.trace
+let spans t = t.spans
 let corrective t = t.corrective
 let auditor t = t.auditors.(0)
 let auditors t = Array.to_list t.auditors
@@ -131,7 +136,17 @@ let link t a b =
     Hashtbl.add t.links (a, b) l;
     l
 
-let send t a b thunk = Link.send (link t a b) thunk
+(* Every simulated hop is also a "network" span (recorded at delivery,
+   when the duration is known); dropped messages leave no span. *)
+let send t a b thunk =
+  let sent = Sim.now t.sim in
+  Link.send (link t a b) (fun () ->
+      Span.record t.spans
+        ~source:(Printf.sprintf "net:%s->%s" (endpoint_name a) (endpoint_name b))
+        ~start:sent
+        ~duration:(Sim.now t.sim -. sent)
+        "network";
+      thunk ())
 
 (* -- ground truth ---------------------------------------------------- *)
 
@@ -230,6 +245,13 @@ and exclude_slave t ~slave_id ~discovery =
     Array.iter (fun c -> ignore (Client.on_slave_excluded c ~slave_id)) t.clients;
     Stats.incr t.stats "system.slaves_excluded";
     Stats.add t.stats "system.clients_reassigned" !reassigned;
+    Trace.emit t.trace ~time:(Sim.now t.sim) ~source:"system"
+      (Event.Slave_excluded
+         {
+           slave = slave_id;
+           immediate =
+             (match discovery with Corrective.Immediate -> true | Delayed -> false);
+         });
     log t "system" "slave %d excluded (%s); %d clients re-homed" slave_id
       (match discovery with Corrective.Immediate -> "immediate" | Delayed -> "delayed")
       !reassigned;
@@ -256,6 +278,7 @@ let create ?(n_masters = 3) ?(slaves_per_master = 4) ?(n_clients = 10) ?(n_audit
   let rng = Prng.create ~seed in
   let stats = Stats.create () in
   let trace = Trace.create ~capacity:trace_capacity () in
+  let spans = Span.create ~stats () in
   let content = Content_key.create config.Config.scheme (Prng.split rng) in
   let directory = Directory.create () in
   let n_slaves = n_masters * slaves_per_master in
@@ -282,14 +305,14 @@ let create ?(n_masters = 3) ?(slaves_per_master = 4) ?(n_clients = 10) ?(n_audit
         Master.create sim ~rng:(Prng.split rng) ~id ~config ~content
           ~order_write:(fun ~origin ~write_id op ->
             Total_order.broadcast group ~from:origin (Write { origin; write_id; op }))
-          ~stats ~trace ())
+          ~stats ~trace ~spans ())
   in
   masters_ref := masters;
   Array.iter (fun m -> Directory.publish directory (Master.certificate m)) masters;
   let slaves =
     Array.init n_slaves (fun id ->
         Slave.create sim ~rng:(Prng.split rng) ~id ~config ~master_id:(id mod n_masters)
-          ~stats ())
+          ~stats ~trace ~spans ())
   in
   let slave_master = Array.init n_slaves (fun id -> id mod n_masters) in
   let t_ref = ref None in
@@ -302,7 +325,7 @@ let create ?(n_masters = 3) ?(slaves_per_master = 4) ?(n_clients = 10) ?(n_audit
           ~report:(fun pledge ->
             exclude_slave (the ()) ~slave_id:pledge.Pledge.slave_id
               ~discovery:Corrective.Delayed)
-          ~trace ())
+          ~trace ~spans ())
   in
   let t =
     {
@@ -312,6 +335,7 @@ let create ?(n_masters = 3) ?(slaves_per_master = 4) ?(n_clients = 10) ?(n_audit
       rng;
       stats;
       trace;
+      spans;
       corrective = Corrective.create ();
       content;
       directory;
@@ -482,10 +506,27 @@ let create ?(n_masters = 3) ?(slaves_per_master = 4) ?(n_clients = 10) ?(n_audit
             reassign_client t ~client_id:id ~excluding);
       }
     in
-    Client.create ~id ~rng:(Prng.split rng) ~config ~env ~stats
+    Client.create ~id ~rng:(Prng.split rng) ~config ~env ~stats ~trace ~spans
       ?max_latency_override:(client_max_latency id) ()
   in
   t.clients <- Array.init n_clients make_client;
+  (* Simulator self-profiling: sampled every virtual second so a
+     metrics dump shows queue depth, dispatch rate and aggregate CPU
+     busy time without any external profiler. *)
+  let last_executed = ref 0 in
+  ignore
+    (Secrep_sim.Process.periodic sim ~period:1.0 (fun () ->
+         Stats.set_gauge stats "sim.pending_events" (float_of_int (Sim.pending sim));
+         let executed = Sim.executed_events sim in
+         Stats.add stats "sim.events_dispatched" (executed - !last_executed);
+         last_executed := executed;
+         let busy acc w = acc +. Work_queue.busy_seconds w in
+         let total = Array.fold_left (fun acc m -> busy acc (Master.work m)) 0.0 masters in
+         let total = Array.fold_left (fun acc s -> busy acc (Slave.work s)) total slaves in
+         let total =
+           Array.fold_left (fun acc a -> busy acc (Auditor.work a)) total t.auditors
+         in
+         Stats.set_gauge stats "sim.process_busy_seconds" total));
   (* Setup phase: verify certificates, then connect (§2). *)
   let certs = Directory.lookup directory ~content_id:(content_id t) in
   List.iter

@@ -46,6 +46,12 @@ val sim : t -> Secrep_sim.Sim.t
 val config : t -> Config.t
 val stats : t -> Secrep_sim.Stats.t
 val trace : t -> Secrep_sim.Trace.t
+
+val spans : t -> Secrep_sim.Span.t
+(** Phase-duration spans (sign, verify, query_eval, network, audit)
+    collected across every component; feeds the ["span.*"] histograms
+    of {!stats}. *)
+
 val corrective : t -> Corrective.t
 
 val auditor : t -> Auditor.t

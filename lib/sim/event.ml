@@ -1,0 +1,215 @@
+type dc_outcome = Passed | Mismatch | Throttled
+
+type t =
+  | Log of string
+  | Read_issued of { client : int; mode : string }
+  | Read_answered of {
+      client : int;
+      slave : int;
+      outcome : string;
+      version : int;
+      latency : float;
+    }
+  | Pledge_signed of { slave : int; version : int; lied : bool }
+  | Pledge_verified of { client : int; slave : int; ok : bool; reason : string }
+  | Double_check of { client : int; slave : int; outcome : dc_outcome }
+  | Write_committed of { master : int; version : int }
+  | Keepalive_sent of { master : int; version : int }
+  | State_update_applied of { slave : int; from_version : int; to_version : int }
+  | Audit_advance of { version : int }
+  | Audit_conviction of { slave : int; version : int }
+  | Slave_excluded of { slave : int; immediate : bool }
+  | Order_delivered of { member : int; seq : int }
+  | View_installed of { member : int; view : int; sequencer : int }
+
+type field = I of int | F of float | S of string | B of bool
+
+let dc_outcome_to_string = function
+  | Passed -> "passed"
+  | Mismatch -> "mismatch"
+  | Throttled -> "throttled"
+
+let dc_outcome_of_string = function
+  | "passed" -> Ok Passed
+  | "mismatch" -> Ok Mismatch
+  | "throttled" -> Ok Throttled
+  | s -> Error (Printf.sprintf "unknown double-check outcome %S" s)
+
+let kind = function
+  | Log _ -> "log"
+  | Read_issued _ -> "read_issued"
+  | Read_answered _ -> "read_answered"
+  | Pledge_signed _ -> "pledge_signed"
+  | Pledge_verified _ -> "pledge_verified"
+  | Double_check _ -> "double_check"
+  | Write_committed _ -> "write_committed"
+  | Keepalive_sent _ -> "keepalive_sent"
+  | State_update_applied _ -> "state_update_applied"
+  | Audit_advance _ -> "audit_advance"
+  | Audit_conviction _ -> "audit_conviction"
+  | Slave_excluded _ -> "slave_excluded"
+  | Order_delivered _ -> "order_delivered"
+  | View_installed _ -> "view_installed"
+
+let all_kinds =
+  [
+    "log";
+    "read_issued";
+    "read_answered";
+    "pledge_signed";
+    "pledge_verified";
+    "double_check";
+    "write_committed";
+    "keepalive_sent";
+    "state_update_applied";
+    "audit_advance";
+    "audit_conviction";
+    "slave_excluded";
+    "order_delivered";
+    "view_installed";
+  ]
+
+let fields = function
+  | Log msg -> [ ("message", S msg) ]
+  | Read_issued { client; mode } -> [ ("client", I client); ("mode", S mode) ]
+  | Read_answered { client; slave; outcome; version; latency } ->
+    [
+      ("client", I client);
+      ("slave", I slave);
+      ("outcome", S outcome);
+      ("version", I version);
+      ("latency", F latency);
+    ]
+  | Pledge_signed { slave; version; lied } ->
+    [ ("slave", I slave); ("version", I version); ("lied", B lied) ]
+  | Pledge_verified { client; slave; ok; reason } ->
+    [ ("client", I client); ("slave", I slave); ("ok", B ok); ("reason", S reason) ]
+  | Double_check { client; slave; outcome } ->
+    [ ("client", I client); ("slave", I slave); ("outcome", S (dc_outcome_to_string outcome)) ]
+  | Write_committed { master; version } -> [ ("master", I master); ("version", I version) ]
+  | Keepalive_sent { master; version } -> [ ("master", I master); ("version", I version) ]
+  | State_update_applied { slave; from_version; to_version } ->
+    [ ("slave", I slave); ("from_version", I from_version); ("to_version", I to_version) ]
+  | Audit_advance { version } -> [ ("version", I version) ]
+  | Audit_conviction { slave; version } -> [ ("slave", I slave); ("version", I version) ]
+  | Slave_excluded { slave; immediate } -> [ ("slave", I slave); ("immediate", B immediate) ]
+  | Order_delivered { member; seq } -> [ ("member", I member); ("seq", I seq) ]
+  | View_installed { member; view; sequencer } ->
+    [ ("member", I member); ("view", I view); ("sequencer", I sequencer) ]
+
+(* -- reconstruction (the JSONL importer) ----------------------------- *)
+
+let ( let* ) = Result.bind
+
+let find_field fs name =
+  match List.assoc_opt name fs with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let int_field fs name =
+  let* f = find_field fs name in
+  match f with
+  | I n -> Ok n
+  | F x when Float.is_integer x -> Ok (int_of_float x)
+  | _ -> Error (Printf.sprintf "field %S is not an int" name)
+
+let float_field fs name =
+  let* f = find_field fs name in
+  match f with
+  | F x -> Ok x
+  | I n -> Ok (float_of_int n)
+  | _ -> Error (Printf.sprintf "field %S is not a number" name)
+
+let str_field fs name =
+  let* f = find_field fs name in
+  match f with S s -> Ok s | _ -> Error (Printf.sprintf "field %S is not a string" name)
+
+let bool_field fs name =
+  let* f = find_field fs name in
+  match f with B b -> Ok b | _ -> Error (Printf.sprintf "field %S is not a bool" name)
+
+let of_fields ~kind fs =
+  match kind with
+  | "log" ->
+    let* message = str_field fs "message" in
+    Ok (Log message)
+  | "read_issued" ->
+    let* client = int_field fs "client" in
+    let* mode = str_field fs "mode" in
+    Ok (Read_issued { client; mode })
+  | "read_answered" ->
+    let* client = int_field fs "client" in
+    let* slave = int_field fs "slave" in
+    let* outcome = str_field fs "outcome" in
+    let* version = int_field fs "version" in
+    let* latency = float_field fs "latency" in
+    Ok (Read_answered { client; slave; outcome; version; latency })
+  | "pledge_signed" ->
+    let* slave = int_field fs "slave" in
+    let* version = int_field fs "version" in
+    let* lied = bool_field fs "lied" in
+    Ok (Pledge_signed { slave; version; lied })
+  | "pledge_verified" ->
+    let* client = int_field fs "client" in
+    let* slave = int_field fs "slave" in
+    let* ok = bool_field fs "ok" in
+    let* reason = str_field fs "reason" in
+    Ok (Pledge_verified { client; slave; ok; reason })
+  | "double_check" ->
+    let* client = int_field fs "client" in
+    let* slave = int_field fs "slave" in
+    let* outcome = str_field fs "outcome" in
+    let* outcome = dc_outcome_of_string outcome in
+    Ok (Double_check { client; slave; outcome })
+  | "write_committed" ->
+    let* master = int_field fs "master" in
+    let* version = int_field fs "version" in
+    Ok (Write_committed { master; version })
+  | "keepalive_sent" ->
+    let* master = int_field fs "master" in
+    let* version = int_field fs "version" in
+    Ok (Keepalive_sent { master; version })
+  | "state_update_applied" ->
+    let* slave = int_field fs "slave" in
+    let* from_version = int_field fs "from_version" in
+    let* to_version = int_field fs "to_version" in
+    Ok (State_update_applied { slave; from_version; to_version })
+  | "audit_advance" ->
+    let* version = int_field fs "version" in
+    Ok (Audit_advance { version })
+  | "audit_conviction" ->
+    let* slave = int_field fs "slave" in
+    let* version = int_field fs "version" in
+    Ok (Audit_conviction { slave; version })
+  | "slave_excluded" ->
+    let* slave = int_field fs "slave" in
+    let* immediate = bool_field fs "immediate" in
+    Ok (Slave_excluded { slave; immediate })
+  | "order_delivered" ->
+    let* member = int_field fs "member" in
+    let* seq = int_field fs "seq" in
+    Ok (Order_delivered { member; seq })
+  | "view_installed" ->
+    let* member = int_field fs "member" in
+    let* view = int_field fs "view" in
+    let* sequencer = int_field fs "sequencer" in
+    Ok (View_installed { member; view; sequencer })
+  | k -> Error (Printf.sprintf "unknown event kind %S" k)
+
+(* -- rendering -------------------------------------------------------- *)
+
+let pp_field fmt (name, f) =
+  match f with
+  | I n -> Format.fprintf fmt "%s=%d" name n
+  | F x -> Format.fprintf fmt "%s=%.6f" name x
+  | S s -> Format.fprintf fmt "%s=%s" name s
+  | B b -> Format.fprintf fmt "%s=%b" name b
+
+let pp fmt t =
+  match t with
+  | Log msg -> Format.pp_print_string fmt msg
+  | _ ->
+    Format.pp_print_string fmt (kind t);
+    List.iter (fun f -> Format.fprintf fmt " %a" pp_field f) (fields t)
+
+let to_string t = Format.asprintf "%a" pp t

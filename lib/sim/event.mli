@@ -1,0 +1,55 @@
+(** Typed trace events: the protocol's load-bearing moments.
+
+    Components used to log pre-rendered strings; these variants carry
+    the structured fields instead so exporters ({!Export}) can emit
+    machine-readable JSONL / Chrome traces and tests can assert on the
+    event taxonomy rather than on string formatting.  [Log] is the
+    compatibility constructor for free-form messages. *)
+
+type dc_outcome =
+  | Passed  (** master's digest matched the slave's pledge *)
+  | Mismatch  (** immediate discovery (§3.5) *)
+  | Throttled  (** greedy-client quota (§3.3) *)
+
+type t =
+  | Log of string  (** free-form message (compat shim for string logs) *)
+  | Read_issued of { client : int; mode : string }
+  | Read_answered of {
+      client : int;
+      slave : int;  (** -1 when no slave served it (gave up / by-master) *)
+      outcome : string;  (** "accepted" | "by-master" | "gave-up" *)
+      version : int;
+      latency : float;
+    }
+  | Pledge_signed of { slave : int; version : int; lied : bool }
+  | Pledge_verified of { client : int; slave : int; ok : bool; reason : string }
+  | Double_check of { client : int; slave : int; outcome : dc_outcome }
+  | Write_committed of { master : int; version : int }
+  | Keepalive_sent of { master : int; version : int }
+  | State_update_applied of { slave : int; from_version : int; to_version : int }
+  | Audit_advance of { version : int }
+  | Audit_conviction of { slave : int; version : int }
+  | Slave_excluded of { slave : int; immediate : bool }
+  | Order_delivered of { member : int; seq : int }
+  | View_installed of { member : int; view : int; sequencer : int }
+
+type field = I of int | F of float | S of string | B of bool
+
+val kind : t -> string
+(** Stable snake_case tag, e.g. ["read_issued"]. *)
+
+val all_kinds : string list
+
+val fields : t -> (string * field) list
+(** Structured payload, in declaration order. *)
+
+val of_fields : kind:string -> (string * field) list -> (t, string) result
+(** Inverse of {!kind} + {!fields}; used by the JSONL importer. *)
+
+val dc_outcome_to_string : dc_outcome -> string
+val dc_outcome_of_string : string -> (dc_outcome, string) result
+
+val pp : Format.formatter -> t -> unit
+(** ["kind k=v k=v …"]; [Log] renders as its bare message. *)
+
+val to_string : t -> string

@@ -1,0 +1,420 @@
+(* Machine-readable renderings of traces, spans and stats.
+
+   No external JSON dependency: the emitter writes into a Buffer and
+   the importer is a small recursive-descent parser covering the JSON
+   subset the emitter produces (which is all the `trace` replay
+   subcommand and the round-trip tests need). *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let escape buf s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s
+
+  (* %.9f is fixed-precision (diffable, locale-independent) and keeps
+     nanosecond resolution on simulated-seconds timestamps. *)
+  let float_repr x =
+    if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.1f" x
+    else Printf.sprintf "%.9f" x
+
+  let rec to_buf buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int n -> Buffer.add_string buf (string_of_int n)
+    | Num x -> Buffer.add_string buf (float_repr x)
+    | Str s ->
+      Buffer.add_char buf '"';
+      escape buf s;
+      Buffer.add_char buf '"'
+    | Arr items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          to_buf buf item)
+        items;
+      Buffer.add_char buf ']'
+    | Obj pairs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          escape buf k;
+          Buffer.add_string buf "\":";
+          to_buf buf v)
+        pairs;
+      Buffer.add_char buf '}'
+
+  let to_string t =
+    let buf = Buffer.create 256 in
+    to_buf buf t;
+    Buffer.contents buf
+
+  exception Parse_error of string
+
+  let parse (s : string) : (t, string) result =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected %C" c)
+    in
+    let literal word value =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        value
+      end
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec loop () =
+        if !pos >= n then fail "unterminated string";
+        let c = s.[!pos] in
+        advance ();
+        if c = '"' then Buffer.contents buf
+        else if c = '\\' then begin
+          if !pos >= n then fail "unterminated escape";
+          let e = s.[!pos] in
+          advance ();
+          (match e with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'u' ->
+            if !pos + 4 > n then fail "truncated \\u escape";
+            let hex = String.sub s !pos 4 in
+            pos := !pos + 4;
+            let code =
+              try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
+            in
+            (* ASCII decodes exactly; anything higher degrades to '?'
+               (the emitter never produces it). *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else Buffer.add_char buf '?'
+          | _ -> fail "bad escape");
+          loop ()
+        end
+        else begin
+          Buffer.add_char buf c;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_float = ref false in
+      let rec loop () =
+        match peek () with
+        | Some ('0' .. '9' | '-' | '+') ->
+          advance ();
+          loop ()
+        | Some ('.' | 'e' | 'E') ->
+          is_float := true;
+          advance ();
+          loop ()
+        | _ -> ()
+      in
+      loop ();
+      if !pos = start then fail "expected number";
+      let tok = String.sub s start (!pos - start) in
+      if !is_float then
+        match float_of_string_opt tok with
+        | Some x -> Num x
+        | None -> fail "bad number"
+      else begin
+        match int_of_string_opt tok with
+        | Some i -> Int i
+        | None -> (
+          match float_of_string_opt tok with Some x -> Num x | None -> fail "bad number")
+      end
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              items (v :: acc)
+            | Some ']' ->
+              advance ();
+              List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          Arr (items [])
+        end
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec pairs acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              pairs ((k, v) :: acc)
+            | Some '}' ->
+              advance ();
+              List.rev ((k, v) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Obj (pairs [])
+        end
+      | Some _ -> parse_number ()
+    in
+    try
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then Error (Printf.sprintf "trailing garbage at offset %d" !pos)
+      else Ok v
+    with Parse_error msg -> Error msg
+
+  let member name = function Obj pairs -> List.assoc_opt name pairs | _ -> None
+end
+
+let json_of_field = function
+  | Event.I n -> Json.Int n
+  | Event.F x -> Json.Num x
+  | Event.S s -> Json.Str s
+  | Event.B b -> Json.Bool b
+
+let field_of_json = function
+  | Json.Int n -> Some (Event.I n)
+  | Json.Num x -> Some (Event.F x)
+  | Json.Str s -> Some (Event.S s)
+  | Json.Bool b -> Some (Event.B b)
+  | Json.Null | Json.Arr _ | Json.Obj _ -> None
+
+(* -- JSONL ------------------------------------------------------------- *)
+
+let event_line ~time ~source event =
+  Json.to_string
+    (Json.Obj
+       (("ts", Json.Num time)
+        :: ("source", Json.Str source)
+        :: ("kind", Json.Str (Event.kind event))
+        :: List.map (fun (k, v) -> (k, json_of_field v)) (Event.fields event)))
+
+let jsonl_of_trace trace =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (r : Trace.record) ->
+      Buffer.add_string buf (event_line ~time:r.time ~source:r.source r.event);
+      Buffer.add_char buf '\n')
+    (Trace.to_list trace);
+  Buffer.contents buf
+
+let ( let* ) = Result.bind
+
+let record_of_line line : (Trace.record, string) result =
+  let* json = Json.parse line in
+  match json with
+  | Json.Obj pairs ->
+    let* time =
+      match List.assoc_opt "ts" pairs with
+      | Some (Json.Num x) -> Ok x
+      | Some (Json.Int n) -> Ok (float_of_int n)
+      | Some _ -> Error "ts is not a number"
+      | None -> Error "missing ts"
+    in
+    let* source =
+      match List.assoc_opt "source" pairs with
+      | Some (Json.Str s) -> Ok s
+      | Some _ -> Error "source is not a string"
+      | None -> Error "missing source"
+    in
+    let* kind =
+      match List.assoc_opt "kind" pairs with
+      | Some (Json.Str s) -> Ok s
+      | Some _ -> Error "kind is not a string"
+      | None -> Error "missing kind"
+    in
+    let fields =
+      List.filter_map
+        (fun (k, v) ->
+          match k with
+          | "ts" | "source" | "kind" -> None
+          | _ -> Option.map (fun f -> (k, f)) (field_of_json v))
+        pairs
+    in
+    let* event = Event.of_fields ~kind fields in
+    Ok { Trace.time; source; event }
+  | _ -> Error "expected a JSON object"
+
+(* -- Chrome trace_event format ----------------------------------------- *)
+
+(* trace_event wants integer thread ids; sources ("client-3",
+   "master-0", …) map to dense tids with a thread_name metadata event
+   each, which is what Perfetto renders as named tracks. *)
+let chrome_of ?spans ~trace () =
+  let tids = Hashtbl.create 16 in
+  let names = ref [] in
+  let tid_of source =
+    match Hashtbl.find_opt tids source with
+    | Some tid -> tid
+    | None ->
+      let tid = Hashtbl.length tids + 1 in
+      Hashtbl.add tids source tid;
+      names := (source, tid) :: !names;
+      tid
+  in
+  let us t = Json.Num (1e6 *. t) in
+  let span_events =
+    match spans with
+    | None -> []
+    | Some spans ->
+      List.map
+        (fun (r : Span.record) ->
+          Json.Obj
+            [
+              ("name", Json.Str r.name);
+              ("cat", Json.Str "span");
+              ("ph", Json.Str "X");
+              ("ts", us r.start);
+              ("dur", us r.duration);
+              ("pid", Json.Int 1);
+              ("tid", Json.Int (tid_of r.source));
+            ])
+        (Span.finished spans)
+  in
+  let instant_events =
+    List.map
+      (fun (r : Trace.record) ->
+        Json.Obj
+          [
+            ("name", Json.Str (Event.kind r.event));
+            ("cat", Json.Str "event");
+            ("ph", Json.Str "i");
+            ("ts", us r.time);
+            ("pid", Json.Int 1);
+            ("tid", Json.Int (tid_of r.source));
+            ("s", Json.Str "t");
+            ( "args",
+              Json.Obj (List.map (fun (k, v) -> (k, json_of_field v)) (Event.fields r.event))
+            );
+          ])
+      (Trace.to_list trace)
+  in
+  let metadata =
+    List.rev_map
+      (fun (source, tid) ->
+        Json.Obj
+          [
+            ("name", Json.Str "thread_name");
+            ("ph", Json.Str "M");
+            ("pid", Json.Int 1);
+            ("tid", Json.Int tid);
+            ("args", Json.Obj [ ("name", Json.Str source) ]);
+          ])
+      !names
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("traceEvents", Json.Arr (metadata @ span_events @ instant_events));
+         ("displayTimeUnit", Json.Str "ms");
+       ])
+  ^ "\n"
+
+(* -- Prometheus text exposition ----------------------------------------- *)
+
+let metric_name name =
+  let buf = Buffer.create (String.length name + 7) in
+  Buffer.add_string buf "secrep_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    name;
+  Buffer.contents buf
+
+let prometheus_of_stats stats =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (name, v) ->
+      let m = metric_name name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n%s %d\n" m m v))
+    (Stats.counters stats);
+  List.iter
+    (fun (name, v) ->
+      let m = metric_name name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n%s %.6f\n" m m v))
+    (Stats.gauges stats);
+  List.iter
+    (fun h ->
+      let m = metric_name (Histogram.name h) in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" m);
+      if not (Histogram.is_empty h) then
+        List.iter
+          (fun q ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s{quantile=\"%.2f\"} %.6f\n" m (q /. 100.0)
+                 (Histogram.percentile h q)))
+          [ 50.0; 95.0; 99.0 ];
+      Buffer.add_string buf (Printf.sprintf "%s_sum %.6f\n" m (Histogram.sum h));
+      Buffer.add_string buf (Printf.sprintf "%s_count %d\n" m (Histogram.count h)))
+    (Stats.histograms stats);
+  Buffer.contents buf

@@ -74,10 +74,13 @@ let merge a b =
   t
 
 let name t = t.name
+let sum t = t.sum
 
+(* %.6f, not %.6g: fixed-precision output is locale-independent and
+   column-stable, so metrics renderings can be diffed in tests. *)
 let pp_summary fmt t =
   if t.count = 0 then Format.fprintf fmt "%s: empty" t.name
   else
-    Format.fprintf fmt "%s: n=%d mean=%.6g p50=%.6g p95=%.6g p99=%.6g max=%.6g" t.name
+    Format.fprintf fmt "%s: n=%d mean=%.6f p50=%.6f p95=%.6f p99=%.6f max=%.6f" t.name
       t.count (mean t) (percentile t 50.0) (percentile t 95.0) (percentile t 99.0)
       (max_value t)

@@ -1,0 +1,92 @@
+type record = { name : string; source : string; start : float; duration : float; depth : int }
+
+type active = {
+  a_name : string;
+  a_source : string;
+  a_start : float;
+  a_depth : int;
+  mutable a_finished : bool;
+}
+
+type t = {
+  capacity : int;
+  ring : record option array;
+  mutable next : int;
+  mutable total : int;
+  stats : Stats.t option;
+  open_by_source : (string, int) Hashtbl.t;
+  mutable open_count : int;
+}
+
+let create ?(capacity = 4096) ?stats () =
+  if capacity <= 0 then invalid_arg "Span.create: capacity must be positive";
+  {
+    capacity;
+    ring = Array.make capacity None;
+    next = 0;
+    total = 0;
+    stats;
+    open_by_source = Hashtbl.create 16;
+    open_count = 0;
+  }
+
+let histogram_name name = "span." ^ name
+
+let push t r =
+  t.ring.(t.next) <- Some r;
+  t.next <- (t.next + 1) mod t.capacity;
+  t.total <- t.total + 1;
+  match t.stats with
+  | Some stats -> Histogram.add (Stats.histogram stats (histogram_name r.name)) r.duration
+  | None -> ()
+
+let record t ~source ~start ~duration name =
+  if duration < 0.0 || Float.is_nan duration then invalid_arg "Span.record: bad duration";
+  push t { name; source; start; duration; depth = 0 }
+
+let depth_of t source =
+  match Hashtbl.find_opt t.open_by_source source with Some d -> d | None -> 0
+
+let start t ~now ~source name =
+  let depth = depth_of t source in
+  Hashtbl.replace t.open_by_source source (depth + 1);
+  t.open_count <- t.open_count + 1;
+  { a_name = name; a_source = source; a_start = now; a_depth = depth; a_finished = false }
+
+let finish t a ~now =
+  if a.a_finished then invalid_arg "Span.finish: span already finished";
+  if now < a.a_start then invalid_arg "Span.finish: clock went backwards";
+  a.a_finished <- true;
+  t.open_count <- t.open_count - 1;
+  (match Hashtbl.find_opt t.open_by_source a.a_source with
+  | Some d when d > 1 -> Hashtbl.replace t.open_by_source a.a_source (d - 1)
+  | Some _ -> Hashtbl.remove t.open_by_source a.a_source
+  | None -> ());
+  push t
+    {
+      name = a.a_name;
+      source = a.a_source;
+      start = a.a_start;
+      duration = now -. a.a_start;
+      depth = a.a_depth;
+    }
+
+let size t = min t.total t.capacity
+let total_finished t = t.total
+let active_count t = t.open_count
+
+let finished t =
+  let n = size t in
+  let start = if t.total <= t.capacity then 0 else t.next in
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    match t.ring.((start + i) mod t.capacity) with
+    | Some r -> out := r :: !out
+    | None -> assert false
+  done;
+  !out
+
+let pp_record fmt r =
+  Format.fprintf fmt "[%10.6f] %-16s %s%s dur=%.6f" r.start r.source
+    (String.make (2 * r.depth) ' ')
+    r.name r.duration

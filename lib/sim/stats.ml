@@ -34,8 +34,18 @@ let counters t =
   Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let pp fmt t =
-  List.iter (fun (name, v) -> Format.fprintf fmt "%s = %d@." name v) (counters t);
+let gauges t =
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) t.gauges []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let histograms t =
   Hashtbl.fold (fun _ h acc -> h :: acc) t.histograms []
   |> List.sort (fun a b -> String.compare (Histogram.name a) (Histogram.name b))
-  |> List.iter (fun h -> Format.fprintf fmt "%a@." Histogram.pp_summary h)
+
+(* Fixed precision (%d / %.6f) rather than %g: the rendering is meant
+   to be diffed in tests and archived next to exports, so two runs of
+   the same simulation must produce byte-identical text. *)
+let pp fmt t =
+  List.iter (fun (name, v) -> Format.fprintf fmt "%s = %d@." name v) (counters t);
+  List.iter (fun (name, v) -> Format.fprintf fmt "%s = %.6f@." name v) (gauges t);
+  List.iter (fun h -> Format.fprintf fmt "%a@." Histogram.pp_summary h) (histograms t)

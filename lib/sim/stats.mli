@@ -18,4 +18,12 @@ val histogram : t -> string -> Histogram.t
 val counters : t -> (string * int) list
 (** Sorted by name. *)
 
+val gauges : t -> (string * float) list
+(** Sorted by name. *)
+
+val histograms : t -> Histogram.t list
+(** Sorted by name. *)
+
 val pp : Format.formatter -> t -> unit
+(** Counters, then gauges, then histogram summaries; fixed-precision
+    numbers so the output is byte-stable across runs. *)

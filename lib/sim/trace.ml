@@ -1,4 +1,4 @@
-type record = { time : float; source : string; event : string }
+type record = { time : float; source : string; event : Event.t }
 
 type t = {
   capacity : int;
@@ -11,10 +11,12 @@ let create ?(capacity = 4096) () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
   { capacity; ring = Array.make capacity None; next = 0; total = 0 }
 
-let log t ~time ~source event =
+let emit t ~time ~source event =
   t.ring.(t.next) <- Some { time; source; event };
   t.next <- (t.next + 1) mod t.capacity;
   t.total <- t.total + 1
+
+let log t ~time ~source msg = emit t ~time ~source (Event.Log msg)
 
 let size t = min t.total t.capacity
 let total_logged t = t.total
@@ -30,11 +32,19 @@ let to_list t =
   done;
   !out
 
+let message r = Event.to_string r.event
+
 let find t ~f = List.find_opt f (to_list t)
 let count_matching t ~f = List.length (List.filter f (to_list t))
+let count_kind t ~kind = count_matching t ~f:(fun r -> String.equal (Event.kind r.event) kind)
+
+let kinds t =
+  List.sort_uniq String.compare (List.map (fun r -> Event.kind r.event) (to_list t))
 
 let pp_tail ?(n = 20) fmt t =
   let records = to_list t in
   let len = List.length records in
   let tail = if len <= n then records else List.filteri (fun i _ -> i >= len - n) records in
-  List.iter (fun r -> Format.fprintf fmt "[%10.4f] %-16s %s@." r.time r.source r.event) tail
+  List.iter
+    (fun r -> Format.fprintf fmt "[%10.4f] %-16s %a@." r.time r.source Event.pp r.event)
+    tail

@@ -1,23 +1,44 @@
 (** Bounded in-memory event trace.
 
-    Protocol components append human-readable records; tests assert on
-    them and failed experiment runs dump the tail.  The buffer is a
-    ring so long simulations cannot exhaust memory. *)
+    Protocol components append {!Event.t} records; tests assert on
+    them, exporters ({!Export}) turn them into JSONL / Chrome traces,
+    and failed experiment runs dump the tail.  The buffer is a ring so
+    long simulations cannot exhaust memory.
+
+    [log] is the compatibility shim for the old string API: it wraps
+    the message in {!Event.Log}. *)
 
 type t
 
-type record = { time : float; source : string; event : string }
+type record = { time : float; source : string; event : Event.t }
 
 val create : ?capacity:int -> unit -> t
 (** Default capacity: 4096 records. *)
 
+val emit : t -> time:float -> source:string -> Event.t -> unit
+
 val log : t -> time:float -> source:string -> string -> unit
+(** [log t ~time ~source msg] = [emit t ~time ~source (Event.Log msg)]. *)
+
 val size : t -> int
+(** Records still retained (at most the capacity). *)
+
 val total_logged : t -> int
+(** Records ever emitted, including those the ring has overwritten. *)
 
 val to_list : t -> record list
 (** Oldest first (of what is still retained). *)
 
+val message : record -> string
+(** Rendered event text (compat helper for string assertions). *)
+
 val find : t -> f:(record -> bool) -> record option
 val count_matching : t -> f:(record -> bool) -> int
+
+val count_kind : t -> kind:string -> int
+(** Retained records whose {!Event.kind} equals [kind]. *)
+
+val kinds : t -> string list
+(** Distinct event kinds retained, sorted. *)
+
 val pp_tail : ?n:int -> Format.formatter -> t -> unit

@@ -7,6 +7,9 @@
 open Secrep_core
 module Sim = Secrep_sim.Sim
 module Stats = Secrep_sim.Stats
+module Trace = Secrep_sim.Trace
+module Event = Secrep_sim.Event
+module Span = Secrep_sim.Span
 module Prng = Secrep_crypto.Prng
 module Sig_scheme = Secrep_crypto.Sig_scheme
 module Query = Secrep_store.Query
@@ -372,6 +375,66 @@ let test_e2e_honest_run () =
     (Stats.get (System.stats system) "system.accepted_correct" = 40);
   check int_t "nothing caught" 0 (Auditor.caught (System.auditor system));
   check int_t "no exclusions" 0 (List.length (Corrective.excluded (System.corrective system)))
+
+let test_e2e_event_taxonomy () =
+  (* A run with writes, double-checking and a liar exercises most of
+     the typed-event taxonomy; the trace must carry the structured
+     events (not just strings) from every component class. *)
+  let config = { fast_config with Config.double_check_probability = 0.3 } in
+  let system = make_system ~config () in
+  let victim = System.slave_of_client system 0 in
+  System.set_slave_behavior system ~slave:victim
+    (Fault.Malicious { probability = 1.0; mode = Fault.Corrupt_result; from_time = 0.0 });
+  System.write system ~client:1
+    (Oplog.Set_field { key = "item:001"; field = "price"; value = Value.Float 123.0 })
+    ~on_done:(fun _ -> ());
+  let reports = issue_reads system ~n:40 ~spacing:0.2 in
+  System.run_for system 120.0;
+  check int_t "reads completed" 40 (List.length !reports);
+  let tr = System.trace system in
+  let kinds = Trace.kinds tr in
+  let expected =
+    [
+      "read_issued";
+      "read_answered";
+      "pledge_signed";
+      "pledge_verified";
+      "double_check";
+      "write_committed";
+      "keepalive_sent";
+      "state_update_applied";
+      "audit_advance";
+      "order_delivered";
+    ]
+  in
+  List.iter
+    (fun k -> check bool_t (Printf.sprintf "kind %s present" k) true (List.mem k kinds))
+    expected;
+  check bool_t "at least 8 distinct typed kinds" true
+    (List.length (List.filter (fun k -> k <> "log") kinds) >= 8);
+  (* Events from every component class. *)
+  let typed r = match r.Trace.event with Event.Log _ -> false | _ -> true in
+  let from prefix =
+    Trace.count_matching tr ~f:(fun r ->
+        String.length r.Trace.source >= String.length prefix
+        && String.sub r.Trace.source 0 (String.length prefix) = prefix
+        && typed r)
+    > 0
+  in
+  check bool_t "master events" true (from "master-");
+  check bool_t "slave events" true (from "slave-");
+  check bool_t "client events" true (from "client-");
+  check bool_t "auditor events" true
+    (Trace.count_matching tr ~f:(fun r -> r.Trace.source = "auditor" && typed r) > 0);
+  (* Spans from the cost model feed the phase histograms. *)
+  let spans = System.spans system in
+  check bool_t "spans collected" true (Span.total_finished spans > 0);
+  let stats = System.stats system in
+  List.iter
+    (fun phase ->
+      check bool_t (Printf.sprintf "span.%s histogram fed" phase) true
+        (Secrep_sim.Histogram.count (Stats.histogram stats (Span.histogram_name phase)) > 0))
+    [ "sign"; "verify"; "query_eval"; "network"; "audit" ]
 
 let test_e2e_audit_catches_liar () =
   (* Double-checking off: only the background audit can catch the liar. *)
@@ -1054,6 +1117,8 @@ let () =
       ( "end_to_end",
         [
           Alcotest.test_case "honest run" `Quick test_e2e_honest_run;
+          Alcotest.test_case "typed event taxonomy + span phases" `Quick
+            test_e2e_event_taxonomy;
           Alcotest.test_case "audit catches liar (delayed discovery)" `Quick
             test_e2e_audit_catches_liar;
           Alcotest.test_case "double-check catches liar (immediate)" `Quick

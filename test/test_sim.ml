@@ -455,10 +455,198 @@ let test_trace_ring () =
   done;
   check int_t "capped size" 3 (Trace.size tr);
   check int_t "total" 5 (Trace.total_logged tr);
-  let events = List.map (fun r -> r.Trace.event) (Trace.to_list tr) in
+  let events = List.map Trace.message (Trace.to_list tr) in
   check (Alcotest.list Alcotest.string) "keeps newest" [ "e3"; "e4"; "e5" ] events;
-  check bool_t "find" true (Trace.find tr ~f:(fun r -> r.Trace.event = "e4") <> None);
+  check bool_t "find" true (Trace.find tr ~f:(fun r -> Trace.message r = "e4") <> None);
   check int_t "count" 3 (Trace.count_matching tr ~f:(fun r -> r.Trace.source = "s"))
+
+let test_trace_wraparound_accounting () =
+  (* After heavy overflow, [size] stays pinned at the capacity while
+     [total_logged] keeps counting, and the retained window is exactly
+     the newest [capacity] records in emission order. *)
+  let capacity = 7 in
+  let tr = Trace.create ~capacity () in
+  let n = 100 in
+  for i = 1 to n do
+    Trace.emit tr ~time:(float_of_int i) ~source:"s" (Event.Read_issued { client = i; mode = "single" })
+  done;
+  check int_t "size = capacity" capacity (Trace.size tr);
+  check int_t "total_logged = all emits" n (Trace.total_logged tr);
+  let clients =
+    List.map
+      (fun r ->
+        match r.Trace.event with Event.Read_issued { client; _ } -> client | _ -> -1)
+      (Trace.to_list tr)
+  in
+  check (Alcotest.list int_t) "newest window, oldest first"
+    (List.init capacity (fun i -> n - capacity + 1 + i))
+    clients
+
+let test_trace_typed_queries () =
+  let tr = Trace.create () in
+  Trace.emit tr ~time:1.0 ~source:"client-0" (Event.Read_issued { client = 0; mode = "single" });
+  Trace.emit tr ~time:2.0 ~source:"slave-1"
+    (Event.Pledge_signed { slave = 1; version = 3; lied = true });
+  Trace.emit tr ~time:3.0 ~source:"client-0" (Event.Read_issued { client = 0; mode = "quorum-2" });
+  check int_t "count_kind" 2 (Trace.count_kind tr ~kind:"read_issued");
+  check (Alcotest.list Alcotest.string) "distinct kinds sorted"
+    [ "pledge_signed"; "read_issued" ] (Trace.kinds tr)
+
+(* ---------------- Event ---------------- *)
+
+let sample_events =
+  [
+    Event.Log "free-form";
+    Event.Read_issued { client = 3; mode = "quorum-2" };
+    Event.Read_answered
+      { client = 3; slave = 7; outcome = "accepted"; version = 12; latency = 0.034 };
+    Event.Pledge_signed { slave = 7; version = 12; lied = false };
+    Event.Pledge_verified { client = 3; slave = 7; ok = false; reason = "stale keepalive" };
+    Event.Double_check { client = 3; slave = 7; outcome = Event.Mismatch };
+    Event.Write_committed { master = 1; version = 13 };
+    Event.Keepalive_sent { master = 1; version = 13 };
+    Event.State_update_applied { slave = 7; from_version = 12; to_version = 13 };
+    Event.Audit_advance { version = 13 };
+    Event.Audit_conviction { slave = 7; version = 12 };
+    Event.Slave_excluded { slave = 7; immediate = true };
+    Event.Order_delivered { member = 0; seq = 42 };
+    Event.View_installed { member = 0; view = 2; sequencer = 1 };
+  ]
+
+let test_event_fields_roundtrip () =
+  List.iter
+    (fun e ->
+      match Event.of_fields ~kind:(Event.kind e) (Event.fields e) with
+      | Ok e' -> check bool_t (Event.kind e ^ " round-trips") true (e = e')
+      | Error msg -> Alcotest.fail (Event.kind e ^ ": " ^ msg))
+    sample_events;
+  check int_t "taxonomy covers every variant" (List.length sample_events)
+    (List.length Event.all_kinds)
+
+(* ---------------- Span ---------------- *)
+
+let test_span_nesting_and_durations () =
+  let stats = Stats.create () in
+  let sp = Span.create ~stats () in
+  (* outer [0,10], inner [2,5]; a sibling source nests independently. *)
+  let outer = Span.start sp ~now:0.0 ~source:"a" "outer" in
+  let inner = Span.start sp ~now:2.0 ~source:"a" "inner" in
+  let other = Span.start sp ~now:3.0 ~source:"b" "other" in
+  check int_t "three active" 3 (Span.active_count sp);
+  Span.finish sp inner ~now:5.0;
+  Span.finish sp other ~now:4.0;
+  Span.finish sp outer ~now:10.0;
+  check int_t "none active" 0 (Span.active_count sp);
+  check int_t "all finished" 3 (Span.total_finished sp);
+  let by_name name =
+    match List.find_opt (fun r -> r.Span.name = name) (Span.finished sp) with
+    | Some r -> r
+    | None -> Alcotest.fail ("missing span " ^ name)
+  in
+  check float_t "outer duration" 10.0 (by_name "outer").Span.duration;
+  check float_t "inner duration" 3.0 (by_name "inner").Span.duration;
+  check int_t "outer depth" 0 (by_name "outer").Span.depth;
+  check int_t "inner depth" 1 (by_name "inner").Span.depth;
+  check int_t "sibling source depth" 0 (by_name "other").Span.depth;
+  (* Finishing feeds the span.<name> histogram of the attached stats. *)
+  let h = Stats.histogram stats (Span.histogram_name "inner") in
+  check int_t "histogram fed" 1 (Histogram.count h);
+  check float_t "histogram value" 3.0 (Histogram.mean h)
+
+let test_span_record_and_errors () =
+  let sp = Span.create () in
+  Span.record sp ~source:"s" ~start:1.0 ~duration:0.5 "phase";
+  check int_t "recorded" 1 (Span.total_finished sp);
+  let a = Span.start sp ~now:2.0 ~source:"s" "x" in
+  Span.finish sp a ~now:3.0;
+  Alcotest.check_raises "double finish"
+    (Invalid_argument "Span.finish: span already finished") (fun () ->
+      Span.finish sp a ~now:4.0);
+  let b = Span.start sp ~now:5.0 ~source:"s" "y" in
+  Alcotest.check_raises "backwards clock"
+    (Invalid_argument "Span.finish: clock went backwards") (fun () ->
+      Span.finish sp b ~now:4.0)
+
+(* ---------------- Export ---------------- *)
+
+let test_export_jsonl_roundtrip () =
+  let tr = Trace.create () in
+  List.iteri
+    (fun i e -> Trace.emit tr ~time:(0.5 +. float_of_int i) ~source:"src" e)
+    sample_events;
+  let lines = String.split_on_char '\n' (String.trim (Export.jsonl_of_trace tr)) in
+  check int_t "one line per record" (List.length sample_events) (List.length lines);
+  List.iteri
+    (fun i line ->
+      match Export.record_of_line line with
+      | Error msg -> Alcotest.fail (Printf.sprintf "line %d: %s" i msg)
+      | Ok r ->
+        check float_t "time round-trips" (0.5 +. float_of_int i) r.Trace.time;
+        check Alcotest.string "source round-trips" "src" r.Trace.source;
+        check bool_t "event round-trips" true (r.Trace.event = List.nth sample_events i))
+    lines
+
+let test_export_chrome_parses () =
+  let tr = Trace.create () in
+  Trace.emit tr ~time:1.0 ~source:"client-0" (Event.Read_issued { client = 0; mode = "single" });
+  let sp = Span.create () in
+  Span.record sp ~source:"slave-0" ~start:1.0 ~duration:0.25 "query_eval";
+  let json = Export.chrome_of ~spans:sp ~trace:tr () in
+  match Export.Json.parse json with
+  | Error msg -> Alcotest.fail msg
+  | Ok doc -> begin
+    match Export.Json.member "traceEvents" doc with
+    | Some (Export.Json.Arr events) ->
+      (* one span (X), one instant (i), two thread-name metadata (M) *)
+      check int_t "event count" 4 (List.length events);
+      let phase e =
+        match Export.Json.member "ph" e with Some (Export.Json.Str s) -> s | _ -> "?"
+      in
+      let count p = List.length (List.filter (fun e -> phase e = p) events) in
+      check int_t "complete spans" 1 (count "X");
+      check int_t "instants" 1 (count "i");
+      check int_t "thread metadata" 2 (count "M");
+      let x = List.find (fun e -> phase e = "X") events in
+      (match Export.Json.member "dur" x with
+      | Some (Export.Json.Num d) -> check float_t "duration in microseconds" 250000.0 d
+      | Some (Export.Json.Int d) -> check int_t "duration in microseconds" 250000 d
+      | _ -> Alcotest.fail "span missing dur")
+    | _ -> Alcotest.fail "missing traceEvents array"
+  end
+
+let test_export_prometheus () =
+  let stats = Stats.create () in
+  Stats.add stats "client.reads_issued" 41;
+  Stats.set_gauge stats "sim.pending_events" 17.0;
+  let h = Stats.histogram stats "span.verify" in
+  for i = 1 to 100 do
+    Histogram.add h (float_of_int i /. 1000.0)
+  done;
+  let text = Export.prometheus_of_stats stats in
+  let has needle =
+    (* substring search, stdlib only *)
+    let n = String.length needle and m = String.length text in
+    let rec go i = i + n <= m && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  check bool_t "counter line" true (has "secrep_client_reads_issued 41");
+  check bool_t "counter type" true (has "# TYPE secrep_client_reads_issued counter");
+  check bool_t "gauge line" true (has "secrep_sim_pending_events 17.000000");
+  check bool_t "p50 label" true (has "secrep_span_verify{quantile=\"0.50\"} 0.050000");
+  check bool_t "p99 label" true (has "secrep_span_verify{quantile=\"0.99\"} 0.099000");
+  check bool_t "count line" true (has "secrep_span_verify_count 100")
+
+let test_export_json_parser () =
+  let ok s = match Export.Json.parse s with Ok v -> Some v | Error _ -> None in
+  check bool_t "object" true
+    (ok {|{"a":1,"b":[true,null,"x\n"],"c":-2.5e2}|} <> None);
+  check bool_t "trailing garbage rejected" true (ok "{} junk" = None);
+  check bool_t "unterminated string rejected" true (ok {|{"a":"b}|} = None);
+  check bool_t "int stays int" true (ok "42" = Some (Export.Json.Int 42));
+  check bool_t "escape round-trip" true
+    (match ok (Export.Json.to_string (Export.Json.Str "a\"\\\n\tb")) with
+    | Some (Export.Json.Str s) -> s = "a\"\\\n\tb"
+    | _ -> false)
 
 let () =
   Alcotest.run "secrep_sim"
@@ -523,5 +711,23 @@ let () =
           Alcotest.test_case "basics" `Quick test_timeseries_basic;
           Alcotest.test_case "downsample" `Quick test_timeseries_downsample;
         ] );
-      ("trace", [ Alcotest.test_case "ring semantics" `Quick test_trace_ring ]);
+      ( "trace",
+        [
+          Alcotest.test_case "ring semantics" `Quick test_trace_ring;
+          Alcotest.test_case "wraparound accounting" `Quick test_trace_wraparound_accounting;
+          Alcotest.test_case "typed queries" `Quick test_trace_typed_queries;
+        ] );
+      ("event", [ Alcotest.test_case "fields round-trip" `Quick test_event_fields_roundtrip ]);
+      ( "span",
+        [
+          Alcotest.test_case "nesting and durations" `Quick test_span_nesting_and_durations;
+          Alcotest.test_case "record and errors" `Quick test_span_record_and_errors;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "jsonl round-trip" `Quick test_export_jsonl_roundtrip;
+          Alcotest.test_case "chrome trace parses" `Quick test_export_chrome_parses;
+          Alcotest.test_case "prometheus text" `Quick test_export_prometheus;
+          Alcotest.test_case "json parser" `Quick test_export_json_parser;
+        ] );
     ]
