@@ -9,7 +9,8 @@
      dune exec bin/secrep_sim_cli.exe -- run --malicious 0 --lie-prob 1.0 \
         --lie-mode corrupt --double-check-p 0.0 --duration 600
      dune exec bin/secrep_sim_cli.exe -- run --masters 3 --clients 20 \
-        --read-rate 50 --csv *)
+        --read-rate 50 --csv
+     dune exec bin/secrep_sim_cli.exe -- fuzz --runs 100 --seed 1 *)
 
 module System = Secrep_core.System
 module Config = Secrep_core.Config
@@ -246,6 +247,75 @@ let run_cmd =
        ~doc:"Simulate a deployment of the secure-replication protocol under a workload.")
     term
 
+(* -- fuzzing ------------------------------------------------------------ *)
+
+module Fuzz = Secrep_check.Fuzz
+module Invariant = Secrep_check.Invariant
+
+let run_fuzz ~seed ~runs ~max_shrink_steps ~invariants ~counterexample_out =
+  match Invariant.named invariants with
+  | Error msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 2
+  | Ok checkers ->
+    let outcome =
+      Fuzz.run ~runs ~max_shrink_steps ~invariants:checkers ~seed:(Int64.of_int seed) ()
+    in
+    Format.printf "%a@." Fuzz.pp_outcome outcome;
+    (match outcome with
+    | Fuzz.Passed _ -> ()
+    | Fuzz.Failed f ->
+      (match counterexample_out with
+      | None -> ()
+      | Some path ->
+        write_out path
+          (Format.asprintf "%a@.@.violation: %s@.replay: %s@." Secrep_check.Scenario.pp
+             f.Secrep_check.Prop.shrunk f.Secrep_check.Prop.shrunk_reason (Fuzz.replay_hint f)));
+      exit 1)
+
+let fuzz_cmd =
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base seed; run $(i,i) uses seed + i.")
+  in
+  let runs = Arg.(value & opt int 100 & info [ "runs" ] ~doc:"Number of random scenarios.") in
+  let max_shrink_steps =
+    Arg.(
+      value
+      & opt int 200
+      & info [ "max-shrink-steps" ]
+          ~doc:"Cap on accepted shrinking steps when minimizing a counterexample.")
+  in
+  let invariants =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "invariant" ] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf
+               "Only check invariant $(docv).  Repeatable; default all.  Known: %s."
+               (String.concat ", " (List.map (fun c -> c.Invariant.name) Invariant.all))))
+  in
+  let counterexample_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "counterexample-out" ] ~docv:"FILE"
+          ~doc:"On failure, also write the shrunk counterexample to $(docv) ('-' = stdout).")
+  in
+  let term =
+    Term.(
+      const (fun seed runs max_shrink_steps invariants counterexample_out ->
+          run_fuzz ~seed ~runs ~max_shrink_steps ~invariants ~counterexample_out)
+      $ seed $ runs $ max_shrink_steps $ invariants $ counterexample_out)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Run random scenarios against the simulator, check the paper's invariants on the \
+          event stream, and shrink any violation to a minimal counterexample with a replay \
+          seed.")
+    term
+
 (* -- trace replay ------------------------------------------------------- *)
 
 let replay_trace ~file ~sources ~kinds ~limit =
@@ -336,4 +406,4 @@ let () =
         "Simulator for 'Secure Data Replication over Untrusted Hosts' (Popescu, Crispo, \
          Tanenbaum; HotOS 2003)."
   in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; trace_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; fuzz_cmd; trace_cmd ]))

@@ -1,0 +1,31 @@
+type outcome = Passed of { runs : int } | Failed of Scenario.t Prop.failure
+
+let run ?(runs = 100) ?(max_shrink_steps = 200) ?(invariants = Invariant.all) ~seed () =
+  let prop scenario = Invariant.check_all invariants (Harness.run scenario) in
+  match
+    Prop.check ~runs ~max_shrink_steps ~seed ~gen:Scenario.gen ~shrink:Scenario.shrink prop
+  with
+  | Prop.Pass { runs } -> Passed { runs }
+  | Prop.Fail f -> Failed f
+
+let replay_hint (f : Scenario.t Prop.failure) =
+  Printf.sprintf "secrep_sim_cli fuzz --seed %Ld --runs 1" f.Prop.seed
+
+let pp_outcome fmt = function
+  | Passed { runs } ->
+    Format.fprintf fmt "fuzz: %d run(s), all invariants held" runs
+  | Failed f ->
+    Format.fprintf fmt
+      "@[<v>fuzz: FAILED on run %d (seed %Ld)@,\
+       @,\
+       violation: %s@,\
+       @,\
+       original %a@,\
+       @,\
+       shrunk (%d step(s), %d candidate(s) tried): %s@,\
+       shrunk %a@,\
+       @,\
+       replay: %s@]"
+      f.Prop.run f.Prop.seed f.Prop.reason Scenario.pp f.Prop.original f.Prop.shrink_steps
+      f.Prop.shrink_attempts f.Prop.shrunk_reason Scenario.pp f.Prop.shrunk
+      (replay_hint f)

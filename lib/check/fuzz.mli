@@ -1,0 +1,26 @@
+(** The fuzz campaign: generate scenarios, run them on the simulator,
+    check invariants, shrink failures.
+
+    This is the engine behind the CLI's [fuzz] subcommand and the
+    fuzz-oriented tests; it is {!Prop.check} instantiated with
+    {!Scenario.gen}/{!Scenario.shrink} and {!Invariant.check_all}. *)
+
+type outcome = Passed of { runs : int } | Failed of Scenario.t Prop.failure
+
+val run :
+  ?runs:int ->
+  ?max_shrink_steps:int ->
+  ?invariants:Invariant.checker list ->
+  seed:int64 ->
+  unit ->
+  outcome
+(** Defaults: 100 runs, 200 shrink steps, all invariants.  Run [i]
+    uses seed [seed + i], so any failure replays with
+    [run ~runs:1 ~seed:failure.seed]. *)
+
+val replay_hint : Scenario.t Prop.failure -> string
+(** One-line CLI invocation reproducing the failing run exactly. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+(** Human-readable campaign report: pass summary, or the original and
+    shrunk counterexamples with the replay hint. *)

@@ -1,0 +1,57 @@
+module Prng = Secrep_crypto.Prng
+
+type 'a t = Prng.t -> 'a
+
+let return x _rng = x
+let map f g rng = f (g rng)
+let bind g f rng = f (g rng) rng
+
+(* Explicit lets everywhere: OCaml's evaluation order inside tuples and
+   [List.init] is unspecified, and an unspecified order would make
+   "same seed, same value" silently compiler-dependent. *)
+let both a b rng =
+  let x = a rng in
+  let y = b rng in
+  (x, y)
+
+let int_range lo hi rng =
+  if hi < lo then invalid_arg "Gen.int_range: hi < lo";
+  lo + Prng.int rng (hi - lo + 1)
+
+let float_range lo hi rng = lo +. (Prng.float rng *. (hi -. lo))
+let bool rng = Prng.bool rng
+
+let choose xs rng =
+  match xs with
+  | [] -> invalid_arg "Gen.choose: empty list"
+  | _ -> List.nth xs (Prng.int rng (List.length xs))
+
+let oneof gens rng =
+  match gens with
+  | [] -> invalid_arg "Gen.oneof: empty list"
+  | _ -> (List.nth gens (Prng.int rng (List.length gens))) rng
+
+let frequency weighted rng =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 weighted in
+  if total <= 0 then invalid_arg "Gen.frequency: weights must sum to a positive value";
+  let roll = Prng.int rng total in
+  let rec pick acc = function
+    | [] -> invalid_arg "Gen.frequency: unreachable"
+    | (w, g) :: rest -> if roll < acc + w then g rng else pick (acc + w) rest
+  in
+  pick 0 weighted
+
+let list_size size elt rng =
+  let n = size rng in
+  let rec build i acc = if i = n then List.rev acc else build (i + 1) (elt rng :: acc) in
+  build 0 []
+
+let pair = both
+
+let triple a b c rng =
+  let x = a rng in
+  let y = b rng in
+  let z = c rng in
+  (x, y, z)
+
+let run ~seed g = g (Prng.create ~seed)

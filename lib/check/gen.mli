@@ -1,0 +1,38 @@
+(** Seeded value generators.
+
+    A generator is just a function of a {!Secrep_crypto.Prng.t}; the
+    same seed always produces the same value, which is what makes
+    fuzz-campaign failures replayable from a one-line seed.  The
+    combinators draw from the generator argument in a fixed order, so
+    composite generators stay deterministic too. *)
+
+type 'a t = Secrep_crypto.Prng.t -> 'a
+
+val return : 'a -> 'a t
+val map : ('a -> 'b) -> 'a t -> 'b t
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+val both : 'a t -> 'b t -> ('a * 'b) t
+
+val int_range : int -> int -> int t
+(** [int_range lo hi] is uniform over the inclusive range; [lo <= hi]. *)
+
+val float_range : float -> float -> float t
+val bool : bool t
+
+val choose : 'a list -> 'a t
+(** Uniform element of a non-empty list. *)
+
+val oneof : 'a t list -> 'a t
+(** Pick one of the generators uniformly, then run it. *)
+
+val frequency : (int * 'a t) list -> 'a t
+(** Weighted {!oneof}; weights must be positive. *)
+
+val list_size : int t -> 'a t -> 'a list t
+(** Length drawn first, then elements left to right. *)
+
+val pair : 'a t -> 'b t -> ('a * 'b) t
+val triple : 'a t -> 'b t -> 'c t -> ('a * 'b * 'c) t
+
+val run : seed:int64 -> 'a t -> 'a
+(** Run the generator on a fresh PRNG seeded with [seed]. *)

@@ -1,0 +1,148 @@
+module System = Secrep_core.System
+module Config = Secrep_core.Config
+module Fault = Secrep_core.Fault
+module Sim = Secrep_sim.Sim
+module Trace = Secrep_sim.Trace
+module Event = Secrep_sim.Event
+module Prng = Secrep_crypto.Prng
+module Sha1 = Secrep_crypto.Sha1
+module Hex = Secrep_crypto.Hex
+module Catalog = Secrep_workload.Catalog
+module Query = Secrep_store.Query
+module Oplog = Secrep_store.Oplog
+module Value = Secrep_store.Value
+module Canonical = Secrep_store.Canonical
+
+type accepted_read = {
+  time : float;
+  client : int;
+  slave : int;
+  version : int;
+  wrong : bool;
+}
+
+type run_result = {
+  scenario : Scenario.t;
+  events : Trace.record list;
+  accepted : accepted_read list;
+  end_time : float;
+}
+
+let net_profile = function
+  | Scenario.Lan -> System.lan_net
+  | Scenario.Wan -> System.default_net
+  | Scenario.Lossy p -> { System.lan_net with System.loss = p }
+
+let run scenario =
+  let s = Scenario.normalize scenario in
+  let config =
+    Config.validate_exn
+      {
+        Config.default with
+        Config.max_latency = s.Scenario.max_latency;
+        keepalive_period = s.Scenario.keepalive_period;
+        double_check_probability = s.Scenario.double_check_p;
+        audit_enabled = s.Scenario.audit;
+      }
+  in
+  let system =
+    System.create ~n_masters:s.Scenario.n_masters
+      ~slaves_per_master:s.Scenario.slaves_per_master ~n_clients:s.Scenario.n_clients
+      ~config ~net:(net_profile s.Scenario.net)
+      ~seed:(Int64.of_int s.Scenario.sys_seed)
+      ()
+  in
+  let sim = System.sim system in
+  (* Capture the live stream: the ring in [System.trace] may overwrite
+     old records, subscribers see everything. *)
+  let events_rev = ref [] in
+  Trace.on_emit (System.trace system) (fun r -> events_rev := r :: !events_rev);
+  let content =
+    Catalog.product_catalog
+      (Prng.create ~seed:(Int64.of_int ((2 * s.Scenario.sys_seed) + 1)))
+      ~n:s.Scenario.n_items
+  in
+  System.load_content system content;
+  let keys = Array.of_list (List.map fst content) in
+  List.iter
+    (fun (f : Scenario.fault) ->
+      System.set_slave_behavior system ~slave:f.Scenario.slave
+        (Fault.Malicious
+           {
+             probability = f.Scenario.probability;
+             mode = f.Scenario.mode;
+             from_time = f.Scenario.from_time;
+           }))
+    s.Scenario.faults;
+  let accepted_rev = ref [] in
+  List.iteri
+    (fun idx op ->
+      match op with
+      | Scenario.Read { client; key; at } ->
+        let query = Query.point_read keys.(key) in
+        ignore
+          (Sim.schedule_at sim ~time:at (fun () ->
+               System.read system ~client query ~on_done:(fun report ->
+                   match report.Secrep_core.Client.outcome with
+                   | `Accepted result ->
+                     let slave =
+                       match report.Secrep_core.Client.served_by with
+                       | Some slave -> slave
+                       | None -> -1
+                     in
+                     let version = report.Secrep_core.Client.version in
+                     let wrong =
+                       match
+                         System.check_result system ~version query
+                           ~digest:(Canonical.result_digest result)
+                       with
+                       | Some ok -> not ok
+                       | None -> false
+                     in
+                     accepted_rev :=
+                       { time = Sim.now sim; client; slave; version; wrong } :: !accepted_rev
+                   | `Served_by_master _ | `Gave_up -> ())))
+      | Scenario.Write { client; key; at } ->
+        let op =
+          Oplog.Set_field
+            { key = keys.(key); field = "stock"; value = Value.Int (1000 + idx) }
+        in
+        ignore
+          (Sim.schedule_at sim ~time:at (fun () ->
+               System.write system ~client op ~on_done:(fun _ack -> ()))))
+    s.Scenario.ops;
+  (* Run well past the last scheduled op: masters space commits by
+     max_latency, so the write backlog alone can take
+     (n_writes + 1) * max_latency to drain; then leave the auditor its
+     lag slack plus a settling margin for retries and exclusions. *)
+  let last_op =
+    List.fold_left (fun acc op -> Float.max acc (Scenario.op_time op)) 0.0 s.Scenario.ops
+  in
+  let n_writes =
+    List.length
+      (List.filter (function Scenario.Write _ -> true | Scenario.Read _ -> false) s.Scenario.ops)
+  in
+  let horizon =
+    last_op
+    +. (float_of_int (n_writes + 2) *. s.Scenario.max_latency)
+    +. config.Config.audit_lag_slack
+    +. (10.0 *. s.Scenario.max_latency)
+    +. 30.0
+  in
+  System.run_until system horizon;
+  {
+    scenario = s;
+    events = List.rev !events_rev;
+    accepted = List.rev !accepted_rev;
+    end_time = Sim.now sim;
+  }
+
+let events_digest result =
+  let ctx = Sha1.init () in
+  List.iter
+    (fun (r : Trace.record) ->
+      Sha1.feed ctx
+        (Printf.sprintf "%.9f|%s|%s\n" r.Trace.time r.Trace.source
+           (Event.to_string r.Trace.event)))
+    result.events;
+  Hex.encode (Sha1.finalize ctx)

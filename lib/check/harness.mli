@@ -1,0 +1,33 @@
+(** Deterministic scenario execution.
+
+    Builds a {!Secrep_core.System.t} from a {!Scenario.t}, subscribes
+    to the live trace stream (so no event is lost to the ring buffer),
+    schedules the scenario's timed operations, runs the simulator past
+    the point where every write has committed and the auditor has
+    caught up, and returns the complete typed event stream plus every
+    accepted read labelled against the ground-truth oracle.
+
+    Everything is seeded from the scenario, so two runs of the same
+    scenario produce bit-identical results. *)
+
+type accepted_read = {
+  time : float;  (** simulated time the client accepted *)
+  client : int;
+  slave : int;  (** the slave that served it *)
+  version : int;  (** content version the result was computed at *)
+  wrong : bool;  (** oracle says the answer is incorrect *)
+}
+
+type run_result = {
+  scenario : Scenario.t;  (** the normalized scenario that actually ran *)
+  events : Secrep_sim.Trace.record list;  (** complete stream, oldest first *)
+  accepted : accepted_read list;  (** in completion order *)
+  end_time : float;
+}
+
+val run : Scenario.t -> run_result
+
+val events_digest : run_result -> string
+(** SHA-1 over the rendered event stream (time, source, event); equal
+    digests mean equal streams.  Used by the determinism tests and the
+    replay documentation. *)

@@ -1,0 +1,231 @@
+module Trace = Secrep_sim.Trace
+module Event = Secrep_sim.Event
+
+type checker = {
+  name : string;
+  doc : string;
+  check : Harness.run_result -> (unit, string) result;
+}
+
+let eps = 1e-6
+
+let events_of (r : Harness.run_result) = r.Harness.events
+
+(* Accusation events: the three ways the protocol points a finger. *)
+let accused_slaves result =
+  List.filter_map
+    (fun (rec_ : Trace.record) ->
+      match rec_.Trace.event with
+      | Event.Audit_conviction { slave; _ } | Event.Slave_excluded { slave; _ }
+      | Event.Double_check { slave; outcome = Event.Mismatch; _ } ->
+        Some slave
+      | _ -> None)
+    (events_of result)
+
+let detection =
+  {
+    name = "detection";
+    doc = "accepted wrong answers are eventually flagged (audit on, loss-free net)";
+    check =
+      (fun result ->
+        let s = result.Harness.scenario in
+        if (not s.Scenario.audit) || Scenario.lossy s then Ok ()
+        else begin
+          let flagged = accused_slaves result in
+          let unflagged =
+            List.filter
+              (fun (a : Harness.accepted_read) ->
+                a.Harness.wrong && a.Harness.slave >= 0
+                && not (List.mem a.Harness.slave flagged))
+              result.Harness.accepted
+          in
+          match unflagged with
+          | [] -> Ok ()
+          | a :: _ ->
+            Error
+              (Printf.sprintf
+                 "client %d accepted a wrong answer from slave %d (version %d, t=%.3f) \
+                  and the slave was never flagged by double-check, audit or exclusion"
+                 a.Harness.client a.Harness.slave a.Harness.version a.Harness.time)
+        end);
+  }
+
+let no_false_accusation =
+  {
+    name = "no-false-accusation";
+    doc = "an all-honest run never accuses anyone";
+    check =
+      (fun result ->
+        if not (Scenario.honest result.Harness.scenario) then Ok ()
+        else begin
+          match accused_slaves result with
+          | [] -> Ok ()
+          | slave :: _ ->
+            Error
+              (Printf.sprintf
+                 "slave %d was accused (conviction, exclusion or double-check mismatch) \
+                  in a run with no injected faults"
+                 slave)
+        end);
+  }
+
+let staleness =
+  {
+    name = "staleness";
+    doc = "verified pledges are never staler than max_latency";
+    check =
+      (fun result ->
+        let max_latency = result.Harness.scenario.Scenario.max_latency in
+        (* Latest commit time of each version across masters: a slave's
+           keep-alive for version v predates its own master's commit of
+           v+1, which is bounded by this. *)
+        let commits = Hashtbl.create 64 in
+        List.iter
+          (fun (r : Trace.record) ->
+            match r.Trace.event with
+            | Event.Write_committed { version; _ } ->
+              let prev =
+                match Hashtbl.find_opt commits version with
+                | Some t -> t
+                | None -> neg_infinity
+              in
+              Hashtbl.replace commits version (Float.max prev r.Trace.time)
+            | _ -> ())
+          (events_of result);
+        let violation =
+          List.find_opt
+            (fun (r : Trace.record) ->
+              match r.Trace.event with
+              | Event.Pledge_verified { ok = true; version; _ } -> begin
+                match Hashtbl.find_opt commits (version + 1) with
+                | Some committed -> r.Trace.time > committed +. max_latency +. eps
+                | None -> false
+              end
+              | _ -> false)
+            (events_of result)
+        in
+        match violation with
+        | None -> Ok ()
+        | Some r ->
+          let version =
+            match r.Trace.event with
+            | Event.Pledge_verified { version; _ } -> version
+            | _ -> -1
+          in
+          Error
+            (Printf.sprintf
+               "pledge for version %d verified OK at t=%.3f, more than max_latency=%.3g \
+                after version %d committed at t=%.3f"
+               version r.Trace.time max_latency (version + 1)
+               (Hashtbl.find commits (version + 1))));
+  }
+
+let write_spacing =
+  {
+    name = "write-spacing";
+    doc = "per-master commits are at least max_latency apart";
+    check =
+      (fun result ->
+        let max_latency = result.Harness.scenario.Scenario.max_latency in
+        let by_master = Hashtbl.create 8 in
+        List.iter
+          (fun (r : Trace.record) ->
+            match r.Trace.event with
+            | Event.Write_committed { master; version } ->
+              let prev =
+                match Hashtbl.find_opt by_master master with Some l -> l | None -> []
+              in
+              Hashtbl.replace by_master master ((version, r.Trace.time) :: prev)
+            | _ -> ())
+          (events_of result);
+        Hashtbl.fold
+          (fun master commits acc ->
+            match acc with
+            | Error _ -> acc
+            | Ok () ->
+              let sorted =
+                List.sort (fun (v1, _) (v2, _) -> compare v1 v2) commits
+              in
+              let rec walk = function
+                | (v1, t1) :: ((v2, t2) :: _ as rest) ->
+                  if t2 -. t1 < max_latency -. eps then
+                    Error
+                      (Printf.sprintf
+                         "master %d committed version %d at t=%.3f and version %d at \
+                          t=%.3f, closer than max_latency=%.3g"
+                         master v1 t1 v2 t2 max_latency)
+                  else walk rest
+                | [ _ ] | [] -> Ok ()
+              in
+              walk sorted)
+          by_master (Ok ()));
+  }
+
+let pledge_validity =
+  {
+    name = "pledge-validity";
+    doc = "every accepted read is backed by an OK pledge verification";
+    check =
+      (fun result ->
+        let verified = Hashtbl.create 64 in
+        List.iter
+          (fun (r : Trace.record) ->
+            match r.Trace.event with
+            | Event.Pledge_verified { ok = true; client; slave; version; _ } ->
+              let k = (client, slave, version) in
+              let n = match Hashtbl.find_opt verified k with Some n -> n | None -> 0 in
+              Hashtbl.replace verified k (n + 1)
+            | _ -> ())
+          (events_of result);
+        (* Multiset check: consume one verification per accepted read. *)
+        let rec consume = function
+          | [] -> Ok ()
+          | (a : Harness.accepted_read) :: rest ->
+            let k = (a.Harness.client, a.Harness.slave, a.Harness.version) in
+            let n = match Hashtbl.find_opt verified k with Some n -> n | None -> 0 in
+            if n <= 0 then
+              Error
+                (Printf.sprintf
+                   "client %d accepted a read from slave %d at version %d (t=%.3f) with \
+                    no matching OK pledge verification"
+                   a.Harness.client a.Harness.slave a.Harness.version a.Harness.time)
+            else begin
+              Hashtbl.replace verified k (n - 1);
+              consume rest
+            end
+        in
+        consume result.Harness.accepted);
+  }
+
+let all = [ detection; no_false_accusation; staleness; write_spacing; pledge_validity ]
+
+let named names =
+  match names with
+  | [] -> Ok all
+  | _ ->
+    let resolve name =
+      match List.find_opt (fun c -> c.name = name) all with
+      | Some c -> Ok c
+      | None ->
+        Error
+          (Printf.sprintf "unknown invariant %S (known: %s)" name
+             (String.concat ", " (List.map (fun c -> c.name) all)))
+    in
+    List.fold_right
+      (fun name acc ->
+        match (resolve name, acc) with
+        | Ok c, Ok cs -> Ok (c :: cs)
+        | Error e, _ -> Error e
+        | _, Error e -> Error e)
+      names (Ok [])
+
+let check_all checkers result =
+  List.fold_left
+    (fun acc c ->
+      match acc with
+      | Error _ -> acc
+      | Ok () -> (
+        match c.check result with
+        | Ok () -> Ok ()
+        | Error msg -> Error (Printf.sprintf "[%s] %s" c.name msg)))
+    (Ok ()) checkers

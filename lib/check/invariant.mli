@@ -1,0 +1,47 @@
+(** Paper-level invariants checked against a harness run's typed event
+    stream.
+
+    Each checker returns [Error message] naming the first violation it
+    finds.  Some invariants only hold under preconditions the checker
+    derives from the scenario itself (e.g. eventual detection needs
+    the auditor on and a loss-free network, because a dropped
+    client-to-auditor pledge forward legitimately loses the evidence);
+    when the precondition fails the checker passes vacuously. *)
+
+type checker = {
+  name : string;
+  doc : string;
+  check : Harness.run_result -> (unit, string) result;
+}
+
+val detection : checker
+(** Every accepted-but-wrong answer from a lying slave is eventually
+    flagged: a double-check mismatch, an audit conviction or an
+    exclusion of that slave appears in the stream.  Requires
+    [audit = true] and a loss-free network. *)
+
+val no_false_accusation : checker
+(** A run with no injected faults never produces a double-check
+    mismatch, audit conviction or exclusion — honest slaves are never
+    accused, even over lossy links. *)
+
+val staleness : checker
+(** A pledge verified OK at version [v] and time [t] implies
+    [t <= commit(v+1) + max_latency]: accepted data is never staler
+    than the freshness bound (§3.2). *)
+
+val write_spacing : checker
+(** Per master, consecutive commits are at least [max_latency] apart —
+    the write-rate limit of §3.1. *)
+
+val pledge_validity : checker
+(** Every accepted read is backed by a pledge that verified OK for the
+    same (client, slave, version) triple. *)
+
+val all : checker list
+
+val named : string list -> (checker list, string) result
+(** Resolve checker names ([]= all); [Error] lists the unknown name. *)
+
+val check_all : checker list -> Harness.run_result -> (unit, string) result
+(** First violation, prefixed with the checker's name. *)

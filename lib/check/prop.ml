@@ -1,0 +1,66 @@
+type 'a failure = {
+  seed : int64;
+  run : int;
+  original : 'a;
+  reason : string;
+  shrunk : 'a;
+  shrunk_reason : string;
+  shrink_steps : int;
+  shrink_attempts : int;
+}
+
+type 'a result_ = Pass of { runs : int } | Fail of 'a failure
+
+let shrink_loop ~max_shrink_steps ~shrink prop x reason =
+  let steps = ref 0 in
+  let attempts = ref 0 in
+  let cur = ref x in
+  let cur_reason = ref reason in
+  let progressed = ref true in
+  while !progressed && !steps < max_shrink_steps do
+    progressed := false;
+    (* Greedy: walk the candidate sequence (boldest first) and restart
+       from the first one that still fails. *)
+    let rec scan s =
+      match s () with
+      | Seq.Nil -> ()
+      | Seq.Cons (candidate, rest) -> (
+        incr attempts;
+        match prop candidate with
+        | Ok () -> scan rest
+        | Error r ->
+          cur := candidate;
+          cur_reason := r;
+          incr steps;
+          progressed := true)
+    in
+    scan (shrink !cur)
+  done;
+  (!cur, !cur_reason, !steps, !attempts)
+
+let check ?(runs = 100) ?(max_shrink_steps = 200) ~seed ~gen ~shrink prop =
+  let rec loop i =
+    if i >= runs then Pass { runs }
+    else begin
+      let run_seed = Int64.add seed (Int64.of_int i) in
+      let x = Gen.run ~seed:run_seed gen in
+      match prop x with
+      | Ok () -> loop (i + 1)
+      | Error reason ->
+        let shrunk, shrunk_reason, shrink_steps, shrink_attempts =
+          shrink_loop ~max_shrink_steps ~shrink prop x reason
+        in
+        Fail
+          {
+            seed = run_seed;
+            run = i;
+            original = x;
+            reason;
+            shrunk;
+            shrunk_reason;
+            shrink_steps;
+            shrink_attempts;
+          }
+    end
+  in
+  loop 0

@@ -1,0 +1,31 @@
+(** Property runner with greedy counterexample shrinking.
+
+    Each run [i] of a campaign gets its own seed [base + i]; the value
+    is generated from a fresh PRNG on that seed, so a reported failure
+    replays exactly with [check ~runs:1 ~seed:run_seed ...] — or, for
+    scenario properties, with the fuzz CLI's [--seed] flag. *)
+
+type 'a failure = {
+  seed : int64;  (** per-run seed that regenerates [original] *)
+  run : int;  (** 0-based index within the campaign *)
+  original : 'a;
+  reason : string;
+  shrunk : 'a;  (** = [original] when no smaller value failed *)
+  shrunk_reason : string;
+  shrink_steps : int;  (** accepted shrinks *)
+  shrink_attempts : int;  (** candidates evaluated *)
+}
+
+type 'a result_ = Pass of { runs : int } | Fail of 'a failure
+
+val check :
+  ?runs:int ->
+  ?max_shrink_steps:int ->
+  seed:int64 ->
+  gen:'a Gen.t ->
+  shrink:'a Shrink.t ->
+  ('a -> (unit, string) result) ->
+  'a result_
+(** Defaults: [runs = 100], [max_shrink_steps = 200].  The property
+    must be deterministic (all randomness via the generated value) or
+    shrinking and replay are meaningless. *)

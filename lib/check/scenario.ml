@@ -1,0 +1,222 @@
+module Fault = Secrep_core.Fault
+
+type net = Lan | Wan | Lossy of float
+
+type op =
+  | Read of { client : int; key : int; at : float }
+  | Write of { client : int; key : int; at : float }
+
+type fault = {
+  slave : int;
+  mode : Fault.lie_mode;
+  probability : float;
+  from_time : float;
+}
+
+type t = {
+  sys_seed : int;
+  n_masters : int;
+  slaves_per_master : int;
+  n_clients : int;
+  n_items : int;
+  max_latency : float;
+  keepalive_period : float;
+  double_check_p : float;
+  audit : bool;
+  net : net;
+  faults : fault list;
+  ops : op list;
+}
+
+let clamp lo hi v = max lo (min hi v)
+let clampf lo hi v = Float.max lo (Float.min hi v)
+let imod v n = ((v mod n) + n) mod n
+
+let normalize s =
+  let n_masters = clamp 1 3 s.n_masters in
+  let slaves_per_master = clamp 1 3 s.slaves_per_master in
+  let n_clients = clamp 1 4 s.n_clients in
+  let n_items = clamp 1 16 s.n_items in
+  let n_slaves = n_masters * slaves_per_master in
+  let max_latency = clampf 0.5 10.0 s.max_latency in
+  let keepalive_period = clampf (max_latency /. 10.0) (max_latency /. 2.0) s.keepalive_period in
+  let normalize_op = function
+    | Read { client; key; at } ->
+      Read { client = imod client n_clients; key = imod key n_items; at = clampf 0.0 60.0 at }
+    | Write { client; key; at } ->
+      Write { client = imod client n_clients; key = imod key n_items; at = clampf 0.0 60.0 at }
+  in
+  let normalize_fault f =
+    {
+      slave = imod f.slave n_slaves;
+      mode = f.mode;
+      probability = clampf 0.1 1.0 f.probability;
+      from_time = clampf 0.0 30.0 f.from_time;
+    }
+  in
+  {
+    s with
+    sys_seed = abs s.sys_seed;
+    n_masters;
+    slaves_per_master;
+    n_clients;
+    n_items;
+    max_latency;
+    keepalive_period;
+    double_check_p = clampf 0.0 1.0 s.double_check_p;
+    faults = List.map normalize_fault s.faults;
+    ops = List.map normalize_op s.ops;
+  }
+
+let honest s = (normalize s).faults = []
+let lossy s = match s.net with Lossy p -> p > 0.0 | Lan | Wan -> false
+let op_time = function Read { at; _ } | Write { at; _ } -> at
+
+(* -- generation -------------------------------------------------------- *)
+
+let gen_mode : Fault.lie_mode Gen.t =
+  Gen.choose
+    [
+      Fault.Corrupt_result;
+      Fault.Collude "cabal";
+      Fault.Stale_state;
+      Fault.Bad_signature;
+      Fault.Omit_result;
+    ]
+
+let gen_fault rng =
+  let slave = Gen.int_range 0 8 rng in
+  let mode = gen_mode rng in
+  let probability = Gen.choose [ 0.5; 1.0 ] rng in
+  let from_time = Gen.float_range 0.0 10.0 rng in
+  { slave; mode; probability; from_time }
+
+let gen_op rng =
+  let write = Gen.frequency [ (3, Gen.return false); (2, Gen.return true) ] rng in
+  let client = Gen.int_range 0 7 rng in
+  let key = Gen.int_range 0 31 rng in
+  let at = Gen.float_range 0.0 20.0 rng in
+  if write then Write { client; key; at } else Read { client; key; at }
+
+let gen rng =
+  let sys_seed = Gen.int_range 0 1_000_000 rng in
+  let n_masters = Gen.int_range 1 3 rng in
+  let slaves_per_master = Gen.int_range 1 3 rng in
+  let n_clients = Gen.int_range 1 4 rng in
+  let n_items = Gen.int_range 1 16 rng in
+  let max_latency = Gen.choose [ 1.0; 2.0; 5.0 ] rng in
+  let keepalive_frac = Gen.choose [ 0.15; 0.3; 0.5 ] rng in
+  let double_check_p = Gen.choose [ 0.0; 0.05; 0.3 ] rng in
+  let audit = Gen.frequency [ (3, Gen.return true); (1, Gen.return false) ] rng in
+  let net =
+    Gen.frequency
+      [
+        (3, Gen.return Lan);
+        (2, Gen.return Wan);
+        (1, Gen.map (fun p -> Lossy p) (Gen.choose [ 0.05; 0.15 ]));
+      ]
+      rng
+  in
+  let faults = Gen.list_size (Gen.int_range 0 2) gen_fault rng in
+  let ops = Gen.list_size (Gen.int_range 0 25) gen_op rng in
+  normalize
+    {
+      sys_seed;
+      n_masters;
+      slaves_per_master;
+      n_clients;
+      n_items;
+      max_latency;
+      keepalive_period = max_latency *. keepalive_frac;
+      double_check_p;
+      audit;
+      net;
+      faults;
+      ops;
+    }
+
+(* -- shrinking --------------------------------------------------------- *)
+
+let shrink_op op =
+  let towards_zero field = Shrink.int_towards ~target:0 field in
+  match op with
+  | Read { client; key; at } ->
+    Seq.append
+      (Seq.map (fun client -> Read { client; key; at }) (towards_zero client))
+      (Seq.map (fun key -> Read { client; key; at }) (towards_zero key))
+  | Write { client; key; at } ->
+    Seq.append
+      (Seq.map (fun client -> Write { client; key; at }) (towards_zero client))
+      (Seq.map (fun key -> Write { client; key; at }) (towards_zero key))
+
+let shrink_fault f =
+  Seq.map (fun slave -> { f with slave }) (Shrink.int_towards ~target:0 f.slave)
+
+let shrink s =
+  let with_ops ops = { s with ops } in
+  let with_faults faults = { s with faults } in
+  let scalar_shrinks =
+    List.to_seq
+      (List.concat
+         [
+           List.of_seq
+             (Seq.map (fun n_clients -> { s with n_clients })
+                (Shrink.int_towards ~target:1 s.n_clients));
+           List.of_seq
+             (Seq.map
+                (fun slaves_per_master -> { s with slaves_per_master })
+                (Shrink.int_towards ~target:1 s.slaves_per_master));
+           List.of_seq
+             (Seq.map (fun n_masters -> { s with n_masters })
+                (Shrink.int_towards ~target:1 s.n_masters));
+           List.of_seq
+             (Seq.map (fun n_items -> { s with n_items })
+                (Shrink.int_towards ~target:1 s.n_items));
+           (if s.double_check_p > 0.0 then [ { s with double_check_p = 0.0 } ] else []);
+           (match s.net with Lan -> [] | Wan | Lossy _ -> [ { s with net = Lan } ]);
+         ])
+  in
+  Seq.map normalize
+    (Seq.append
+       (Seq.map with_ops (Shrink.list ~elt:shrink_op s.ops))
+       (Seq.append (Seq.map with_faults (Shrink.list ~elt:shrink_fault s.faults)) scalar_shrinks))
+
+(* -- printing ---------------------------------------------------------- *)
+
+let net_to_string = function
+  | Lan -> "lan"
+  | Wan -> "wan"
+  | Lossy p -> Printf.sprintf "lossy(%.2g)" p
+
+let mode_to_string = function
+  | Fault.Corrupt_result -> "corrupt"
+  | Fault.Collude tag -> Printf.sprintf "collude:%s" tag
+  | Fault.Stale_state -> "stale"
+  | Fault.Bad_signature -> "bad-signature"
+  | Fault.Omit_result -> "omit"
+
+let pp_op fmt = function
+  | Read { client; key; at } -> Format.fprintf fmt "read(c%d, k%d, t=%.2f)" client key at
+  | Write { client; key; at } -> Format.fprintf fmt "write(c%d, k%d, t=%.2f)" client key at
+
+let pp_fault fmt f =
+  Format.fprintf fmt "slave %d: %s p=%.2g from t=%.2f" f.slave (mode_to_string f.mode)
+    f.probability f.from_time
+
+let pp fmt s =
+  Format.fprintf fmt
+    "@[<v>scenario:@,\
+    \  sys_seed=%d  %d master(s) x %d slave(s), %d client(s), %d item(s)@,\
+    \  max_latency=%.2g keepalive=%.2g double_check_p=%.2g audit=%b net=%s@,\
+    \  faults: %s@,\
+    \  ops (%d):@,%a@]"
+    s.sys_seed s.n_masters s.slaves_per_master s.n_clients s.n_items s.max_latency
+    s.keepalive_period s.double_check_p s.audit (net_to_string s.net)
+    (if s.faults = [] then "none"
+     else String.concat "; " (List.map (Format.asprintf "%a" pp_fault) s.faults))
+    (List.length s.ops)
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun fmt op ->
+         Format.fprintf fmt "    %a" pp_op op))
+    s.ops
+
+let to_string s = Format.asprintf "%a" pp s

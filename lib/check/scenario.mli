@@ -1,0 +1,65 @@
+(** Randomized system scenarios for the fuzz harness.
+
+    A scenario is a *value*: topology, protocol knobs, network shape,
+    fault injections and a timed operation schedule.  {!gen} draws one
+    from a seed, {!Harness.run} executes it deterministically, and
+    {!shrink} proposes smaller scenarios so counterexamples come back
+    minimal.
+
+    Field values need not be in range a priori — shrinking individual
+    fields would otherwise have to keep cross-field consistency —
+    {!normalize} clamps everything (client and slave indices by [mod],
+    scalars into their legal ranges) before a run. *)
+
+type net =
+  | Lan  (** sub-millisecond links, no loss *)
+  | Wan  (** the default 2003-flavoured WAN profile *)
+  | Lossy of float  (** LAN latencies, this fraction of messages dropped *)
+
+type op =
+  | Read of { client : int; key : int; at : float }
+  | Write of { client : int; key : int; at : float }
+
+type fault = {
+  slave : int;
+  mode : Secrep_core.Fault.lie_mode;
+  probability : float;
+  from_time : float;
+}
+
+type t = {
+  sys_seed : int;  (** seeds the system PRNG and the content *)
+  n_masters : int;
+  slaves_per_master : int;
+  n_clients : int;
+  n_items : int;
+  max_latency : float;
+  keepalive_period : float;
+  double_check_p : float;
+  audit : bool;
+  net : net;
+  faults : fault list;
+  ops : op list;
+}
+
+val normalize : t -> t
+(** Idempotent; every field in range, every index within the topology. *)
+
+val honest : t -> bool
+(** No effective fault after normalization. *)
+
+val lossy : t -> bool
+
+val op_time : op -> float
+
+val gen : t Gen.t
+
+val shrink : t Shrink.t
+(** Order of attack: drop ops, drop faults, then pull the topology,
+    content size and double-check probability toward minimal.  Timing
+    parameters ([max_latency], [keepalive_period], op times) are left
+    alone: changing them reshapes the whole schedule and mostly makes
+    failures vanish for the wrong reason. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,39 @@
+type 'a t = 'a -> 'a Seq.t
+
+let nothing _ = Seq.empty
+
+let int_towards ~target n =
+  if n = target then Seq.empty
+  else
+    (* diff halves toward 0, so candidates move from [target] toward
+       [n]; built in that order, the boldest jump is tried first. *)
+    let rec build diff acc = if diff = 0 then List.rev acc else build (diff / 2) ((n - diff) :: acc) in
+    List.to_seq (build (n - target) [])
+
+let remove_at i l = List.filteri (fun j _ -> j <> i) l
+let replace_at i x l = List.mapi (fun j y -> if j = i then x else y) l
+
+let list ?(elt = nothing) l =
+  match l with
+  | [] -> Seq.empty
+  | _ ->
+    let n = List.length l in
+    let halves =
+      if n >= 2 then
+        let half = n / 2 in
+        [ List.filteri (fun i _ -> i < half) l; List.filteri (fun i _ -> i >= half) l ]
+      else []
+    in
+    let drop_one = List.init n (fun i -> remove_at i l) in
+    let structural = List.to_seq (([] :: halves) @ drop_one) in
+    (* Element-wise shrinks come last: only once the list cannot get
+       any shorter is it worth simplifying what is left. *)
+    let elementwise =
+      Seq.concat_map
+        (fun i -> Seq.map (fun x -> replace_at i x l) (elt (List.nth l i)))
+        (Seq.init n Fun.id)
+    in
+    Seq.append structural elementwise
+
+let pair sa sb (a, b) =
+  Seq.append (Seq.map (fun a' -> (a', b)) (sa a)) (Seq.map (fun b' -> (a, b')) (sb b))

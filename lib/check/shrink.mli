@@ -1,0 +1,22 @@
+(** Shrinkers: candidate sequences of strictly "smaller" values.
+
+    A shrinker maps a failing value to candidates to try next, most
+    aggressive first; {!Prop.check} greedily takes the first candidate
+    that still fails and repeats until nothing smaller fails.  All
+    sequences here are finite. *)
+
+type 'a t = 'a -> 'a Seq.t
+
+val nothing : 'a t
+
+val int_towards : target:int -> int t
+(** Candidates between [target] and the value, boldest ([target]
+    itself) first, approaching the value by halving. *)
+
+val list : ?elt:'a t -> 'a list t
+(** Structural list shrinking: the empty list, then each half, then
+    the list with one element dropped, then (with [elt]) element-wise
+    shrinks in place. *)
+
+val pair : 'a t -> 'b t -> ('a * 'b) t
+(** Shrink the left component first, then the right. *)

@@ -18,6 +18,7 @@ type read_report = {
   retries : int;
   double_checked : bool;
   caught_slave : int option;
+  served_by : int option;
 }
 
 type env = {
@@ -130,6 +131,7 @@ let give_up t ~query ~start ~retries ~double_checked ~caught =
     retries;
     double_checked;
     caught_slave = caught;
+    served_by = None;
   }
 
 (* Only reads accepted within the audit horizon can still turn out to
@@ -181,6 +183,7 @@ let accept ?served_by t ~query ~result ~version ~start ~retries ~double_checked 
     retries;
     double_checked;
     caught_slave = caught;
+    served_by;
   }
 
 let sensitive_read t query ~on_done =
@@ -203,6 +206,7 @@ let sensitive_read t query ~on_done =
             retries = 0;
             double_checked = false;
             caught_slave = None;
+            served_by = None;
           }
       | None -> on_done (give_up t ~query ~start ~retries:0 ~double_checked:false ~caught:None))
 
@@ -243,7 +247,13 @@ let rec single_attempt t ~query ~dc_probability ~start ~retries ~caught ~on_done
               Stats.incr t.stats "client.pledge_rejected";
               emit t
                 (Event.Pledge_verified
-                   { client = t.id; slave = pledge.Pledge.slave_id; ok = false; reason });
+                   {
+                     client = t.id;
+                     slave = pledge.Pledge.slave_id;
+                     version = Pledge.version pledge;
+                     ok = false;
+                     reason;
+                   });
               if String.length reason >= 5 && String.sub reason 0 5 = "stale" then begin
                 t.stale_rejections <- t.stale_rejections + 1;
                 Stats.incr t.stats "client.stale_rejections";
@@ -254,7 +264,13 @@ let rec single_attempt t ~query ~dc_probability ~start ~retries ~caught ~on_done
             | Ok () ->
               emit t
                 (Event.Pledge_verified
-                   { client = t.id; slave = pledge.Pledge.slave_id; ok = true; reason = "" });
+                   {
+                     client = t.id;
+                     slave = pledge.Pledge.slave_id;
+                     version = Pledge.version pledge;
+                     ok = true;
+                     reason = "";
+                   });
               if Prng.bernoulli t.rng dc_probability then begin
                 Stats.incr t.stats "client.double_checks";
                 t.env.send_double_check ~query ~reply:(fun dc ->
@@ -358,12 +374,24 @@ let rec quorum_attempt t ~query ~k ~dc_probability ~start ~retries ~caught ~on_d
                     | Ok () ->
                       emit t
                         (Event.Pledge_verified
-                           { client = t.id; slave = slave_id; ok = true; reason = "" });
+                           {
+                             client = t.id;
+                             slave = slave_id;
+                             version = Pledge.version pledge;
+                             ok = true;
+                             reason = "";
+                           });
                       Some (slave_id, result, pledge)
                     | Error reason ->
                       emit t
                         (Event.Pledge_verified
-                           { client = t.id; slave = slave_id; ok = false; reason });
+                           {
+                             client = t.id;
+                             slave = slave_id;
+                             version = Pledge.version pledge;
+                             ok = false;
+                             reason;
+                           });
                       None
                   end
                 end)

@@ -27,6 +27,10 @@ type read_report = {
   retries : int;
   double_checked : bool;
   caught_slave : int option;  (** immediate discovery on this read *)
+  served_by : int option;
+      (** slave that served the accepted answer; [None] for by-master
+          and gave-up outcomes.  The fuzz harness keys its
+          eventual-detection invariant on this. *)
 }
 
 type env = {

@@ -83,24 +83,37 @@ let dropping_updates t =
 
 let receive_update t ~entries ~keepalive =
   if not t.excluded then begin
-    t.keepalive <- Some keepalive;
+    (* Links deliver with random latency, so packets can arrive out of
+       order; never let a delayed older keep-alive shadow a fresher
+       one. *)
+    (match t.keepalive with
+    | Some prev when prev.Keepalive.timestamp > keepalive.Keepalive.timestamp -> ()
+    | Some _ | None -> t.keepalive <- Some keepalive);
     if not (dropping_updates t) then begin
       let before = Store.version t.store in
-      let gap = ref false in
       List.iter
         (fun (entry : Oplog.entry) ->
           if entry.version = Store.version t.store + 1 then Store.apply_entry t.store entry
-          else if entry.version > Store.version t.store + 1 then gap := true
-          (* entry.version <= current: duplicate, ignore *))
+          (* entry.version <> current + 1: duplicate or gap, ignore /
+             handled below *))
         entries;
       let after = Store.version t.store in
       if after > before then
         emit t
           (Event.State_update_applied { slave = t.id; from_version = before; to_version = after });
-      if !gap then begin
+      (* The keep-alive names the master's current version, so any
+         shortfall — whether the gap showed up inside [entries] or an
+         earlier update was lost on the wire — triggers a resync.
+         Periodic keep-alives retry this for free until it heals. *)
+      let target =
+        match t.keepalive with
+        | Some ka -> ka.Keepalive.version
+        | None -> keepalive.Keepalive.version
+      in
+      if after < target then begin
         Stats.incr t.stats "slave.resync_requests";
         match t.resync with
-        | Some f -> f ~slave_id:t.id ~from_version:(Store.version t.store)
+        | Some f -> f ~slave_id:t.id ~from_version:after
         | None -> ()
       end
     end
@@ -140,12 +153,18 @@ let handle_read t ~client:_ ~query ~reply =
     match t.keepalive with
     | None -> reply None
     | Some keepalive ->
+      (* An honest slave serves only with a fresh keep-alive *and* a
+         store caught up to the version that keep-alive names: a slave
+         that missed an update on the wire would otherwise sign pledges
+         claiming the new version over old state — indistinguishable
+         from a Stale_state attacker to the auditor.  "It should stop
+         handling user requests until back in sync" (§3); an attacker
+         ignores that rule. *)
       let honest_available =
         Keepalive.is_fresh keepalive ~now ~max_latency:t.config.Config.max_latency
+        && keepalive.Keepalive.version = Store.version t.store
       in
       let lie = Fault.lies t.behavior ~now t.rng in
-      (* An honest slave out of sync "should stop handling user requests
-         until back in sync" (§3); an attacker ignores that rule. *)
       if (not honest_available) && lie = None then begin
         Stats.incr t.stats "slave.refused_stale";
         reply None

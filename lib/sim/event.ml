@@ -11,7 +11,13 @@ type t =
       latency : float;
     }
   | Pledge_signed of { slave : int; version : int; lied : bool }
-  | Pledge_verified of { client : int; slave : int; ok : bool; reason : string }
+  | Pledge_verified of {
+      client : int;
+      slave : int;
+      version : int;
+      ok : bool;
+      reason : string;
+    }
   | Double_check of { client : int; slave : int; outcome : dc_outcome }
   | Write_committed of { master : int; version : int }
   | Keepalive_sent of { master : int; version : int }
@@ -82,8 +88,14 @@ let fields = function
     ]
   | Pledge_signed { slave; version; lied } ->
     [ ("slave", I slave); ("version", I version); ("lied", B lied) ]
-  | Pledge_verified { client; slave; ok; reason } ->
-    [ ("client", I client); ("slave", I slave); ("ok", B ok); ("reason", S reason) ]
+  | Pledge_verified { client; slave; version; ok; reason } ->
+    [
+      ("client", I client);
+      ("slave", I slave);
+      ("version", I version);
+      ("ok", B ok);
+      ("reason", S reason);
+    ]
   | Double_check { client; slave; outcome } ->
     [ ("client", I client); ("slave", I slave); ("outcome", S (dc_outcome_to_string outcome)) ]
   | Write_committed { master; version } -> [ ("master", I master); ("version", I version) ]
@@ -152,9 +164,10 @@ let of_fields ~kind fs =
   | "pledge_verified" ->
     let* client = int_field fs "client" in
     let* slave = int_field fs "slave" in
+    let* version = int_field fs "version" in
     let* ok = bool_field fs "ok" in
     let* reason = str_field fs "reason" in
-    Ok (Pledge_verified { client; slave; ok; reason })
+    Ok (Pledge_verified { client; slave; version; ok; reason })
   | "double_check" ->
     let* client = int_field fs "client" in
     let* slave = int_field fs "slave" in

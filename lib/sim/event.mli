@@ -22,7 +22,13 @@ type t =
       latency : float;
     }
   | Pledge_signed of { slave : int; version : int; lied : bool }
-  | Pledge_verified of { client : int; slave : int; ok : bool; reason : string }
+  | Pledge_verified of {
+      client : int;
+      slave : int;
+      version : int;  (** content version the pledge claims (-1 if unparsable) *)
+      ok : bool;
+      reason : string;
+    }
   | Double_check of { client : int; slave : int; outcome : dc_outcome }
   | Write_committed of { master : int; version : int }
   | Keepalive_sent of { master : int; version : int }

@@ -5,16 +5,21 @@ type t = {
   ring : record option array;
   mutable next : int; (* next write slot *)
   mutable total : int;
+  mutable subscribers : (record -> unit) list;
 }
 
 let create ?(capacity = 4096) () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
-  { capacity; ring = Array.make capacity None; next = 0; total = 0 }
+  { capacity; ring = Array.make capacity None; next = 0; total = 0; subscribers = [] }
+
+let on_emit t f = t.subscribers <- t.subscribers @ [ f ]
 
 let emit t ~time ~source event =
-  t.ring.(t.next) <- Some { time; source; event };
+  let r = { time; source; event } in
+  t.ring.(t.next) <- Some r;
   t.next <- (t.next + 1) mod t.capacity;
-  t.total <- t.total + 1
+  t.total <- t.total + 1;
+  List.iter (fun f -> f r) t.subscribers
 
 let log t ~time ~source msg = emit t ~time ~source (Event.Log msg)
 

@@ -17,6 +17,13 @@ val create : ?capacity:int -> unit -> t
 
 val emit : t -> time:float -> source:string -> Event.t -> unit
 
+val on_emit : t -> (record -> unit) -> unit
+(** Subscribe to the live event stream: [f] runs synchronously on
+    every subsequent {!emit}, before the record can be overwritten by
+    the ring.  This is how the fuzz harness captures complete event
+    streams regardless of the ring capacity.  Subscribers fire in
+    registration order and must not emit into the same trace. *)
+
 val log : t -> time:float -> source:string -> string -> unit
 (** [log t ~time ~source msg] = [emit t ~time ~source (Event.Log msg)]. *)
 

@@ -3,7 +3,7 @@
    is small enough that the O(n) eviction scan is irrelevant next to
    query re-execution. *)
 
-type entry = { digest : string; mutable last_used : int }
+type entry = { mutable digest : string; mutable last_used : int }
 
 type t = {
   capacity : int;
@@ -43,10 +43,15 @@ let evict_oldest t =
 let store t ~version q ~digest =
   t.tick <- t.tick + 1;
   let k = key ~version q in
-  if not (Hashtbl.mem t.table k) then begin
+  match Hashtbl.find_opt t.table k with
+  | Some entry ->
+    (* Re-storing must refresh both the digest and the recency, or a
+       stale digest survives and the entry evicts as if never touched. *)
+    entry.digest <- digest;
+    entry.last_used <- t.tick
+  | None ->
     if Hashtbl.length t.table >= t.capacity then evict_oldest t;
     Hashtbl.add t.table k { digest; last_used = t.tick }
-  end
 
 let hits t = t.hits
 let misses t = t.misses

@@ -15,6 +15,8 @@ val find : t -> version:int -> Query.t -> string option
 (** Cached canonical result digest, if present. *)
 
 val store : t -> version:int -> Query.t -> digest:string -> unit
+(** Insert, or — if the key is already present — update the digest and
+    refresh the entry's recency for eviction purposes. *)
 
 val hits : t -> int
 val misses : t -> int

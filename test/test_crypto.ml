@@ -134,6 +134,32 @@ let test_hmac_sha1 () =
   check string_t "hmac-sha1" "b617318655057264e28bc0b6fb378c8ef146be00"
     (Hmac.hex_mac ~hash:Hmac.Sha1 ~key "Hi There")
 
+(* The full RFC 2202 §3 HMAC-SHA1 table (cases 2-7; case 1 above). *)
+let hmac_sha1_rfc2202 =
+  [
+    ("case 2", "Jefe", "what do ya want for nothing?", "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+    ("case 3", String.make 20 '\xaa', String.make 50 '\xdd', "125d7342b9ac11cd91a39af48aa17b4f63f175d3");
+    ( "case 4",
+      String.init 25 (fun i -> Char.chr (i + 1)),
+      String.make 50 '\xcd',
+      "4c9007f4026250c6bc8414f9bf50c86c2d7235da" );
+    ("case 5", String.make 20 '\x0c', "Test With Truncation", "4c1a03424b55e07fe7f27be1d58bb9324a9a5a04");
+    ( "case 6",
+      String.make 80 '\xaa',
+      "Test Using Larger Than Block-Size Key - Hash Key First",
+      "aa4ae5e15272d00e95705637ce8a3b55ed402112" );
+    ( "case 7",
+      String.make 80 '\xaa',
+      "Test Using Larger Than Block-Size Key and Larger Than One Block-Size Data",
+      "e8e99d0f45237d786d6bbaa7965c7808bbff1a91" );
+  ]
+
+let test_hmac_sha1_rfc2202 () =
+  List.iter
+    (fun (name, key, msg, expected) ->
+      check string_t ("hmac-sha1 " ^ name) expected (Hmac.hex_mac ~hash:Hmac.Sha1 ~key msg))
+    hmac_sha1_rfc2202
+
 let test_const_time_eq () =
   check bool_t "equal" true (Hmac.equal_const_time "abcd" "abcd");
   check bool_t "different" false (Hmac.equal_const_time "abcd" "abce");
@@ -435,6 +461,33 @@ let test_rsa_rejects_tampered () =
   check bool_t "truncated signature" false
     (Rsa.verify key.Rsa.pub ~msg:"a message" ~signature:(String.sub s 0 (String.length s - 1)))
 
+let test_rsa_rejects_degenerate_signatures () =
+  let key = Lazy.force shared_key in
+  let len = Rsa.key_bytes key.Rsa.pub in
+  List.iter
+    (fun (name, signature) ->
+      check bool_t name false (Rsa.verify key.Rsa.pub ~msg:"a message" ~signature))
+    [
+      ("empty signature", "");
+      ("all-zero signature", String.make len '\x00');
+      ("all-ones signature", String.make len '\xff');
+      ("over-long signature", String.make (len + 1) '\x01');
+      ("single byte", "\x01");
+    ]
+
+let test_rsa_every_byte_flip_rejected () =
+  (* Flip one bit in each signature byte: none may verify. *)
+  let key = Lazy.force shared_key in
+  let s = Rsa.sign key "a message" in
+  for i = 0 to String.length s - 1 do
+    let tampered = Bytes.of_string s in
+    Bytes.set tampered i (Char.chr (Char.code (Bytes.get tampered i) lxor 0x80));
+    check bool_t
+      (Printf.sprintf "flip at byte %d" i)
+      false
+      (Rsa.verify key.Rsa.pub ~msg:"a message" ~signature:(Bytes.to_string tampered))
+  done
+
 let test_rsa_crt_matches_reference () =
   let key = Lazy.force shared_key in
   List.iter
@@ -630,6 +683,7 @@ let () =
           Alcotest.test_case "rfc4231 case 3" `Quick test_hmac_rfc4231_case3;
           Alcotest.test_case "long key" `Quick test_hmac_long_key;
           Alcotest.test_case "hmac-sha1" `Quick test_hmac_sha1;
+          Alcotest.test_case "hmac-sha1 rfc2202 cases 2-7" `Quick test_hmac_sha1_rfc2202;
           Alcotest.test_case "constant-time equality" `Quick test_const_time_eq;
         ] );
       ( "hex",
@@ -678,6 +732,9 @@ let () =
         [
           Alcotest.test_case "sign/verify roundtrip" `Quick test_rsa_roundtrip;
           Alcotest.test_case "rejects tampering" `Quick test_rsa_rejects_tampered;
+          Alcotest.test_case "rejects degenerate signatures" `Quick
+            test_rsa_rejects_degenerate_signatures;
+          Alcotest.test_case "rejects every byte flip" `Quick test_rsa_every_byte_flip_rejected;
           Alcotest.test_case "CRT matches reference" `Quick test_rsa_crt_matches_reference;
           Alcotest.test_case "keys do not cross-verify" `Quick
             test_rsa_distinct_keys_dont_cross_verify;

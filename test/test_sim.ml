@@ -501,7 +501,8 @@ let sample_events =
     Event.Read_answered
       { client = 3; slave = 7; outcome = "accepted"; version = 12; latency = 0.034 };
     Event.Pledge_signed { slave = 7; version = 12; lied = false };
-    Event.Pledge_verified { client = 3; slave = 7; ok = false; reason = "stale keepalive" };
+    Event.Pledge_verified
+      { client = 3; slave = 7; version = 12; ok = false; reason = "stale keepalive" };
     Event.Double_check { client = 3; slave = 7; outcome = Event.Mismatch };
     Event.Write_committed { master = 1; version = 13 };
     Event.Keepalive_sent { master = 1; version = 13 };

@@ -791,6 +791,154 @@ let test_result_cache_lru () =
   check bool_t "q1 kept" true (Result_cache.find c ~version:1 (q 1) = Some "d1");
   check bool_t "q4 present" true (Result_cache.find c ~version:1 (q 4) = Some "d4")
 
+let test_result_cache_restore_updates () =
+  (* Regression: [store] on an existing key used to be a silent no-op,
+     keeping the stale digest and the stale recency. *)
+  let c = Result_cache.create ~capacity:10 () in
+  let q = Query.point_read "k" in
+  Result_cache.store c ~version:1 q ~digest:"old";
+  Result_cache.store c ~version:1 q ~digest:"new";
+  check int_t "still one entry" 1 (Result_cache.size c);
+  check bool_t "digest updated" true (Result_cache.find c ~version:1 q = Some "new")
+
+let test_result_cache_restore_refreshes_recency () =
+  let c = Result_cache.create ~capacity:3 () in
+  let q i = Query.point_read (string_of_int i) in
+  Result_cache.store c ~version:1 (q 1) ~digest:"d1";
+  Result_cache.store c ~version:1 (q 2) ~digest:"d2";
+  Result_cache.store c ~version:1 (q 3) ~digest:"d3";
+  (* Re-store q1: it must become the most recent, leaving q2 oldest. *)
+  Result_cache.store c ~version:1 (q 1) ~digest:"d1'";
+  Result_cache.store c ~version:1 (q 4) ~digest:"d4";
+  check int_t "capacity held" 3 (Result_cache.size c);
+  check bool_t "q2 evicted, not the re-stored q1" true
+    (Result_cache.find c ~version:1 (q 2) = None);
+  check bool_t "q1 kept with updated digest" true
+    (Result_cache.find c ~version:1 (q 1) = Some "d1'");
+  check bool_t "q4 present" true (Result_cache.find c ~version:1 (q 4) = Some "d4")
+
+(* ---------------- Regex corner cases ---------------- *)
+
+let test_regex_empty_pattern () =
+  (* An empty pattern matches everywhere, like grep "". *)
+  check bool_t "empty vs empty" true (m "" "");
+  check bool_t "empty vs text" true (m "" "anything");
+  check bool_t "empty alternative" true (m "(|a)b" "b")
+
+let test_regex_anchor_corners () =
+  check bool_t "^$ matches empty" true (m "^$" "");
+  check bool_t "^$ rejects non-empty" false (m "^$" "x");
+  check bool_t "bare ^ matches anything" true (m "^" "abc");
+  check bool_t "bare $ matches anything" true (m "$" "abc");
+  check bool_t "^ anchors the search" false (m "^bc" "abc");
+  check bool_t "$ anchors the search" false (m "ab$" "abc");
+  check bool_t "both anchors" true (m "^abc$" "abc");
+  check bool_t "both anchors reject superstring" false (m "^abc$" "xabcx")
+
+let test_regex_star_backtracking () =
+  (* Patterns where a greedy/backtracking matcher must give back
+     characters; the NFA simulation should just get these right. *)
+  check bool_t "a*a needs give-back" true (m "^a*a$" "aaa");
+  check bool_t "a*ab" true (m "^a*ab$" "aaab");
+  check bool_t "(a|ab)*c" true (m "^(a|ab)*c$" "aababc");
+  check bool_t ".*b finds last b" true (m "^.*b$" "abab");
+  check bool_t "a*a*a matches single a" true (m "^a*a*a$" "a");
+  check bool_t "star of empty-capable group terminates" true (m "^(a?)*b$" "aab")
+
+let test_regex_class_edges () =
+  check bool_t "literal - at end" true (m "^[a-]$" "-");
+  check bool_t "literal - at start" true (m "^[-a]$" "-");
+  check bool_t "single-char range" true (m "^[a-a]$" "a");
+  check bool_t "negated class" false (m "^[^a-c]$" "b");
+  check bool_t "negated class hit" true (m "^[^a-c]$" "z");
+  check bool_t "class with escape" true (m "^[\\]]$" "]");
+  check bool_t "caret mid-class is literal" true (m "^[a^]$" "^");
+  let parse_fails pattern =
+    match Regex.compile pattern with
+    | (_ : Regex.t) -> false
+    | exception Regex.Parse_error _ -> true
+  in
+  check bool_t "unterminated class" true (parse_fails "[ab");
+  check bool_t "reversed range" true (parse_fails "[z-a]")
+
+(* ---------------- Codec adversarial round-trips ---------------- *)
+
+let test_codec_roundtrip_adversarial_values () =
+  let deep =
+    (* 200 levels of list nesting: decoders must not overflow or
+       misparse length prefixes. *)
+    let rec nest n v = if n = 0 then v else nest (n - 1) (Value.List [ v ]) in
+    nest 200 (Value.String "core")
+  in
+  let gnarly =
+    [
+      deep;
+      Value.String (String.init 256 Char.chr);
+      Value.String "";
+      Value.List [];
+      Value.List [ Value.Null; Value.Bool false; Value.List [ Value.Int min_int ] ];
+      Value.Int max_int;
+      Value.Int min_int;
+      Value.Float Float.nan;
+      Value.Float Float.infinity;
+      Value.Float (-0.0);
+    ]
+  in
+  List.iter
+    (fun v ->
+      match Codec.decode_value (Codec.encode_value v) with
+      | Ok v' ->
+        check bool_t "value round-trips" true (Value.equal v v' || Value.compare v v' = 0)
+      | Error e -> Alcotest.failf "decode failed: %s" e)
+    gnarly
+
+let test_codec_roundtrip_adversarial_strings () =
+  (* Keys and fields that look like framing: NULs, length-prefix-ish
+     bytes, very long runs. *)
+  let keys = [ "\x00"; "\x00\x01\x02"; String.make 300 '\xff'; "\127\128"; "" ] in
+  List.iter
+    (fun key ->
+      let op = Oplog.Set_field { key; field = key; value = Value.String key } in
+      match Codec.decode_op (Codec.encode_op op) with
+      | Ok op' -> check bool_t "op round-trips" true (op = op')
+      | Error e -> Alcotest.failf "decode failed: %s" e)
+    keys
+
+let test_codec_rejects_trailing_garbage () =
+  let s = Codec.encode_value (Value.Int 7) in
+  (match Codec.decode_value (s ^ "\x00") with
+  | Ok _ -> Alcotest.fail "accepted trailing garbage"
+  | Error _ -> ());
+  match Codec.decode_value "" with
+  | Ok _ -> Alcotest.fail "accepted empty input"
+  | Error _ -> ()
+
+let test_codec_reader_truncation () =
+  let w = Codec.Writer.create () in
+  Codec.Writer.varint w 300;
+  Codec.Writer.bytes w "payload";
+  let s = Codec.Writer.contents w in
+  (* Every strict prefix must decode to Error, never raise or loop. *)
+  for len = 0 to String.length s - 1 do
+    match
+      Codec.Reader.run (String.sub s 0 len) (fun r ->
+          let n = Codec.Reader.varint r in
+          let b = Codec.Reader.bytes r in
+          (n, b))
+    with
+    | Ok _ -> Alcotest.failf "prefix of length %d decoded" len
+    | Error _ -> ()
+  done;
+  match
+    Codec.Reader.run s (fun r ->
+        let n = Codec.Reader.varint r in
+        let b = Codec.Reader.bytes r in
+        (n, b))
+  with
+  | Ok (300, "payload") -> ()
+  | Ok _ -> Alcotest.fail "wrong decode"
+  | Error e -> Alcotest.failf "full input failed: %s" e
+
 let () =
   Alcotest.run "secrep_store"
     [
@@ -806,6 +954,10 @@ let () =
           Alcotest.test_case "matches_exact" `Quick test_regex_matches_exact;
           Alcotest.test_case "no exponential blow-up" `Quick test_regex_no_blowup;
           Alcotest.test_case "source" `Quick test_regex_source;
+          Alcotest.test_case "empty pattern" `Quick test_regex_empty_pattern;
+          Alcotest.test_case "anchor corners" `Quick test_regex_anchor_corners;
+          Alcotest.test_case "star give-back" `Quick test_regex_star_backtracking;
+          Alcotest.test_case "class edges" `Quick test_regex_class_edges;
           prop_regex_vs_reference;
         ] );
       ( "value",
@@ -863,10 +1015,18 @@ let () =
           prop_codec_truncation_fails_cleanly;
           Alcotest.test_case "entries roundtrip" `Quick test_codec_entries_roundtrip;
           Alcotest.test_case "negative int" `Quick test_codec_negative_int;
+          Alcotest.test_case "adversarial values" `Quick test_codec_roundtrip_adversarial_values;
+          Alcotest.test_case "adversarial strings" `Quick
+            test_codec_roundtrip_adversarial_strings;
+          Alcotest.test_case "trailing garbage" `Quick test_codec_rejects_trailing_garbage;
+          Alcotest.test_case "reader truncation" `Quick test_codec_reader_truncation;
         ] );
       ( "result_cache",
         [
           Alcotest.test_case "hit/miss accounting" `Quick test_result_cache_hit_miss;
           Alcotest.test_case "LRU eviction" `Quick test_result_cache_lru;
+          Alcotest.test_case "re-store updates digest" `Quick test_result_cache_restore_updates;
+          Alcotest.test_case "re-store refreshes recency" `Quick
+            test_result_cache_restore_refreshes_recency;
         ] );
     ]
