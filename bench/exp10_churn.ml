@@ -1,0 +1,194 @@
+(* E10 — availability and detection under churn (robustness).
+
+   The paper's protocol is specified against a well-behaved network;
+   this experiment measures what the implementation does on a hostile
+   one.  Two measurements:
+
+   (a) Availability vs chaos intensity: seeded-random fault timelines
+       (partitions, crash-recover churn, loss bursts, latency spikes)
+       of increasing density while clients keep reading.  Every read
+       must still complete — accepted from a slave, served degraded by
+       the trusted master, or an explicit give-up — and honest slaves
+       must never be accused no matter how hard the network misbehaves.
+
+   (b) Detection latency under partition: a lying slave with the
+       auditor cut off for part of the run.  Exclusion still happens,
+       it just waits for the evidence path to heal — detection latency
+       degrades gracefully instead of detection being lost. *)
+
+module System = Secrep_core.System
+module Config = Secrep_core.Config
+module Client = Secrep_core.Client
+module Corrective = Secrep_core.Corrective
+module Fault = Secrep_core.Fault
+module Stats = Secrep_sim.Stats
+module Sim = Secrep_sim.Sim
+module Prng = Secrep_crypto.Prng
+module Query = Secrep_store.Query
+module Oplog = Secrep_store.Oplog
+module Value = Secrep_store.Value
+module Schedule = Secrep_chaos.Schedule
+module Injector = Secrep_chaos.Injector
+
+let churn_config =
+  {
+    Exp_common.base_config with
+    Config.max_latency = 2.0;
+    keepalive_period = 0.5;
+    double_check_probability = 0.05;
+    breaker_cooldown = 5.0;
+  }
+
+let availability fmt ~quick =
+  let duration = if quick then 60.0 else 150.0 in
+  let n_reads = if quick then 120 else 400 in
+  let rows =
+    List.map
+      (fun intensity ->
+        let system =
+          System.create ~n_masters:2 ~slaves_per_master:3 ~n_clients:4
+            ~config:churn_config ~net:System.lan_net ~seed:101L ()
+        in
+        let g = Prng.create ~seed:102L in
+        System.load_content system (Secrep_workload.Catalog.product_catalog g ~n:50);
+        let schedule =
+          if intensity = 0.0 then []
+          else
+            Schedule.random ~rng:(Prng.create ~seed:103L) ~duration
+              ~n_slaves:(System.n_slaves system) ~n_masters:2 ~n_clients:4 ~intensity ()
+        in
+        Injector.apply system schedule;
+        (* A write stream so recovered slaves have real state to miss. *)
+        for i = 0 to 9 do
+          ignore
+            (Sim.schedule (System.sim system)
+               ~delay:(duration *. float_of_int i /. 10.0)
+               (fun () ->
+                 System.write system ~client:0
+                   (Oplog.Set_field
+                      { key = "product:00001"; field = "stock"; value = Value.Int (100 + i) })
+                   ~on_done:(fun _ -> ())))
+        done;
+        let accepted = ref 0 and by_master = ref 0 and gave_up = ref 0 in
+        for i = 0 to n_reads - 1 do
+          ignore
+            (Sim.schedule (System.sim system)
+               ~delay:(duration *. float_of_int i /. float_of_int n_reads)
+               (fun () ->
+                 System.read system
+                   ~client:(i mod System.n_clients system)
+                   (Query.point_read (Printf.sprintf "product:%05d" (1 + (i mod 50))))
+                   ~on_done:(fun r ->
+                     match r.Client.outcome with
+                     | `Accepted _ -> incr accepted
+                     | `Served_by_master _ -> incr by_master
+                     | `Gave_up -> incr gave_up)))
+        done;
+        System.run_for system (duration +. 120.0);
+        let stats = System.stats system in
+        let completed = !accepted + !by_master + !gave_up in
+        [
+          Exp_common.f2 intensity;
+          string_of_int (List.length schedule);
+          Printf.sprintf "%d/%d" completed n_reads;
+          string_of_int !accepted;
+          string_of_int !by_master;
+          string_of_int !gave_up;
+          string_of_int (Stats.get stats "client.read_timeouts");
+          Printf.sprintf "%d/%d"
+            (Stats.get stats "client.breaker_opened")
+            (Stats.get stats "client.breaker_closed");
+          string_of_int (List.length (Corrective.events (System.corrective system)));
+        ])
+      [ 0.0; 0.5; 1.0; 2.0 ]
+  in
+  Exp_common.table fmt
+    ~title:
+      "E10a Availability under seeded-random churn (partitions, crashes, loss,\n\
+      \     latency spikes; completed must equal issued, accusations must stay 0)"
+    ~header:
+      [
+        "intensity";
+        "actions";
+        "completed";
+        "accepted";
+        "by-master";
+        "gave up";
+        "timeouts";
+        "brk open/close";
+        "accusations";
+      ]
+    rows
+
+let detection_under_partition fmt ~quick =
+  let n_reads = if quick then 60 else 150 in
+  let attack_from = 10.0 in
+  let run ~schedule =
+    let system =
+      System.create ~n_masters:1 ~slaves_per_master:2 ~n_clients:2 ~config:churn_config
+        ~net:System.lan_net ~seed:201L ()
+    in
+    let g = Prng.create ~seed:202L in
+    System.load_content system (Secrep_workload.Catalog.product_catalog g ~n:50);
+    let victim = System.slave_of_client system 0 in
+    System.set_slave_behavior system ~slave:victim
+      (Fault.Malicious
+         { probability = 1.0; mode = Fault.Corrupt_result; from_time = attack_from });
+    Injector.apply system (schedule ~victim);
+    for i = 0 to n_reads - 1 do
+      ignore
+        (Sim.schedule (System.sim system) ~delay:(0.5 *. float_of_int i) (fun () ->
+             System.read system ~client:0
+               (Query.point_read (Printf.sprintf "product:%05d" (1 + (i mod 50))))
+               ~on_done:(fun _ -> ())))
+    done;
+    System.run_for system (0.5 *. float_of_int n_reads +. 240.0);
+    let detection =
+      match Corrective.events (System.corrective system) with
+      | [] -> None
+      | events ->
+        Some
+          (List.fold_left
+             (fun acc e -> Float.min acc e.Corrective.time)
+             infinity events)
+    in
+    let wrong = Stats.get (System.stats system) "system.accepted_wrong" in
+    (detection, wrong)
+  in
+  let rows =
+    List.map
+      (fun (label, schedule) ->
+        let detection, wrong = run ~schedule in
+        [
+          label;
+          (match detection with
+          | Some t -> Exp_common.f2 (t -. attack_from)
+          | None -> "never");
+          string_of_int wrong;
+        ])
+      [
+        ("clean network", fun ~victim:_ -> []);
+        ( "auditor cut 5s-60s",
+          fun ~victim:_ ->
+            [
+              { Schedule.time = 5.0; action = Schedule.Cut_auditor };
+              { Schedule.time = 60.0; action = Schedule.Heal_auditor };
+            ] );
+        ( "victim partitioned 20s-50s",
+          fun ~victim ->
+            [
+              { Schedule.time = 20.0; action = Schedule.Cut_slave victim };
+              { Schedule.time = 50.0; action = Schedule.Heal_slave victim };
+            ] );
+      ]
+  in
+  Exp_common.table fmt
+    ~title:
+      "E10b Detection latency for a lying slave when the evidence path is\n\
+      \     partitioned (attack from t=10s; latency measured from attack start)"
+    ~header:[ "network"; "detection latency (s)"; "wrong accepts" ]
+    rows
+
+let run ?(quick = false) fmt =
+  availability fmt ~quick;
+  detection_under_partition fmt ~quick

@@ -19,6 +19,8 @@ let experiments =
     ("e8", "quorum reads vs collusion", Secrep_experiments.Exp8_quorum.run);
     ("e9", "ablations: audit cache, extra auditors, greedy throttle",
      Secrep_experiments.Exp9_ablation.run);
+    ("e10", "availability + detection latency under churn and partitions",
+     Secrep_experiments.Exp10_churn.run);
     ("micro", "primitive micro-benchmarks (bechamel)", Secrep_experiments.Micro.run);
   ]
 

@@ -316,6 +316,272 @@ let fuzz_cmd =
           seed.")
     term
 
+(* -- chaos --------------------------------------------------------------- *)
+
+module Schedule = Secrep_chaos.Schedule
+module Injector = Secrep_chaos.Injector
+module Scenario = Secrep_check.Scenario
+module Harness = Secrep_check.Harness
+
+let read_schedule_file path =
+  let ic =
+    try open_in path
+    with Sys_error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+  in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  match Schedule.parse text with
+  | Ok schedule -> schedule
+  | Error msg ->
+    Printf.eprintf "%s: %s\n" path msg;
+    exit 2
+
+let run_chaos ~masters ~slaves_per_master ~clients ~items ~duration ~read_rate ~write_rate
+    ~max_latency ~keepalive ~schedule_file ~intensity ~seed ~invariants ~trace_out
+    ~trace_format ~counterexample_out =
+  if trace_format <> "jsonl" && trace_format <> "chrome" then begin
+    Printf.eprintf "unknown trace format %S (expected jsonl or chrome)\n" trace_format;
+    exit 2
+  end;
+  let checkers =
+    match
+      Invariant.named
+        (if invariants = [] then
+           [ "availability"; "recovery-convergence"; "no-false-accusation"; "staleness"; "write-spacing" ]
+         else invariants)
+    with
+    | Ok checkers -> checkers
+    | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+  in
+  let config =
+    Config.validate_exn
+      {
+        Config.default with
+        Config.max_latency;
+        keepalive_period = keepalive;
+        double_check_probability = 0.05;
+      }
+  in
+  let system =
+    System.create ~n_masters:masters ~slaves_per_master ~n_clients:clients ~config
+      ~seed:(Int64.of_int seed) ()
+  in
+  (* Capture the live stream like the fuzz harness does: the trace ring
+     may overwrite old records on long runs, subscribers see everything. *)
+  let events_rev = ref [] in
+  Trace.on_emit (System.trace system) (fun r -> events_rev := r :: !events_rev);
+  let g = Prng.create ~seed:(Int64.of_int (seed + 1)) in
+  let content = Catalog.product_catalog g ~n:items in
+  System.load_content system content;
+  let schedule =
+    match schedule_file with
+    | Some path -> read_schedule_file path
+    | None ->
+      Schedule.random
+        ~rng:(Prng.create ~seed:(Int64.of_int (seed + 2)))
+        ~duration ~n_slaves:(System.n_slaves system) ~n_masters:masters ~n_clients:clients
+        ~intensity ()
+  in
+  (try Injector.apply system schedule
+   with Invalid_argument msg ->
+     Printf.eprintf "%s\n" msg;
+     exit 2);
+  let keys = Array.of_list (List.map fst content) in
+  let mix = Mix.create ~rng:(Prng.split g) ~keys () in
+  let driver = Driver.create system ~mix ~rng:(Prng.split g) () in
+  Driver.run_reads driver ~rate:read_rate ~duration;
+  if write_rate > 0.0 then Driver.run_writes driver ~rate:write_rate ~duration ~writer:0;
+  (* Settle: every in-flight read must be able to exhaust its retry
+     ladder and degraded fallback, and the last recovery needs
+     max_latency to converge, before the invariants judge the trace. *)
+  let read_slack =
+    float_of_int (config.Config.read_retry_limit + 2)
+    *. ((config.Config.read_timeout_factor *. max_latency) +. config.Config.retry_backoff_cap)
+  in
+  let last_entry =
+    List.fold_left (fun acc e -> Float.max acc e.Schedule.time) 0.0 schedule
+  in
+  System.run_for system
+    (Float.max duration last_entry +. read_slack +. (6.0 *. max_latency) +. 60.0);
+  let stats = System.stats system in
+  let s = Driver.summary driver in
+  Printf.printf "chaos run: seed %d, %d scheduled action(s) over %.1fs\n" seed
+    (List.length schedule) duration;
+  List.iter
+    (fun e -> Printf.printf "    at %g %s\n" e.Schedule.time (Schedule.describe e.Schedule.action))
+    (Schedule.sort schedule);
+  Printf.printf "  applied %d action(s), skipped %d no-op(s)\n"
+    (Stats.get stats "chaos.actions")
+    (Stats.get stats "chaos.skipped_actions");
+  Printf.printf "  reads: %d completed (accepted %d, by-master %d, gave up %d)\n"
+    s.Driver.reads_completed s.Driver.reads_accepted s.Driver.served_by_master
+    s.Driver.reads_gave_up;
+  Printf.printf "  resilience: %d timeout(s), %d degraded master read(s), breakers opened \
+                 %d / closed %d\n"
+    (Stats.get stats "client.read_timeouts")
+    (Stats.get stats "client.degraded_reads")
+    (Stats.get stats "client.breaker_opened")
+    (Stats.get stats "client.breaker_closed");
+  Printf.printf "  churn: %d crash(es), %d recover(ies); auditor overload drops %d\n"
+    (Stats.get stats "system.slave_crashes")
+    (Stats.get stats "system.slave_recoveries")
+    (Stats.get stats "auditor.overload_drops");
+  Printf.printf "  exclusions: [%s]\n"
+    (String.concat "; " (List.map string_of_int (Corrective.excluded (System.corrective system))));
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+    let rendered =
+      match trace_format with
+      | "jsonl" -> Export.jsonl_of_trace (System.trace system)
+      | _ -> Export.chrome_of ~spans:(System.spans system) ~trace:(System.trace system) ()
+    in
+    write_out path rendered);
+  (* The checkers judge a harness-shaped result; the run had no injected
+     slave faults and no scenario ops, so [accepted] stays empty and the
+     honest-run invariants apply in full. *)
+  let result =
+    {
+      Harness.scenario =
+        {
+          Scenario.sys_seed = seed;
+          n_masters = masters;
+          slaves_per_master;
+          n_clients = clients;
+          n_items = items;
+          max_latency;
+          keepalive_period = keepalive;
+          double_check_p = 0.05;
+          audit = true;
+          net = Scenario.Wan;
+          faults = [];
+          chaos = [];
+          ops = [];
+        };
+      events = List.rev !events_rev;
+      accepted = [];
+      end_time = Secrep_sim.Sim.now (System.sim system);
+    }
+  in
+  match Invariant.check_all checkers result with
+  | Ok () ->
+    Printf.printf "invariants: %s — all held\n"
+      (String.concat ", " (List.map (fun c -> c.Invariant.name) checkers))
+  | Error msg ->
+    Printf.printf "invariant VIOLATED: %s\n" msg;
+    (match counterexample_out with
+    | None -> ()
+    | Some path ->
+      write_out path
+        (Printf.sprintf
+           "chaos counterexample\nseed: %d\nduration: %g\ntopology: %d masters x %d \
+            slaves, %d clients, %d items\nmax_latency: %g keepalive: %g\nviolation: \
+            %s\n\nschedule:\n%s"
+           seed duration masters slaves_per_master clients items max_latency keepalive msg
+           (Schedule.to_string schedule)));
+    exit 1
+
+let chaos_cmd =
+  let masters = Arg.(value & opt int 2 & info [ "masters" ] ~doc:"Number of master servers.") in
+  let slaves =
+    Arg.(value & opt int 3 & info [ "slaves-per-master" ] ~doc:"Slaves per master.")
+  in
+  let clients = Arg.(value & opt int 4 & info [ "clients" ] ~doc:"Number of clients.") in
+  let items = Arg.(value & opt int 50 & info [ "items" ] ~doc:"Documents in the content.") in
+  let duration =
+    Arg.(
+      value
+      & opt float 120.0
+      & info [ "duration" ] ~doc:"Chaos + workload window (sim seconds).")
+  in
+  let read_rate = Arg.(value & opt float 5.0 & info [ "read-rate" ] ~doc:"Reads per second.") in
+  let write_rate =
+    Arg.(value & opt float 0.05 & info [ "write-rate" ] ~doc:"Writes per second (0 = none).")
+  in
+  let max_latency =
+    Arg.(value & opt float 5.0 & info [ "max-latency" ] ~doc:"Freshness bound (Section 3).")
+  in
+  let keepalive =
+    Arg.(value & opt float 1.0 & info [ "keepalive" ] ~doc:"Keep-alive period (Section 3.1).")
+  in
+  let schedule_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "schedule" ] ~docv:"FILE"
+          ~doc:
+            "Scripted fault timeline ('at TIME ACTION' per line, see docs/ROBUSTNESS.md).  \
+             Omit to draw a seeded-random schedule.")
+  in
+  let intensity =
+    Arg.(
+      value
+      & opt float 1.0
+      & info [ "intensity" ]
+          ~doc:"Scale the density of a random schedule (ignored with --schedule).")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic seed.") in
+  let invariants =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "invariant" ] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf
+               "Only check invariant $(docv).  Repeatable; default: availability, \
+                recovery-convergence, no-false-accusation, staleness, write-spacing.  \
+                Known: %s."
+               (String.concat ", " (List.map (fun c -> c.Invariant.name) Invariant.all))))
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Dump the event trace to $(docv) after the run ('-' = stdout).")
+  in
+  let trace_format =
+    Arg.(
+      value
+      & opt string "jsonl"
+      & info [ "trace-format" ] ~docv:"FMT" ~doc:"Trace dump format: $(b,jsonl) or $(b,chrome).")
+  in
+  let counterexample_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "counterexample-out" ] ~docv:"FILE"
+          ~doc:
+            "On violation, write seed, schedule and violation to $(docv) ('-' = stdout) so \
+             the run can be replayed.")
+  in
+  let term =
+    Term.(
+      const
+        (fun masters slaves_per_master clients items duration read_rate write_rate
+             max_latency keepalive schedule_file intensity seed invariants trace_out
+             trace_format counterexample_out ->
+          run_chaos ~masters ~slaves_per_master ~clients ~items ~duration ~read_rate
+            ~write_rate ~max_latency ~keepalive ~schedule_file ~intensity ~seed ~invariants
+            ~trace_out ~trace_format ~counterexample_out)
+      $ masters $ slaves $ clients $ items $ duration $ read_rate $ write_rate $ max_latency
+      $ keepalive $ schedule_file $ intensity $ seed $ invariants $ trace_out $ trace_format
+      $ counterexample_out)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a workload under a fault timeline — partitions, crash/recover churn, loss \
+          bursts, latency spikes — and check the resilience invariants on the event \
+          stream.  Scripted (--schedule) or seeded-random; both replay exactly from the \
+          same inputs.")
+    term
+
 (* -- trace replay ------------------------------------------------------- *)
 
 let replay_trace ~file ~sources ~kinds ~limit =
@@ -406,4 +672,4 @@ let () =
         "Simulator for 'Secure Data Replication over Untrusted Hosts' (Popescu, Crispo, \
          Tanenbaum; HotOS 2003)."
   in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; fuzz_cmd; trace_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; fuzz_cmd; chaos_cmd; trace_cmd ]))

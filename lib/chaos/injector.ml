@@ -1,0 +1,46 @@
+module Sim = Secrep_sim.Sim
+module Stats = Secrep_sim.Stats
+module System = Secrep_core.System
+
+let fire system entry =
+  let stats = System.stats system in
+  let skip () = Stats.incr stats "chaos.skipped_actions" in
+  let ok_or_skip = function Ok () -> () | Error _ -> skip () in
+  Stats.incr stats "chaos.actions";
+  match entry.Schedule.action with
+  | Schedule.Cut_slave i -> System.set_slave_connectivity system ~slave_id:i ~up:false
+  | Schedule.Heal_slave i -> System.set_slave_connectivity system ~slave_id:i ~up:true
+  | Schedule.Cut_master i -> System.set_master_connectivity system ~master_id:i ~up:false
+  | Schedule.Heal_master i -> System.set_master_connectivity system ~master_id:i ~up:true
+  | Schedule.Cut_client i -> System.set_client_connectivity system ~client_id:i ~up:false
+  | Schedule.Heal_client i -> System.set_client_connectivity system ~client_id:i ~up:true
+  | Schedule.Cut_auditor -> System.set_auditor_connectivity system ~up:false
+  | Schedule.Heal_auditor -> System.set_auditor_connectivity system ~up:true
+  | Schedule.Crash_slave i ->
+    if System.is_crashed system ~slave_id:i then skip ()
+    else System.crash_slave system ~slave_id:i
+  | Schedule.Recover_slave i -> ok_or_skip (System.recover_slave system ~slave_id:i)
+  | Schedule.Crash_master i ->
+    if Secrep_core.Master.is_alive (System.master system i) then
+      System.crash_master system i
+    else skip ()
+  | Schedule.Loss_burst p -> System.set_loss system (Some p)
+  | Schedule.Loss_normal -> System.set_loss system None
+  | Schedule.Latency_spike f -> System.set_latency_factor system f
+  | Schedule.Latency_normal -> System.set_latency_factor system 1.0
+
+let apply system schedule =
+  (match
+     Schedule.validate ~n_masters:(System.n_masters system)
+       ~n_slaves:(System.n_slaves system) ~n_clients:(System.n_clients system) schedule
+   with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Injector.apply: " ^ msg));
+  let sim = System.sim system in
+  List.iter
+    (fun entry ->
+      let time = Float.max entry.Schedule.time (Sim.now sim) in
+      ignore (Sim.schedule_at sim ~time (fun () -> fire system entry)))
+    (Schedule.sort schedule)
+
+let applied_actions system = Stats.get (System.stats system) "chaos.actions"

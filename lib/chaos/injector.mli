@@ -1,0 +1,17 @@
+(** Arms a {!Schedule.t} on a system's simulator clock.
+
+    Each entry becomes one scheduled thunk that drives the
+    corresponding [System] chaos hook; the system emits the
+    [Partition] / [Node_crashed] / [Node_recovered] trace events, so a
+    chaos run is fully inspectable from its trace alone. *)
+
+val apply : Secrep_core.System.t -> Schedule.t -> unit
+(** Validates the schedule against the system's node counts (raises
+    [Invalid_argument] on a mismatch), then schedules every entry.
+    Entries whose time is already in the past fire immediately.
+    Actions that have become no-ops by the time they fire — recovering
+    a slave that was excluded in the meantime, crashing a master twice
+    — are skipped and counted in the [chaos.skipped_actions] stat. *)
+
+val applied_actions : Secrep_core.System.t -> int
+(** Convenience reader for the [chaos.actions] stat. *)

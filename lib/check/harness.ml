@@ -8,6 +8,8 @@ module Prng = Secrep_crypto.Prng
 module Sha1 = Secrep_crypto.Sha1
 module Hex = Secrep_crypto.Hex
 module Catalog = Secrep_workload.Catalog
+module Schedule = Secrep_chaos.Schedule
+module Injector = Secrep_chaos.Injector
 module Query = Secrep_store.Query
 module Oplog = Secrep_store.Oplog
 module Value = Secrep_store.Value
@@ -32,6 +34,43 @@ let net_profile = function
   | Scenario.Lan -> System.lan_net
   | Scenario.Wan -> System.default_net
   | Scenario.Lossy p -> { System.lan_net with System.loss = p }
+
+(* Each scenario chaos window expands to a disrupt/heal entry pair. *)
+let schedule_of_chaos chaos =
+  let entry time action = { Schedule.time; action } in
+  List.concat_map
+    (function
+      | Scenario.Slave_cut { slave; from_time; outage } ->
+        [
+          entry from_time (Schedule.Cut_slave slave);
+          entry (from_time +. outage) (Schedule.Heal_slave slave);
+        ]
+      | Scenario.Slave_churn { slave; from_time; outage } ->
+        [
+          entry from_time (Schedule.Crash_slave slave);
+          entry (from_time +. outage) (Schedule.Recover_slave slave);
+        ]
+      | Scenario.Master_cut { master; from_time; outage } ->
+        [
+          entry from_time (Schedule.Cut_master master);
+          entry (from_time +. outage) (Schedule.Heal_master master);
+        ]
+      | Scenario.Auditor_cut { from_time; outage } ->
+        [
+          entry from_time Schedule.Cut_auditor;
+          entry (from_time +. outage) Schedule.Heal_auditor;
+        ]
+      | Scenario.Loss_burst { loss; from_time; duration } ->
+        [
+          entry from_time (Schedule.Loss_burst loss);
+          entry (from_time +. duration) Schedule.Loss_normal;
+        ]
+      | Scenario.Latency_spike { factor; from_time; duration } ->
+        [
+          entry from_time (Schedule.Latency_spike factor);
+          entry (from_time +. duration) Schedule.Latency_normal;
+        ])
+    chaos
 
 let run scenario =
   let s = Scenario.normalize scenario in
@@ -74,6 +113,7 @@ let run scenario =
              from_time = f.Scenario.from_time;
            }))
     s.Scenario.faults;
+  Injector.apply system (schedule_of_chaos s.Scenario.chaos);
   let accepted_rev = ref [] in
   List.iteri
     (fun idx op ->
@@ -114,20 +154,34 @@ let run scenario =
   (* Run well past the last scheduled op: masters space commits by
      max_latency, so the write backlog alone can take
      (n_writes + 1) * max_latency to drain; then leave the auditor its
-     lag slack plus a settling margin for retries and exclusions. *)
+     lag slack plus a settling margin for retries and exclusions.
+     Every read must also be able to exhaust its worst-case retry
+     ladder — (retry_limit + 2) timeouts plus backoff, then the
+     degraded master fallback — so the availability invariant can
+     demand an answer for each issued read.  Chaos windows extend the
+     horizon too: a recovery at the last heal still needs max_latency
+     to converge. *)
   let last_op =
     List.fold_left (fun acc op -> Float.max acc (Scenario.op_time op)) 0.0 s.Scenario.ops
+  in
+  let last_heal =
+    List.fold_left (fun acc c -> Float.max acc (Scenario.chaos_end c)) 0.0 s.Scenario.chaos
   in
   let n_writes =
     List.length
       (List.filter (function Scenario.Write _ -> true | Scenario.Read _ -> false) s.Scenario.ops)
   in
+  let read_slack =
+    float_of_int (config.Config.read_retry_limit + 2)
+    *. ((config.Config.read_timeout_factor *. s.Scenario.max_latency)
+       +. config.Config.retry_backoff_cap)
+  in
   let horizon =
-    last_op
+    Float.max last_op (last_heal +. (2.0 *. s.Scenario.max_latency))
     +. (float_of_int (n_writes + 2) *. s.Scenario.max_latency)
     +. config.Config.audit_lag_slack
     +. (10.0 *. s.Scenario.max_latency)
-    +. 30.0
+    +. read_slack +. 30.0
   in
   System.run_until system horizon;
   {

@@ -26,6 +26,15 @@ type run_result = {
 }
 
 val run : Scenario.t -> run_result
+(** Chaos windows from the scenario are armed via
+    {!Secrep_chaos.Injector.apply} before the first operation fires;
+    the run horizon covers the last heal plus a convergence margin and
+    every read's worst-case retry ladder. *)
+
+val schedule_of_chaos : Scenario.chaos list -> Secrep_chaos.Schedule.t
+(** The disrupt/heal entry pairs a scenario's chaos windows expand to.
+    Exposed for the CLI, which reuses it to print and export
+    schedules. *)
 
 val events_digest : run_result -> string
 (** SHA-1 over the rendered event stream (time, source, event); equal

@@ -25,11 +25,13 @@ let accused_slaves result =
 let detection =
   {
     name = "detection";
-    doc = "accepted wrong answers are eventually flagged (audit on, loss-free net)";
+    doc = "accepted wrong answers are eventually flagged (audit on, loss-free net, no chaos)";
     check =
       (fun result ->
         let s = result.Harness.scenario in
-        if (not s.Scenario.audit) || Scenario.lossy s then Ok ()
+        (* Chaos voids the guarantee the same way loss does: an auditor
+           cut drops the forwarded pledge that would have convicted. *)
+        if (not s.Scenario.audit) || Scenario.lossy s || Scenario.has_chaos s then Ok ()
         else begin
           let flagged = accused_slaves result in
           let unflagged =
@@ -197,7 +199,209 @@ let pledge_validity =
         consume result.Harness.accepted);
   }
 
-let all = [ detection; no_false_accusation; staleness; write_spacing; pledge_validity ]
+let availability =
+  {
+    name = "availability";
+    doc = "every issued read completes: accepted, served by the master, or an explicit give-up";
+    check =
+      (fun result ->
+        let issued = Hashtbl.create 8 and answered = Hashtbl.create 8 in
+        let bump tbl client =
+          let n = match Hashtbl.find_opt tbl client with Some n -> n | None -> 0 in
+          Hashtbl.replace tbl client (n + 1)
+        in
+        List.iter
+          (fun (r : Trace.record) ->
+            match r.Trace.event with
+            | Event.Read_issued { client; _ } -> bump issued client
+            | Event.Read_answered { client; _ } -> bump answered client
+            | _ -> ())
+          (events_of result);
+        Hashtbl.fold
+          (fun client n_issued acc ->
+            match acc with
+            | Error _ -> acc
+            | Ok () ->
+              let n_answered =
+                match Hashtbl.find_opt answered client with Some n -> n | None -> 0
+              in
+              if n_answered = n_issued then Ok ()
+              else
+                Error
+                  (Printf.sprintf
+                     "client %d issued %d read(s) but only %d completed by t=%.3f — a read \
+                      hung without being accepted, served by the master, or failed \
+                      explicitly"
+                     client n_issued n_answered result.Harness.end_time))
+          issued (Ok ()));
+  }
+
+(* -- recovery convergence --------------------------------------------- *)
+
+(* Node names as emitted by [System.node_name]. *)
+let slave_of_node node =
+  match String.index_opt node '-' with
+  | Some i when String.sub node 0 i = "slave" -> (
+    match int_of_string_opt (String.sub node (i + 1) (String.length node - i - 1)) with
+    | Some n -> Some n
+    | None -> None)
+  | _ -> None
+
+let is_master_node node = String.length node >= 7 && String.sub node 0 7 = "master-"
+
+(* Half-open disturbance windows [a, b): a window closing exactly when a
+   recovery happens does not disturb that recovery. *)
+let overlaps intervals t0 d = List.exists (fun (a, b) -> a < d && t0 < b) intervals
+
+let recovery_convergence =
+  {
+    name = "recovery-convergence";
+    doc =
+      "a node that rejoins after a partition or crash reaches the committed version \
+       within max_latency (clean network, honest slave, no overlapping disturbance)";
+    check =
+      (fun result ->
+        let s = result.Harness.scenario in
+        if Scenario.lossy s then Ok ()
+        else begin
+          let max_latency = s.Scenario.max_latency in
+          let faulty =
+            List.map (fun (f : Scenario.fault) -> f.Scenario.slave) s.Scenario.faults
+          in
+          (* One pass to collect commits, updates, recoveries, and the
+             disturbance windows that make a recovery unjudgeable. *)
+          let commits = ref [] (* (time, version) *)
+          and updates = ref [] (* (time, slave, to_version) *)
+          and recoveries = ref [] (* (time, slave, version) *)
+          and exclusions = ref [] (* (time, slave) *)
+          and master_down = ref [] (* (from, until) *)
+          and slave_down = ref [] (* (slave, (from, until)) *)
+          and degraded = ref [] (* (from, until) *)
+          and open_master = Hashtbl.create 4
+          and open_slave = Hashtbl.create 8
+          and open_degraded = ref None in
+          List.iter
+            (fun (r : Trace.record) ->
+              let t = r.Trace.time in
+              match r.Trace.event with
+              | Event.Write_committed { version; _ } -> commits := (t, version) :: !commits
+              | Event.State_update_applied { slave; to_version; _ } ->
+                updates := (t, slave, to_version) :: !updates
+              | Event.Node_recovered { node; version } -> (
+                match slave_of_node node with
+                | Some n ->
+                  recoveries := (t, n, version) :: !recoveries;
+                  (* a crash window for this slave closes here *)
+                  (match Hashtbl.find_opt open_slave (`Crash n) with
+                  | Some from ->
+                    Hashtbl.remove open_slave (`Crash n);
+                    slave_down := (n, (from, t)) :: !slave_down
+                  | None -> ())
+                | None -> ())
+              | Event.Node_crashed { node } -> (
+                if is_master_node node then master_down := (t, infinity) :: !master_down
+                else
+                  match slave_of_node node with
+                  | Some n -> Hashtbl.replace open_slave (`Crash n) t
+                  | None -> ())
+              | Event.Partition { target; up } when is_master_node target ->
+                if not up then Hashtbl.replace open_master target t
+                else begin
+                  match Hashtbl.find_opt open_master target with
+                  | Some from ->
+                    Hashtbl.remove open_master target;
+                    master_down := (from, t) :: !master_down
+                  | None -> ()
+                end
+              | Event.Partition { target; up } -> (
+                match slave_of_node target with
+                | Some n ->
+                  if not up then Hashtbl.replace open_slave (`Cut n) t
+                  else begin
+                    match Hashtbl.find_opt open_slave (`Cut n) with
+                    | Some from ->
+                      Hashtbl.remove open_slave (`Cut n);
+                      slave_down := (n, (from, t)) :: !slave_down
+                    | None -> ()
+                  end
+                | None -> ())
+              | Event.Net_degraded { loss; latency_factor } ->
+                let is_degraded = loss > 0.0 || latency_factor <> 1.0 in
+                (match (!open_degraded, is_degraded) with
+                | None, true -> open_degraded := Some t
+                | Some from, false ->
+                  open_degraded := None;
+                  degraded := (from, t) :: !degraded
+                | None, false | Some _, true -> ())
+              | Event.Slave_excluded { slave; _ } -> exclusions := (t, slave) :: !exclusions
+              | _ -> ())
+            (events_of result);
+          (* Windows still open at the end of the run never healed. *)
+          Hashtbl.iter (fun _ from -> master_down := (from, infinity) :: !master_down)
+            open_master;
+          Hashtbl.iter
+            (fun key from ->
+              match key with
+              | `Crash n | `Cut n -> slave_down := (n, (from, infinity)) :: !slave_down)
+            open_slave;
+          (match !open_degraded with
+          | Some from -> degraded := (from, infinity) :: !degraded
+          | None -> ());
+          let check_one acc (t0, n, v_rejoin) =
+            match acc with
+            | Error _ -> acc
+            | Ok () ->
+              let deadline = t0 +. max_latency in
+              let judgeable =
+                result.Harness.end_time >= deadline
+                && (not (List.mem n faulty))
+                && (not (overlaps !master_down t0 deadline))
+                && (not
+                      (overlaps
+                         (List.filter_map
+                            (fun (m, iv) -> if m = n then Some iv else None)
+                            !slave_down)
+                         t0 deadline))
+                && (not (overlaps !degraded t0 deadline))
+                && not (List.exists (fun (t, m) -> m = n && t <= deadline) !exclusions)
+              in
+              if not judgeable then Ok ()
+              else begin
+                let committed =
+                  List.fold_left
+                    (fun acc (t, v) -> if t <= t0 +. eps then max acc v else acc)
+                    0 !commits
+                in
+                let converged =
+                  v_rejoin >= committed
+                  || List.exists
+                       (fun (t, m, v) ->
+                         m = n && t >= t0 -. eps && t <= deadline +. eps && v >= committed)
+                       !updates
+                in
+                if converged then Ok ()
+                else
+                  Error
+                    (Printf.sprintf
+                       "slave %d rejoined at t=%.3f with version %d but did not reach \
+                        committed version %d by t=%.3f (max_latency=%.3g)"
+                       n t0 v_rejoin committed deadline max_latency)
+              end
+          in
+          List.fold_left check_one (Ok ()) (List.rev !recoveries)
+        end);
+  }
+
+let all =
+  [
+    detection;
+    no_false_accusation;
+    staleness;
+    write_spacing;
+    pledge_validity;
+    availability;
+    recovery_convergence;
+  ]
 
 let named names =
   match names with

@@ -18,7 +18,8 @@ val detection : checker
 (** Every accepted-but-wrong answer from a lying slave is eventually
     flagged: a double-check mismatch, an audit conviction or an
     exclusion of that slave appears in the stream.  Requires
-    [audit = true] and a loss-free network. *)
+    [audit = true], a loss-free network and no chaos (an auditor cut
+    can legitimately drop the convicting evidence). *)
 
 val no_false_accusation : checker
 (** A run with no injected faults never produces a double-check
@@ -37,6 +38,19 @@ val write_spacing : checker
 val pledge_validity : checker
 (** Every accepted read is backed by a pledge that verified OK for the
     same (client, slave, version) triple. *)
+
+val availability : checker
+(** Every [Read_issued] has a matching [Read_answered]: reads either
+    succeed (from a slave or, degraded, from the master) or fail
+    explicitly — they never hang, even under partitions and churn. *)
+
+val recovery_convergence : checker
+(** A slave that rejoins ([Node_recovered]) holds, or catches up to,
+    the version committed at its rejoin time within [max_latency].
+    Recoveries the trace cannot judge are skipped: lossy nets, slaves
+    with injected faults, windows overlapping another disturbance
+    (master cut or crash, re-cut of the same slave, loss burst or
+    latency spike), exclusions, and runs ending before the deadline. *)
 
 val all : checker list
 

@@ -13,6 +13,14 @@ type fault = {
   from_time : float;
 }
 
+type chaos =
+  | Slave_cut of { slave : int; from_time : float; outage : float }
+  | Slave_churn of { slave : int; from_time : float; outage : float }
+  | Master_cut of { master : int; from_time : float; outage : float }
+  | Auditor_cut of { from_time : float; outage : float }
+  | Loss_burst of { loss : float; from_time : float; duration : float }
+  | Latency_spike of { factor : float; from_time : float; duration : float }
+
 type t = {
   sys_seed : int;
   n_masters : int;
@@ -25,6 +33,7 @@ type t = {
   audit : bool;
   net : net;
   faults : fault list;
+  chaos : chaos list;
   ops : op list;
 }
 
@@ -54,6 +63,46 @@ let normalize s =
       from_time = clampf 0.0 30.0 f.from_time;
     }
   in
+  let normalize_chaos = function
+    | Slave_cut { slave; from_time; outage } ->
+      Slave_cut
+        {
+          slave = imod slave n_slaves;
+          from_time = clampf 0.0 60.0 from_time;
+          outage = clampf 1.0 30.0 outage;
+        }
+    | Slave_churn { slave; from_time; outage } ->
+      Slave_churn
+        {
+          slave = imod slave n_slaves;
+          from_time = clampf 0.0 60.0 from_time;
+          outage = clampf 1.0 30.0 outage;
+        }
+    | Master_cut { master; from_time; outage } ->
+      Master_cut
+        {
+          master = imod master n_masters;
+          from_time = clampf 0.0 60.0 from_time;
+          outage = clampf 1.0 30.0 outage;
+        }
+    | Auditor_cut { from_time; outage } ->
+      Auditor_cut
+        { from_time = clampf 0.0 60.0 from_time; outage = clampf 1.0 30.0 outage }
+    | Loss_burst { loss; from_time; duration } ->
+      Loss_burst
+        {
+          loss = clampf 0.05 0.5 loss;
+          from_time = clampf 0.0 60.0 from_time;
+          duration = clampf 1.0 30.0 duration;
+        }
+    | Latency_spike { factor; from_time; duration } ->
+      Latency_spike
+        {
+          factor = clampf 2.0 8.0 factor;
+          from_time = clampf 0.0 60.0 from_time;
+          duration = clampf 1.0 30.0 duration;
+        }
+  in
   {
     s with
     sys_seed = abs s.sys_seed;
@@ -65,12 +114,23 @@ let normalize s =
     keepalive_period;
     double_check_p = clampf 0.0 1.0 s.double_check_p;
     faults = List.map normalize_fault s.faults;
+    chaos = List.map normalize_chaos s.chaos;
     ops = List.map normalize_op s.ops;
   }
 
 let honest s = (normalize s).faults = []
+let has_chaos s = (normalize s).chaos <> []
 let lossy s = match s.net with Lossy p -> p > 0.0 | Lan | Wan -> false
 let op_time = function Read { at; _ } | Write { at; _ } -> at
+
+let chaos_end = function
+  | Slave_cut { from_time; outage; _ }
+  | Slave_churn { from_time; outage; _ }
+  | Master_cut { master = _; from_time; outage }
+  | Auditor_cut { from_time; outage } ->
+    from_time +. outage
+  | Loss_burst { from_time; duration; _ } | Latency_spike { from_time; duration; _ } ->
+    from_time +. duration
 
 (* -- generation -------------------------------------------------------- *)
 
@@ -90,6 +150,17 @@ let gen_fault rng =
   let probability = Gen.choose [ 0.5; 1.0 ] rng in
   let from_time = Gen.float_range 0.0 10.0 rng in
   { slave; mode; probability; from_time }
+
+let gen_chaos rng =
+  let from_time = Gen.float_range 0.0 30.0 rng in
+  let outage = Gen.float_range 2.0 15.0 rng in
+  match Gen.int_range 0 7 rng with
+  | 0 | 1 -> Slave_cut { slave = Gen.int_range 0 8 rng; from_time; outage }
+  | 2 | 3 -> Slave_churn { slave = Gen.int_range 0 8 rng; from_time; outage }
+  | 4 -> Master_cut { master = Gen.int_range 0 2 rng; from_time; outage }
+  | 5 -> Auditor_cut { from_time; outage }
+  | 6 -> Loss_burst { loss = Gen.choose [ 0.1; 0.3 ] rng; from_time; duration = outage }
+  | _ -> Latency_spike { factor = Gen.choose [ 2.0; 4.0; 8.0 ] rng; from_time; duration = outage }
 
 let gen_op rng =
   let write = Gen.frequency [ (3, Gen.return false); (2, Gen.return true) ] rng in
@@ -118,6 +189,7 @@ let gen rng =
       rng
   in
   let faults = Gen.list_size (Gen.int_range 0 2) gen_fault rng in
+  let chaos = Gen.list_size (Gen.frequency [ (2, Gen.return 0); (2, Gen.return 1); (1, Gen.return 2) ]) gen_chaos rng in
   let ops = Gen.list_size (Gen.int_range 0 25) gen_op rng in
   normalize
     {
@@ -132,6 +204,7 @@ let gen rng =
       audit;
       net;
       faults;
+      chaos;
       ops;
     }
 
@@ -152,9 +225,27 @@ let shrink_op op =
 let shrink_fault f =
   Seq.map (fun slave -> { f with slave }) (Shrink.int_towards ~target:0 f.slave)
 
+let shrink_chaos = function
+  | Slave_cut { slave; from_time; outage } ->
+    Seq.map
+      (fun slave -> Slave_cut { slave; from_time; outage })
+      (Shrink.int_towards ~target:0 slave)
+  | Slave_churn { slave; from_time; outage } ->
+    Seq.append
+      (Seq.return (Slave_cut { slave; from_time; outage }))
+      (Seq.map
+         (fun slave -> Slave_churn { slave; from_time; outage })
+         (Shrink.int_towards ~target:0 slave))
+  | Master_cut { master; from_time; outage } ->
+    Seq.map
+      (fun master -> Master_cut { master; from_time; outage })
+      (Shrink.int_towards ~target:0 master)
+  | Auditor_cut _ | Loss_burst _ | Latency_spike _ -> Seq.empty
+
 let shrink s =
   let with_ops ops = { s with ops } in
   let with_faults faults = { s with faults } in
+  let with_chaos chaos = { s with chaos } in
   let scalar_shrinks =
     List.to_seq
       (List.concat
@@ -179,7 +270,9 @@ let shrink s =
   Seq.map normalize
     (Seq.append
        (Seq.map with_ops (Shrink.list ~elt:shrink_op s.ops))
-       (Seq.append (Seq.map with_faults (Shrink.list ~elt:shrink_fault s.faults)) scalar_shrinks))
+       (Seq.append
+          (Seq.map with_chaos (Shrink.list ~elt:shrink_chaos s.chaos))
+          (Seq.append (Seq.map with_faults (Shrink.list ~elt:shrink_fault s.faults)) scalar_shrinks)))
 
 (* -- printing ---------------------------------------------------------- *)
 
@@ -203,17 +296,34 @@ let pp_fault fmt f =
   Format.fprintf fmt "slave %d: %s p=%.2g from t=%.2f" f.slave (mode_to_string f.mode)
     f.probability f.from_time
 
+let pp_chaos fmt = function
+  | Slave_cut { slave; from_time; outage } ->
+    Format.fprintf fmt "cut slave %d [%.2f, %.2f]" slave from_time (from_time +. outage)
+  | Slave_churn { slave; from_time; outage } ->
+    Format.fprintf fmt "churn slave %d [%.2f, %.2f]" slave from_time (from_time +. outage)
+  | Master_cut { master; from_time; outage } ->
+    Format.fprintf fmt "cut master %d [%.2f, %.2f]" master from_time (from_time +. outage)
+  | Auditor_cut { from_time; outage } ->
+    Format.fprintf fmt "cut auditor [%.2f, %.2f]" from_time (from_time +. outage)
+  | Loss_burst { loss; from_time; duration } ->
+    Format.fprintf fmt "loss %.2g [%.2f, %.2f]" loss from_time (from_time +. duration)
+  | Latency_spike { factor; from_time; duration } ->
+    Format.fprintf fmt "latency x%.2g [%.2f, %.2f]" factor from_time (from_time +. duration)
+
 let pp fmt s =
   Format.fprintf fmt
     "@[<v>scenario:@,\
     \  sys_seed=%d  %d master(s) x %d slave(s), %d client(s), %d item(s)@,\
     \  max_latency=%.2g keepalive=%.2g double_check_p=%.2g audit=%b net=%s@,\
     \  faults: %s@,\
+    \  chaos: %s@,\
     \  ops (%d):@,%a@]"
     s.sys_seed s.n_masters s.slaves_per_master s.n_clients s.n_items s.max_latency
     s.keepalive_period s.double_check_p s.audit (net_to_string s.net)
     (if s.faults = [] then "none"
      else String.concat "; " (List.map (Format.asprintf "%a" pp_fault) s.faults))
+    (if s.chaos = [] then "none"
+     else String.concat "; " (List.map (Format.asprintf "%a" pp_chaos) s.chaos))
     (List.length s.ops)
     (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun fmt op ->
          Format.fprintf fmt "    %a" pp_op op))

@@ -27,6 +27,21 @@ type fault = {
   from_time : float;
 }
 
+(** Benign infrastructure failures (as opposed to [fault], which is
+    adversarial slave behaviour).  Each value is a self-healing window:
+    the disruption starts at [from_time] and is undone [outage] (or
+    [duration]) seconds later, so shrinking can drop windows without
+    leaving the system permanently degraded. *)
+type chaos =
+  | Slave_cut of { slave : int; from_time : float; outage : float }
+      (** partition the slave's links, then heal *)
+  | Slave_churn of { slave : int; from_time : float; outage : float }
+      (** fail-stop crash (state wiped), then reinstate from a master *)
+  | Master_cut of { master : int; from_time : float; outage : float }
+  | Auditor_cut of { from_time : float; outage : float }
+  | Loss_burst of { loss : float; from_time : float; duration : float }
+  | Latency_spike of { factor : float; from_time : float; duration : float }
+
 type t = {
   sys_seed : int;  (** seeds the system PRNG and the content *)
   n_masters : int;
@@ -39,6 +54,7 @@ type t = {
   audit : bool;
   net : net;
   faults : fault list;
+  chaos : chaos list;
   ops : op list;
 }
 
@@ -46,11 +62,18 @@ val normalize : t -> t
 (** Idempotent; every field in range, every index within the topology. *)
 
 val honest : t -> bool
-(** No effective fault after normalization. *)
+(** No effective fault after normalization.  Chaos does not count:
+    an honest run under partitions must still never accuse anyone. *)
+
+val has_chaos : t -> bool
+(** Some chaos window survives normalization. *)
 
 val lossy : t -> bool
 
 val op_time : op -> float
+
+val chaos_end : chaos -> float
+(** Time at which the window heals itself. *)
 
 val gen : t Gen.t
 

@@ -33,6 +33,7 @@ type t = {
   mutable audited : int;
   mutable caught : int;
   mutable late : int;
+  mutable overload_drops : int;
   backlog_series : Timeseries.t;
   mutable backlog : int;
 }
@@ -68,6 +69,7 @@ let create sim ~config ~stats ~rng ~slave_public ~report ?trace:trace_buf ?spans
       audited = 0;
       caught = 0;
       late = 0;
+      overload_drops = 0;
       backlog_series = Timeseries.create ~name:"auditor.backlog" ();
       backlog = 0;
     }
@@ -79,6 +81,7 @@ let backlog t = t.backlog
 let audited t = t.audited
 let caught t = t.caught
 let late_pledges t = t.late
+let overload_drops t = t.overload_drops
 let cache t = t.cache
 let work t = t.work
 let backlog_series t = t.backlog_series
@@ -202,6 +205,13 @@ let submit_pledge t pledge =
     t.config.Config.audit_fraction < 1.0
     && not (Prng.bernoulli t.rng t.config.Config.audit_fraction)
   then Stats.incr t.stats "auditor.sampled_out"
+  else if t.backlog >= t.config.Config.auditor_queue_capacity then begin
+    (* Bounded intake: during outages it is better to shed load (and
+       count it) than to queue without bound — dropped pledges only
+       cost detection coverage, never correctness. *)
+    t.overload_drops <- t.overload_drops + 1;
+    Stats.incr t.stats "auditor.overload_drops"
+  end
   else begin
     Queue.push pledge (queue_for t version);
     t.backlog <- t.backlog + 1;

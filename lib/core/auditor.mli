@@ -33,7 +33,9 @@ val submit_pledge : t -> Pledge.t -> unit
 (** Client-forwarded pledge.  Subject to [audit_fraction] sampling;
     pledges for versions the auditor has already passed are counted as
     [auditor.late_pledges] and dropped (the lag slack makes this
-    impossible for conforming clients). *)
+    impossible for conforming clients).  When the backlog has reached
+    [Config.auditor_queue_capacity] the pledge is shed and counted in
+    {!overload_drops} instead of growing the queue without bound. *)
 
 val on_committed_write :
   t -> entry:Secrep_store.Oplog.entry -> commit_time:float -> unit
@@ -48,6 +50,10 @@ val backlog : t -> int
 val audited : t -> int
 val caught : t -> int
 val late_pledges : t -> int
+
+val overload_drops : t -> int
+(** Pledges shed because the bounded intake queue was full. *)
+
 val cache : t -> Secrep_store.Result_cache.t
 val work : t -> Secrep_sim.Work_queue.t
 

@@ -39,7 +39,16 @@ type env = {
   send_write : op:Secrep_store.Oplog.op -> reply:(Master.write_ack -> unit) -> unit;
   forward_pledge : Pledge.t -> unit;
   report_proof : Pledge.t -> unit;
-  reconnect : unit -> unit;
+  reconnect : avoid:int list -> unit;
+}
+
+(* Per-slave health record.  [open_until] is the quarantine deadline;
+   once it passes the breaker is half-open: the slave may be probed
+   again, and the first success closes the breaker. *)
+type breaker = {
+  mutable consecutive_timeouts : int;
+  mutable open_until : float;
+  mutable is_open : bool;
 }
 
 type t = {
@@ -61,6 +70,11 @@ type t = {
      exclusion can identify (and count) the reads to roll back. *)
   mutable accepted_log : (int * float) list; (* slave_id, accept time; newest first *)
   mutable tainted_reads : int;
+  breakers : (int, breaker) Hashtbl.t;
+  mutable timeouts : int;
+  mutable degraded_served : int;
+  mutable breaker_opened : int;
+  mutable breaker_closed : int;
 }
 
 let create ~id ~rng ~config ~env ~stats ?trace ?spans ?max_latency_override () =
@@ -86,6 +100,11 @@ let create ~id ~rng ~config ~env ~stats ?trace ?spans ?max_latency_override () =
     stale_rejections = 0;
     accepted_log = [];
     tainted_reads = 0;
+    breakers = Hashtbl.create 8;
+    timeouts = 0;
+    degraded_served = 0;
+    breaker_opened = 0;
+    breaker_closed = 0;
   }
 
 let source t = Printf.sprintf "client-%d" t.id
@@ -110,11 +129,77 @@ let reads_issued t = t.reads_issued
 let reads_accepted t = t.reads_accepted
 let reads_given_up t = t.reads_given_up
 let stale_rejections t = t.stale_rejections
+let read_timeouts t = t.timeouts
+let degraded_reads t = t.degraded_served
+let breaker_opened t = t.breaker_opened
+let breaker_closed t = t.breaker_closed
 
 (* How long to wait for a slave before assuming it dropped the request.
-   2x the freshness bound is generous: an answer that slow would be
-   rejected as stale anyway. *)
-let read_timeout t = 2.0 *. t.max_latency
+   The default factor of 2x the freshness bound is generous: an answer
+   that slow would be rejected as stale anyway (§3.1). *)
+let read_timeout t = t.config.Config.read_timeout_factor *. t.max_latency
+
+(* -- per-slave health and circuit breakers --------------------------- *)
+
+let breaker_for t slave_id =
+  match Hashtbl.find_opt t.breakers slave_id with
+  | Some b -> b
+  | None ->
+    let b = { consecutive_timeouts = 0; open_until = neg_infinity; is_open = false } in
+    Hashtbl.add t.breakers slave_id b;
+    b
+
+let is_quarantined t ~slave_id =
+  match Hashtbl.find_opt t.breakers slave_id with
+  | Some b -> b.is_open && t.env.now () < b.open_until
+  | None -> false
+
+let quarantined t =
+  let now = t.env.now () in
+  Hashtbl.fold
+    (fun id b acc -> if b.is_open && now < b.open_until then id :: acc else acc)
+    t.breakers []
+
+let note_timeout t ~slave_id =
+  t.timeouts <- t.timeouts + 1;
+  Stats.incr t.stats "client.read_timeouts";
+  if slave_id >= 0 then begin
+    let b = breaker_for t slave_id in
+    b.consecutive_timeouts <- b.consecutive_timeouts + 1;
+    if b.consecutive_timeouts >= t.config.Config.breaker_threshold then begin
+      if not b.is_open then begin
+        t.breaker_opened <- t.breaker_opened + 1;
+        Stats.incr t.stats "client.breaker_opened"
+      end;
+      b.is_open <- true;
+      b.open_until <- t.env.now () +. t.config.Config.breaker_cooldown
+    end
+  end
+
+let note_slave_success t ~slave_id =
+  if slave_id >= 0 then begin
+    let b = breaker_for t slave_id in
+    if b.is_open then begin
+      b.is_open <- false;
+      t.breaker_closed <- t.breaker_closed + 1;
+      Stats.incr t.stats "client.breaker_closed"
+    end;
+    b.consecutive_timeouts <- 0;
+    b.open_until <- neg_infinity
+  end
+
+(* Exponential backoff with deterministic jitter: retry [n] waits in
+   [[d*(1-jitter), d]] where [d = min(cap, base * factor^n)], sampled
+   from the client's seeded PRNG so runs replay exactly. *)
+let backoff_delay t ~retries =
+  let c = t.config in
+  let d =
+    Float.min c.Config.retry_backoff_cap
+      (c.Config.retry_backoff_base
+      *. (c.Config.retry_backoff_factor ** float_of_int retries))
+  in
+  let j = c.Config.retry_jitter in
+  (d *. (1.0 -. j)) +. (d *. j *. Prng.float t.rng)
 
 let give_up t ~query ~start ~retries ~double_checked ~caught =
   t.reads_given_up <- t.reads_given_up + 1;
@@ -164,7 +249,11 @@ let tainted_reads t = t.tainted_reads
 let accept ?served_by t ~query ~result ~version ~start ~retries ~double_checked ~caught =
   t.reads_accepted <- t.reads_accepted + 1;
   Stats.incr t.stats "client.reads_accepted";
-  (match served_by with Some slave_id -> note_accepted t ~slave_id | None -> ());
+  (match served_by with
+  | Some slave_id ->
+    note_accepted t ~slave_id;
+    note_slave_success t ~slave_id
+  | None -> ());
   let latency = t.env.now () -. start in
   emit t
     (Event.Read_answered
@@ -186,49 +275,90 @@ let accept ?served_by t ~query ~result ~version ~start ~retries ~double_checked 
     served_by;
   }
 
+(* A master read must still time out: during a master crash or a
+   client<->master partition the reply never arrives, and the read has
+   to be reported failed rather than lost. *)
+let master_read t query ~start ~retries ~caught ~on_done =
+  let settled = ref false in
+  t.env.schedule ~delay:(read_timeout t) (fun () ->
+      if not !settled then begin
+        settled := true;
+        note_timeout t ~slave_id:(-1);
+        on_done (give_up t ~query ~start ~retries ~double_checked:false ~caught)
+      end);
+  t.env.send_sensitive ~query ~reply:(fun reply ->
+      if not !settled then begin
+        settled := true;
+        match reply with
+        | Some (result, version) ->
+          t.reads_accepted <- t.reads_accepted + 1;
+          let latency = t.env.now () -. start in
+          emit t
+            (Event.Read_answered
+               { client = t.id; slave = -1; outcome = "by-master"; version; latency });
+          on_done
+            {
+              query;
+              outcome = `Served_by_master result;
+              version;
+              latency;
+              retries;
+              double_checked = false;
+              caught_slave = caught;
+              served_by = None;
+            }
+        | None ->
+          on_done (give_up t ~query ~start ~retries ~double_checked:false ~caught)
+      end)
+
 let sensitive_read t query ~on_done =
   Stats.incr t.stats "client.sensitive_reads";
   let start = t.env.now () in
-  t.env.send_sensitive ~query ~reply:(fun reply ->
-      match reply with
-      | Some (result, version) ->
-        t.reads_accepted <- t.reads_accepted + 1;
-        let latency = t.env.now () -. start in
-        emit t
-          (Event.Read_answered
-             { client = t.id; slave = -1; outcome = "by-master"; version; latency });
-        on_done
-          {
-            query;
-            outcome = `Served_by_master result;
-            version;
-            latency;
-            retries = 0;
-            double_checked = false;
-            caught_slave = None;
-            served_by = None;
-          }
-      | None -> on_done (give_up t ~query ~start ~retries:0 ~double_checked:false ~caught:None))
+  master_read t query ~start ~retries:0 ~caught:None ~on_done
+
+(* Retry budget exhausted: no slave could serve the read.  With
+   [degraded_reads] on, fall back to the trusted master — counted,
+   since every such read sacrifices the offloading the slaves exist
+   for (§2). *)
+let exhausted t ~query ~start ~retries ~caught ~on_done =
+  if not t.config.Config.degraded_reads then
+    on_done (give_up t ~query ~start ~retries ~double_checked:false ~caught)
+  else begin
+    Stats.incr t.stats "client.degraded_attempts";
+    master_read t query ~start ~retries ~caught ~on_done:(fun report ->
+        (match report.outcome with
+        | `Served_by_master _ ->
+          t.degraded_served <- t.degraded_served + 1;
+          Stats.incr t.stats "client.degraded_reads"
+        | _ -> ());
+        on_done report)
+  end
 
 (* -- single-slave reads (the base protocol, §3.2-§3.3) --------------- *)
 
 let rec single_attempt t ~query ~dc_probability ~start ~retries ~caught ~on_done =
   if retries > t.config.Config.read_retry_limit then
-    on_done (give_up t ~query ~start ~retries ~double_checked:false ~caught)
+    exhausted t ~query ~start ~retries ~caught ~on_done
   else begin
+    (* Route around a quarantined slave before even sending. *)
+    if is_quarantined t ~slave_id:(t.env.slave_id ()) then
+      t.env.reconnect ~avoid:(quarantined t);
+    let target = t.env.slave_id () in
     let settled = ref false in
     let retry ~reconnect ~caught =
       if not !settled then begin
         settled := true;
-        if reconnect then t.env.reconnect ();
+        if reconnect then t.env.reconnect ~avoid:(quarantined t);
         Stats.incr t.stats "client.read_retries";
-        single_attempt t ~query ~dc_probability ~start ~retries:(retries + 1) ~caught ~on_done
+        t.env.schedule ~delay:(backoff_delay t ~retries) (fun () ->
+            single_attempt t ~query ~dc_probability ~start ~retries:(retries + 1) ~caught
+              ~on_done)
       end
     in
     (* Arm the timeout for an Omit_result attacker or a dead slave. *)
     t.env.schedule ~delay:(read_timeout t) (fun () ->
         if not !settled then begin
-          Stats.incr t.stats "client.read_timeouts";
+          note_timeout t ~slave_id:target;
           retry ~reconnect:true ~caught
         end);
     let slave_public = t.env.slave_public () in
@@ -328,12 +458,14 @@ let rec single_attempt t ~query ~dc_probability ~start ~retries ~caught ~on_done
 
 let rec quorum_attempt t ~query ~k ~dc_probability ~start ~retries ~caught ~on_done =
   if retries > t.config.Config.read_retry_limit then
-    on_done (give_up t ~query ~start ~retries ~double_checked:false ~caught)
+    exhausted t ~query ~start ~retries ~caught ~on_done
   else begin
-    let candidates = t.env.quorum_candidates () in
+    let candidates =
+      List.filter (fun s -> not (is_quarantined t ~slave_id:s)) (t.env.quorum_candidates ())
+    in
     let targets = List.filteri (fun i _ -> i < k) candidates in
     if List.length targets < k then
-      (* Not enough distinct slaves; degrade to the base protocol. *)
+      (* Not enough distinct healthy slaves; degrade to the base protocol. *)
       single_attempt t ~query ~dc_probability ~start ~retries ~caught ~on_done
     else begin
       let settled = ref false in
@@ -342,15 +474,20 @@ let rec quorum_attempt t ~query ~k ~dc_probability ~start ~retries ~caught ~on_d
       let retry ~caught =
         if not !settled then begin
           settled := true;
-          t.env.reconnect ();
+          t.env.reconnect ~avoid:(quarantined t);
           Stats.incr t.stats "client.read_retries";
-          quorum_attempt t ~query ~k ~dc_probability ~start ~retries:(retries + 1) ~caught
-            ~on_done
+          t.env.schedule ~delay:(backoff_delay t ~retries) (fun () ->
+              quorum_attempt t ~query ~k ~dc_probability ~start ~retries:(retries + 1)
+                ~caught ~on_done)
         end
       in
       t.env.schedule ~delay:(read_timeout t) (fun () ->
           if not !settled then begin
-            Stats.incr t.stats "client.read_timeouts";
+            (* Charge the timeout to every slave that never replied. *)
+            List.iter
+              (fun s ->
+                if not (List.mem_assoc s !replies) then note_timeout t ~slave_id:s)
+              targets;
             retry ~caught
           end);
       let master_public = t.env.master_public () in

@@ -59,8 +59,11 @@ type env = {
     op:Secrep_store.Oplog.op -> reply:(Master.write_ack -> unit) -> unit;
   forward_pledge : Pledge.t -> unit;
   report_proof : Pledge.t -> unit;
-  reconnect : unit -> unit;
-      (** Redo the setup phase (new slave, possibly new master). *)
+  reconnect : avoid:int list -> unit;
+      (** Redo the setup phase (new slave, possibly new master).
+          [avoid] lists slave ids the client's circuit breakers have
+          quarantined; the system should route around them when any
+          alternative exists. *)
 }
 
 type t
@@ -95,6 +98,26 @@ val reads_issued : t -> int
 val reads_accepted : t -> int
 val reads_given_up : t -> int
 val stale_rejections : t -> int
+
+val read_timeouts : t -> int
+(** Read attempts that expired after [read_timeout_factor *.
+    max_latency] without a reply. *)
+
+val degraded_reads : t -> int
+(** Reads served by the trusted master because no healthy slave
+    remained (only with [Config.degraded_reads]). *)
+
+val breaker_opened : t -> int
+(** Times a per-slave circuit breaker tripped ([breaker_threshold]
+    consecutive timeouts) and quarantined the slave. *)
+
+val breaker_closed : t -> int
+(** Times an open breaker closed again: a half-open probe after
+    [breaker_cooldown] succeeded — the "healed" signal. *)
+
+val is_quarantined : t -> slave_id:int -> bool
+val quarantined : t -> int list
+(** Slave ids currently quarantined by this client's breakers. *)
 
 val on_slave_excluded : t -> slave_id:int -> int
 (** §3.5 rollback hook: called when a slave is excluded; returns how

@@ -15,6 +15,15 @@ type t = {
   greedy_factor : float;
   greedy_min_samples : int;
   read_retry_limit : int;
+  read_timeout_factor : float;
+  retry_backoff_base : float;
+  retry_backoff_factor : float;
+  retry_backoff_cap : float;
+  retry_jitter : float;
+  breaker_threshold : int;
+  breaker_cooldown : float;
+  degraded_reads : bool;
+  auditor_queue_capacity : int;
 }
 
 let default =
@@ -39,6 +48,15 @@ let default =
     greedy_factor = 4.0;
     greedy_min_samples = 10;
     read_retry_limit = 5;
+    read_timeout_factor = 2.0;
+    retry_backoff_base = 0.05;
+    retry_backoff_factor = 2.0;
+    retry_backoff_cap = 2.0;
+    retry_jitter = 0.5;
+    breaker_threshold = 3;
+    breaker_cooldown = 10.0;
+    degraded_reads = true;
+    auditor_queue_capacity = 100_000;
   }
 
 let validate t =
@@ -61,6 +79,17 @@ let validate t =
   else if t.greedy_factor < 1.0 then err "greedy_factor must be at least 1"
   else if t.greedy_min_samples < 1 then err "greedy_min_samples must be at least 1"
   else if t.read_retry_limit < 0 then err "read_retry_limit must be non-negative"
+  else if t.read_timeout_factor < 1.0 then
+    err "read_timeout_factor must be at least 1 (a round trip takes up to 2 one-way delays)"
+  else if t.retry_backoff_base < 0.0 then err "retry_backoff_base must be non-negative"
+  else if t.retry_backoff_factor < 1.0 then err "retry_backoff_factor must be at least 1"
+  else if t.retry_backoff_cap < t.retry_backoff_base then
+    err "retry_backoff_cap must be at least retry_backoff_base"
+  else if t.retry_jitter < 0.0 || t.retry_jitter > 1.0 then
+    err "retry_jitter must be in [0,1]"
+  else if t.breaker_threshold < 1 then err "breaker_threshold must be at least 1"
+  else if t.breaker_cooldown < 0.0 then err "breaker_cooldown must be non-negative"
+  else if t.auditor_queue_capacity < 1 then err "auditor_queue_capacity must be at least 1"
   else Ok ()
 
 let validate_exn t =

@@ -40,6 +40,35 @@ type t = {
       (** Minimum double-checks before a client can be suspected. *)
   read_retry_limit : int;
       (** Stale/failed read retries before a client gives up. *)
+  read_timeout_factor : float;
+      (** A read attempt times out after [read_timeout_factor *.
+          max_latency].  The factor must be >= 1: a pledge signed at
+          send time stays acceptably fresh for [max_latency] (the
+          keep-alive bound, §3.1), so 2x covers the round trip to a
+          live slave; larger values trade tail-latency tolerance for
+          slower failure detection. *)
+  retry_backoff_base : float;
+      (** First retry delay (seconds); doubles via
+          [retry_backoff_factor] up to [retry_backoff_cap]. *)
+  retry_backoff_factor : float;
+  retry_backoff_cap : float;
+  retry_jitter : float;
+      (** Fraction of the backoff delay randomised (deterministically,
+          from the client's PRNG) to de-synchronise retry storms; 0
+          disables jitter. *)
+  breaker_threshold : int;
+      (** Consecutive timeouts against one slave before the client's
+          circuit breaker opens and it routes around that slave. *)
+  breaker_cooldown : float;
+      (** Seconds an open breaker quarantines a slave before a
+          half-open probe is allowed again. *)
+  degraded_reads : bool;
+      (** When no healthy slave remains, fall back to reading from the
+          trusted master (counted — it sacrifices offloading). *)
+  auditor_queue_capacity : int;
+      (** Max pledges the auditor will hold across its intake queues;
+          beyond it new submissions are dropped and counted instead of
+          growing without bound during outages. *)
 }
 
 val default : t

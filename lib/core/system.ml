@@ -73,6 +73,12 @@ type t = {
   auditors : Auditor.t array;
   group : payload Total_order.t;
   links : (endpoint * endpoint, Link.t) Hashtbl.t;
+  (* chaos state: a link is up iff neither endpoint is partitioned, so
+     lazily-created links honor cuts that predate them *)
+  partitioned : (endpoint, unit) Hashtbl.t;
+  crashed_slaves : (int, unit) Hashtbl.t;
+  mutable loss_override : float option;
+  mutable latency_factor : float;
   (* assignment state *)
   client_master : int array;
   client_slave : int array;
@@ -124,15 +130,28 @@ let endpoint_name = function
   | C i -> Printf.sprintf "c%d" i
   | A -> "aud"
 
+(* Long names for chaos trace events (the fuzz invariants parse these). *)
+let node_name = function
+  | M i -> Printf.sprintf "master-%d" i
+  | S i -> Printf.sprintf "slave-%d" i
+  | C i -> Printf.sprintf "client-%d" i
+  | A -> "auditor"
+
 let link t a b =
   match Hashtbl.find_opt t.links (a, b) with
   | Some l -> l
   | None ->
+    let latency =
+      if t.latency_factor = 1.0 then latency_for t a b
+      else Latency.scale (latency_for t a b) t.latency_factor
+    in
+    let loss = match t.loss_override with Some l -> l | None -> t.net.loss in
     let l =
-      Link.create t.sim ~rng:(Prng.split t.rng) ~latency:(latency_for t a b) ~loss:t.net.loss
+      Link.create t.sim ~rng:(Prng.split t.rng) ~latency ~loss
         ~name:(Printf.sprintf "%s->%s" (endpoint_name a) (endpoint_name b))
         ()
     in
+    if Hashtbl.mem t.partitioned a || Hashtbl.mem t.partitioned b then Link.set_up l false;
     Hashtbl.add t.links (a, b) l;
     l
 
@@ -192,7 +211,9 @@ let alive_masters t =
 let rec reassign_client t ~client_id ~excluding =
   (* The setup phase of §2: pick a (live) master, have it hand us a
      slave.  [excluding] lists slaves the client refuses (just
-     excluded). *)
+     excluded, or quarantined by its circuit breakers); crashed slaves
+     are never handed out. *)
+  let excluding = Hashtbl.fold (fun id () acc -> id :: acc) t.crashed_slaves excluding in
   match alive_masters t with
   | [] -> log t "system" "client %d cannot connect: no live master" client_id
   | alive ->
@@ -345,6 +366,10 @@ let create ?(n_masters = 3) ?(slaves_per_master = 4) ?(n_clients = 10) ?(n_audit
       auditors;
       group;
       links = Hashtbl.create 64;
+      partitioned = Hashtbl.create 8;
+      crashed_slaves = Hashtbl.create 8;
+      loss_override = None;
+      latency_factor = 1.0;
       client_master = Array.make n_clients 0;
       client_slave = Array.make n_clients 0;
       slave_master;
@@ -432,6 +457,7 @@ let create ?(n_masters = 3) ?(slaves_per_master = 4) ?(n_clients = 10) ?(n_audit
               Array.to_list t.slaves
               |> List.filter (fun s ->
                      (not (Slave.is_excluded s))
+                     && (not (Hashtbl.mem t.crashed_slaves (Slave.id s)))
                      && Slave.is_available s ~now:(Sim.now t.sim))
               |> List.map Slave.id
             in
@@ -501,8 +527,8 @@ let create ?(n_masters = 3) ?(slaves_per_master = 4) ?(n_clients = 10) ?(n_audit
                   | Master.Inconclusive _ -> Stats.incr t.stats "system.inconclusive_proofs"
                 end));
         reconnect =
-          (fun () ->
-            let excluding = Corrective.currently_excluded t.corrective in
+          (fun ~avoid ->
+            let excluding = avoid @ Corrective.currently_excluded t.corrective in
             reassign_client t ~client_id:id ~excluding);
       }
     in
@@ -638,6 +664,8 @@ let crash_master t m_id =
   if Master.is_alive m then begin
     Master.crash m;
     Total_order.crash t.group m_id;
+    Trace.emit t.trace ~time:(Sim.now t.sim) ~source:"system"
+      (Event.Node_crashed { node = node_name (M m_id) });
     (* Remaining masters divide the dead master's slave set (§3). *)
     let heirs = alive_masters t in
     (match heirs with
@@ -664,3 +692,144 @@ let crash_master t m_id =
               ~excluding:(Corrective.currently_excluded t.corrective))
         t.client_master)
   end
+
+(* -- chaos hooks: partitions, benign crash-recover, net degradation --- *)
+
+(* A link is up iff neither endpoint is partitioned; recompute on every
+   change so overlapping cuts compose (a link between two partitioned
+   endpoints stays down until *both* heal).  Returns whether the
+   endpoint's state actually changed. *)
+let set_endpoint_up t ep ~up =
+  let was_down = Hashtbl.mem t.partitioned ep in
+  if up then Hashtbl.remove t.partitioned ep else Hashtbl.replace t.partitioned ep ();
+  Hashtbl.iter
+    (fun (a, b) l ->
+      if a = ep || b = ep then
+        Link.set_up l
+          (not (Hashtbl.mem t.partitioned a || Hashtbl.mem t.partitioned b)))
+    t.links;
+  (* Masters also sit on the total-order mesh: cut those links too so a
+     partitioned master neither orders writes nor hears heartbeats. *)
+  (match ep with
+  | M m_id ->
+    Array.iteri
+      (fun other _ ->
+        if other <> m_id then begin
+          let pair_up =
+            not
+              (Hashtbl.mem t.partitioned (M m_id) || Hashtbl.mem t.partitioned (M other))
+          in
+          (try Link.set_up (Total_order.link_between t.group m_id other) pair_up
+           with Not_found -> ());
+          (try Link.set_up (Total_order.link_between t.group other m_id) pair_up
+           with Not_found -> ())
+        end)
+      t.masters
+  | S _ | C _ | A -> ());
+  let changed = was_down = up in
+  if changed then begin
+    Trace.emit t.trace ~time:(Sim.now t.sim) ~source:"system"
+      (Event.Partition { target = node_name ep; up });
+    log t "system" "%s network %s" (node_name ep) (if up then "healed" else "cut")
+  end;
+  changed
+
+let set_master_connectivity t ~master_id ~up =
+  ignore (set_endpoint_up t (M master_id) ~up)
+
+let set_client_connectivity t ~client_id ~up = ignore (set_endpoint_up t (C client_id) ~up)
+let set_auditor_connectivity t ~up = ignore (set_endpoint_up t A ~up)
+let is_crashed t ~slave_id = Hashtbl.mem t.crashed_slaves slave_id
+
+let set_slave_connectivity t ~slave_id ~up =
+  let changed = set_endpoint_up t (S slave_id) ~up in
+  (* A healed slave is behind; the next keep-alive triggers its resync.
+     Recovery convergence is asserted from this event, so it is only
+     emitted for slaves that are actually back in service. *)
+  if
+    changed && up
+    && (not (is_crashed t ~slave_id))
+    && not (Slave.is_excluded t.slaves.(slave_id))
+  then
+    Trace.emit t.trace ~time:(Sim.now t.sim) ~source:"system"
+      (Event.Node_recovered
+         { node = node_name (S slave_id); version = Slave.version t.slaves.(slave_id) })
+
+(* Benign fail-stop crash: the host vanishes from the network but its
+   owner is not accused of anything — no Corrective entry, unlike
+   [exclude_slave].  Recovery wipes the host and reinstates it from a
+   master checkpoint (§3.5's recovery path, without the exclusion). *)
+let crash_slave t ~slave_id =
+  if not (Hashtbl.mem t.crashed_slaves slave_id) then begin
+    Hashtbl.replace t.crashed_slaves slave_id ();
+    ignore (set_endpoint_up t (S slave_id) ~up:false);
+    Stats.incr t.stats "system.slave_crashes";
+    Trace.emit t.trace ~time:(Sim.now t.sim) ~source:"system"
+      (Event.Node_crashed { node = node_name (S slave_id) });
+    log t "system" "slave %d crashed (benign)" slave_id
+  end
+
+let recover_slave t ~slave_id =
+  if slave_id < 0 || slave_id >= Array.length t.slaves then Error "unknown slave"
+  else if Corrective.is_currently_excluded t.corrective ~slave_id then
+    Error "slave is excluded; use readmit_slave"
+  else if not (Hashtbl.mem t.crashed_slaves slave_id) then Error "slave is not crashed"
+  else begin
+    match alive_masters t with
+    | [] -> Error "no live master to restore from"
+    | alive ->
+      let m_id =
+        let cur = t.slave_master.(slave_id) in
+        if Master.is_alive t.masters.(cur) then cur else List.hd alive
+      in
+      let m = t.masters.(m_id) in
+      let s = t.slaves.(slave_id) in
+      let checkpoint = Store.to_bytes (Master.store m) in
+      let keepalive =
+        Keepalive.make ~master_key:(Master.keypair m) ~content_id:(content_id t)
+          ~master_id:m_id
+          ~version:(Store.version (Master.store m))
+          ~now:(Sim.now t.sim)
+      in
+      (match Slave.reinstate s ~checkpoint ~keepalive with
+      | Error _ as e -> e
+      | Ok () ->
+        Hashtbl.remove t.crashed_slaves slave_id;
+        ignore (set_endpoint_up t (S slave_id) ~up:true);
+        t.slave_master.(slave_id) <- m_id;
+        Master.add_slave m s ~send:(fun sl thunk -> send t (M m_id) (S (Slave.id sl)) thunk);
+        Stats.incr t.stats "system.slave_recoveries";
+        Trace.emit t.trace ~time:(Sim.now t.sim) ~source:"system"
+          (Event.Node_recovered { node = node_name (S slave_id); version = Slave.version s });
+        log t "system" "slave %d recovered from crash under master %d" slave_id m_id;
+        Ok ())
+  end
+
+let set_loss t loss =
+  (match loss with
+  | Some l when l < 0.0 || l >= 1.0 -> invalid_arg "System.set_loss: loss must be in [0, 1)"
+  | Some _ | None -> ());
+  t.loss_override <- loss;
+  let effective = match loss with Some l -> l | None -> t.net.loss in
+  Hashtbl.iter (fun _ l -> Link.set_loss l effective) t.links;
+  Trace.emit t.trace ~time:(Sim.now t.sim) ~source:"system"
+    (Event.Net_degraded
+       {
+         loss = (match loss with Some l -> l | None -> 0.0);
+         latency_factor = t.latency_factor;
+       })
+
+let set_latency_factor t factor =
+  if factor <= 0.0 then invalid_arg "System.set_latency_factor: factor must be positive";
+  t.latency_factor <- factor;
+  Hashtbl.iter
+    (fun (a, b) l -> Link.set_latency l (Latency.scale (latency_for t a b) factor))
+    t.links;
+  Trace.emit t.trace ~time:(Sim.now t.sim) ~source:"system"
+    (Event.Net_degraded
+       {
+         loss = (match t.loss_override with Some l -> l | None -> 0.0);
+         latency_factor = factor;
+       })
+
+let latency_factor t = t.latency_factor

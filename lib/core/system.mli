@@ -106,6 +106,47 @@ val write :
 val set_slave_behavior : t -> slave:int -> Fault.behavior -> unit
 val crash_master : t -> int -> unit
 
+(** {2 Chaos hooks}
+
+    Deterministic fault injection used by [Secrep_chaos]: partitions
+    cut every link touching an endpoint (including links created
+    later, and the total-order mesh for masters), [crash_slave] /
+    [recover_slave] model benign fail-stop churn — no accusation is
+    recorded, and recovery wipes the host and reinstates it from a
+    master checkpoint.  All changes emit [Partition] /
+    [Node_crashed] / [Node_recovered] trace events. *)
+
+val set_slave_connectivity : t -> slave_id:int -> up:bool -> unit
+(** Healing a partitioned slave emits [Node_recovered] with its
+    (stale) store version; keep-alive-driven resync must then converge
+    it — the recovery-convergence invariant checks this. *)
+
+val set_master_connectivity : t -> master_id:int -> up:bool -> unit
+val set_client_connectivity : t -> client_id:int -> up:bool -> unit
+val set_auditor_connectivity : t -> up:bool -> unit
+
+val crash_slave : t -> slave_id:int -> unit
+(** Benign fail-stop crash: links down, no corrective action.
+    Idempotent. *)
+
+val recover_slave : t -> slave_id:int -> (unit, string) result
+(** Undo [crash_slave]: wipe + checkpoint reinstate under a live
+    master, links back up.  Fails for excluded slaves (those go
+    through {!readmit_slave}) and when no master is alive. *)
+
+val is_crashed : t -> slave_id:int -> bool
+
+val set_loss : t -> float option -> unit
+(** Override the loss probability on every mesh link (loss bursts);
+    [None] restores the profile's loss.  The total-order channel keeps
+    its own loss setting. *)
+
+val set_latency_factor : t -> float -> unit
+(** Scale every mesh link's latency model by [factor] relative to the
+    net profile (latency spikes); 1.0 restores normal. *)
+
+val latency_factor : t -> float
+
 val exclude_slave : t -> slave_id:int -> discovery:Corrective.discovery -> unit
 (** Normally triggered internally by proofs; exposed for tests. *)
 

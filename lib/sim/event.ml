@@ -27,6 +27,10 @@ type t =
   | Slave_excluded of { slave : int; immediate : bool }
   | Order_delivered of { member : int; seq : int }
   | View_installed of { member : int; view : int; sequencer : int }
+  | Partition of { target : string; up : bool }
+  | Node_crashed of { node : string }
+  | Node_recovered of { node : string; version : int }
+  | Net_degraded of { loss : float; latency_factor : float }
 
 type field = I of int | F of float | S of string | B of bool
 
@@ -56,6 +60,10 @@ let kind = function
   | Slave_excluded _ -> "slave_excluded"
   | Order_delivered _ -> "order_delivered"
   | View_installed _ -> "view_installed"
+  | Partition _ -> "partition"
+  | Node_crashed _ -> "node_crashed"
+  | Node_recovered _ -> "node_recovered"
+  | Net_degraded _ -> "net_degraded"
 
 let all_kinds =
   [
@@ -73,6 +81,10 @@ let all_kinds =
     "slave_excluded";
     "order_delivered";
     "view_installed";
+    "partition";
+    "node_crashed";
+    "node_recovered";
+    "net_degraded";
   ]
 
 let fields = function
@@ -108,6 +120,11 @@ let fields = function
   | Order_delivered { member; seq } -> [ ("member", I member); ("seq", I seq) ]
   | View_installed { member; view; sequencer } ->
     [ ("member", I member); ("view", I view); ("sequencer", I sequencer) ]
+  | Partition { target; up } -> [ ("target", S target); ("up", B up) ]
+  | Node_crashed { node } -> [ ("node", S node) ]
+  | Node_recovered { node; version } -> [ ("node", S node); ("version", I version) ]
+  | Net_degraded { loss; latency_factor } ->
+    [ ("loss", F loss); ("latency_factor", F latency_factor) ]
 
 (* -- reconstruction (the JSONL importer) ----------------------------- *)
 
@@ -207,6 +224,21 @@ let of_fields ~kind fs =
     let* view = int_field fs "view" in
     let* sequencer = int_field fs "sequencer" in
     Ok (View_installed { member; view; sequencer })
+  | "partition" ->
+    let* target = str_field fs "target" in
+    let* up = bool_field fs "up" in
+    Ok (Partition { target; up })
+  | "node_crashed" ->
+    let* node = str_field fs "node" in
+    Ok (Node_crashed { node })
+  | "node_recovered" ->
+    let* node = str_field fs "node" in
+    let* version = int_field fs "version" in
+    Ok (Node_recovered { node; version })
+  | "net_degraded" ->
+    let* loss = float_field fs "loss" in
+    let* latency_factor = float_field fs "latency_factor" in
+    Ok (Net_degraded { loss; latency_factor })
   | k -> Error (Printf.sprintf "unknown event kind %S" k)
 
 (* -- rendering -------------------------------------------------------- *)

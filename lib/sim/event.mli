@@ -38,6 +38,15 @@ type t =
   | Slave_excluded of { slave : int; immediate : bool }
   | Order_delivered of { member : int; seq : int }
   | View_installed of { member : int; view : int; sequencer : int }
+  | Partition of { target : string; up : bool }
+      (** Chaos connectivity change for a node, e.g. ["slave-2"]. *)
+  | Node_crashed of { node : string }
+      (** Benign crash (fail-stop, state wiped) injected by chaos. *)
+  | Node_recovered of { node : string; version : int }
+      (** Node rejoined; [version] is its store version at rejoin. *)
+  | Net_degraded of { loss : float; latency_factor : float }
+      (** Chaos loss/latency override changed; [loss = 0.0] and
+          [latency_factor = 1.0] mean the network is back to normal. *)
 
 type field = I of int | F of float | S of string | B of bool
 

@@ -30,6 +30,17 @@ let sample t g =
     Float.min cap (scale /. (u ** (1.0 /. shape)))
   | Empirical samples -> Prng.pick g samples
 
+let scale t factor =
+  if factor <= 0.0 then invalid_arg "Latency.scale: factor must be positive";
+  match t with
+  | Constant c -> Constant (c *. factor)
+  | Uniform { lo; hi } -> Uniform { lo = lo *. factor; hi = hi *. factor }
+  | Exponential { mean; floor } ->
+    Exponential { mean = mean *. factor; floor = floor *. factor }
+  | Pareto { scale; shape; cap } ->
+    Pareto { scale = scale *. factor; shape; cap = cap *. factor }
+  | Empirical samples -> Empirical (Array.map (fun s -> s *. factor) samples)
+
 let mean = function
   | Constant c -> c
   | Uniform { lo; hi } -> (lo +. hi) /. 2.0

@@ -16,6 +16,10 @@ val sample : t -> Secrep_crypto.Prng.t -> float
 val mean : t -> float
 (** Analytic (or sample) mean, used by experiment reports. *)
 
+val scale : t -> float -> t
+(** Multiply every delay by [factor] (chaos latency spikes).  Raises
+    [Invalid_argument] on a non-positive factor. *)
+
 val validate : t -> unit
 (** Raises [Invalid_argument] on nonsensical parameters (negative
     bounds, [lo > hi], empty empirical set, ...). *)

@@ -3,8 +3,8 @@ module Prng = Secrep_crypto.Prng
 type t = {
   sim : Sim.t;
   rng : Prng.t;
-  latency : Latency.t;
-  loss : float;
+  mutable latency : Latency.t;
+  mutable loss : float;
   name : string;
   mutable up : bool;
   mutable epoch : int; (* bumped on every down transition: in-flight messages from an older epoch are dropped on arrival *)
@@ -53,6 +53,19 @@ let set_up t up =
   t.up <- up
 
 let is_up t = t.up
+
+let set_loss t loss =
+  if loss < 0.0 || loss >= 1.0 then invalid_arg "Link.set_loss: loss must be in [0, 1)";
+  t.loss <- loss
+
+let loss t = t.loss
+
+let set_latency t latency =
+  Latency.validate latency;
+  t.latency <- latency
+
+let latency t = t.latency
+
 let set_bandwidth t ~bytes_per_sec =
   if bytes_per_sec <= 0.0 then invalid_arg "Link.set_bandwidth: must be positive";
   t.bandwidth <- bytes_per_sec

@@ -27,6 +27,18 @@ val send_sized : t -> bytes_len:int -> (unit -> unit) -> unit
 val set_up : t -> bool -> unit
 val is_up : t -> bool
 
+val set_loss : t -> float -> unit
+(** Replace the per-message loss probability (chaos loss bursts).
+    Raises [Invalid_argument] outside [0, 1). *)
+
+val loss : t -> float
+
+val set_latency : t -> Latency.t -> unit
+(** Replace the latency model (chaos latency spikes); messages already
+    in flight keep their sampled delay. *)
+
+val latency : t -> Latency.t
+
 val set_bandwidth : t -> bytes_per_sec:float -> unit
 (** Default: infinite (size charges nothing). *)
 

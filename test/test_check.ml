@@ -162,6 +162,7 @@ let attack_scenario ~sys_seed ~mode =
     audit = true;
     net = Scenario.Lan;
     faults = [ { Scenario.slave = 0; mode; probability = 1.0; from_time = 0.0 } ];
+    chaos = [];
     ops =
       (* A few writes early so a frozen (Stale_state) store diverges,
          then reads spread over the attack window. *)

@@ -762,27 +762,70 @@ let test_e2e_two_simultaneous_attackers () =
     (List.length (Corrective.excluded (System.corrective system)))
 
 let test_e2e_all_slaves_excluded_gives_up () =
-  (* One master, one slave; once it is excluded there is nowhere to go
-     and reads must fail cleanly rather than hang. *)
-  let config = { fast_config with Config.double_check_probability = 1.0 } in
-  let system =
-    System.create ~n_masters:1 ~slaves_per_master:1 ~n_clients:1 ~config
-      ~net:System.lan_net ~seed:31L ()
+  (* One master, one slave; once it is excluded there is no slave left.
+     With degraded reads off the read must fail cleanly rather than
+     hang; with them on (the default) the trusted master serves it. *)
+  let run ~degraded =
+    let config =
+      {
+        fast_config with
+        Config.double_check_probability = 1.0;
+        degraded_reads = degraded;
+      }
+    in
+    let system =
+      System.create ~n_masters:1 ~slaves_per_master:1 ~n_clients:1 ~config
+        ~net:System.lan_net ~seed:31L ()
+    in
+    System.load_content system catalog;
+    System.set_slave_behavior system ~slave:0
+      (Fault.Malicious { probability = 1.0; mode = Fault.Corrupt_result; from_time = 0.0 });
+    let outcome = ref None in
+    System.read system ~client:0 (Query.point_read "item:001") ~on_done:(fun r ->
+        outcome := Some r.Client.outcome);
+    System.run_for system 240.0;
+    check bool_t "read completed (did not hang)" true (!outcome <> None);
+    check bool_t "slave excluded" true
+      (Corrective.is_excluded (System.corrective system) ~slave_id:0);
+    (system, !outcome)
   in
-  System.load_content system catalog;
-  System.set_slave_behavior system ~slave:0
-    (Fault.Malicious { probability = 1.0; mode = Fault.Corrupt_result; from_time = 0.0 });
-  let outcome = ref None in
-  System.read system ~client:0 (Query.point_read "item:001") ~on_done:(fun r ->
-      outcome := Some r.Client.outcome);
-  System.run_for system 240.0;
-  check bool_t "read completed (did not hang)" true (!outcome <> None);
-  check bool_t "slave excluded" true
-    (Corrective.is_excluded (System.corrective system) ~slave_id:0);
-  (match !outcome with
+  let _, outcome = run ~degraded:false in
+  (match outcome with
   | Some `Gave_up -> ()
-  | Some (`Accepted _ | `Served_by_master _) -> Alcotest.fail "nothing could have served this"
-  | None -> ())
+  | Some (`Accepted _ | `Served_by_master _) ->
+    Alcotest.fail "no slave could have served this and degraded reads are off"
+  | None -> ());
+  let system, outcome = run ~degraded:true in
+  (match outcome with
+  | Some (`Served_by_master _) -> ()
+  | Some (`Accepted _) -> Alcotest.fail "no slave could have served this"
+  | Some `Gave_up -> Alcotest.fail "degraded mode should have fallen back to the master"
+  | None -> ());
+  check bool_t "degraded read counted" true
+    (Client.degraded_reads (System.client system 0) >= 1)
+
+let test_e2e_auditor_queue_bounded () =
+  (* A tiny intake queue under a read burst must shed load (counted in
+     auditor.overload_drops) instead of growing without bound, and the
+     shedding must not disturb the read path. *)
+  let config = { fast_config with Config.auditor_queue_capacity = 3 } in
+  let system = make_system ~config ~seed:33L () in
+  (* A write parks the audit cursor at the old version for
+     max_latency + audit_lag_slack; the read burst right behind it
+     queues new-version pledges faster than the cursor can advance. *)
+  System.write system ~client:0
+    (Oplog.Set_field { key = "item:000"; field = "stock"; value = Value.Int 42 })
+    ~on_done:(fun _ -> ());
+  System.run_for system 1.0;
+  let reports = issue_reads system ~n:60 ~spacing:0.02 in
+  System.run_for system 120.0;
+  check int_t "reads unaffected by shedding" 60 (List.length !reports);
+  let auditor = System.auditor system in
+  check bool_t "overload drops counted" true (Auditor.overload_drops auditor > 0);
+  check bool_t "backlog stayed within capacity" true (Auditor.backlog auditor <= 3);
+  check int_t "stat mirrors the accessor"
+    (Auditor.overload_drops auditor)
+    (Stats.get (System.stats system) "auditor.overload_drops")
 
 let test_e2e_greedy_client_throttled () =
   (* Client 0 double-checks everything (p=1 via a tight greedy config);
@@ -1142,6 +1185,7 @@ let () =
             test_e2e_two_simultaneous_attackers;
           Alcotest.test_case "all slaves excluded -> clean give-up" `Quick
             test_e2e_all_slaves_excluded_gives_up;
+          Alcotest.test_case "auditor queue bounded" `Quick test_e2e_auditor_queue_bounded;
           Alcotest.test_case "greedy client throttled" `Quick test_e2e_greedy_client_throttled;
           Alcotest.test_case "leveled reads reach the master" `Quick test_e2e_leveled_reads;
           Alcotest.test_case "slave resync after partition" `Quick

@@ -257,6 +257,58 @@ let test_link_inflight_dropped_on_down () =
   Sim.run sim;
   check int_t "in-flight message lost" 0 !got
 
+(* Regression pin for the fail-stop contract: cutting the link drops
+   every in-flight delivery, the drops are visible in [dropped], and the
+   link works again after healing — no delivery leaks across a down
+   window. *)
+let test_link_failstop_semantics () =
+  let sim = Sim.create () in
+  let g = Prng.create ~seed:28L in
+  let link = Link.create sim ~rng:g ~latency:(Latency.Constant 1.0) () in
+  let got = ref 0 in
+  for _ = 1 to 4 do
+    Link.send link (fun () -> incr got)
+  done;
+  ignore (Sim.schedule sim ~delay:0.5 (fun () -> Link.set_up link false));
+  ignore
+    (Sim.schedule sim ~delay:0.6 (fun () ->
+         (* sent while down: dropped immediately, not queued *)
+         Link.send link (fun () -> incr got)));
+  ignore (Sim.schedule sim ~delay:2.0 (fun () -> Link.set_up link true));
+  ignore
+    (Sim.schedule sim ~delay:2.5 (fun () -> Link.send link (fun () -> incr got)));
+  Sim.run sim;
+  check int_t "only the post-heal message arrives" 1 !got;
+  check int_t "in-flight + while-down messages all counted dropped" 5 (Link.dropped link);
+  check int_t "delivered counts the survivor" 1 (Link.delivered link)
+
+(* The chaos mutators compose with the rest of the link model: loss
+   applies to the new rate immediately, a latency swap only affects
+   messages sent after it, and bandwidth charges stack on top. *)
+let test_link_mutators_compose () =
+  let sim = Sim.create () in
+  let g = Prng.create ~seed:29L in
+  let link = Link.create sim ~rng:g ~latency:(Latency.Constant 0.01) () in
+  check bool_t "loss starts at zero" true (Link.loss link = 0.0);
+  Link.set_loss link 0.5;
+  let got = ref 0 in
+  for _ = 1 to 1000 do
+    Link.send link (fun () -> incr got)
+  done;
+  Sim.run sim;
+  check bool_t "mutated loss rate applies" true (!got > 400 && !got < 600);
+  (match Link.set_loss link 1.5 with
+  | () -> Alcotest.fail "loss 1.5 should be rejected"
+  | exception Invalid_argument _ -> ());
+  Link.set_loss link 0.0;
+  Link.set_latency link (Latency.Constant 0.1);
+  Link.set_bandwidth link ~bytes_per_sec:1000.0;
+  let arrival = ref 0.0 in
+  Link.send_sized link ~bytes_len:100 (fun () -> arrival := Sim.now sim);
+  let before = Sim.now sim in
+  Sim.run sim;
+  check float_t "new latency + transfer charge" (before +. 0.1 +. 0.1) !arrival
+
 let test_link_loss () =
   let sim = Sim.create () in
   let g = Prng.create ~seed:26L in
@@ -512,6 +564,10 @@ let sample_events =
     Event.Slave_excluded { slave = 7; immediate = true };
     Event.Order_delivered { member = 0; seq = 42 };
     Event.View_installed { member = 0; view = 2; sequencer = 1 };
+    Event.Partition { target = "slave-7"; up = false };
+    Event.Node_crashed { node = "slave-7" };
+    Event.Node_recovered { node = "slave-7"; version = 13 };
+    Event.Net_degraded { loss = 0.2; latency_factor = 4.0 };
   ]
 
 let test_event_fields_roundtrip () =
@@ -685,6 +741,8 @@ let () =
             test_link_inflight_dropped_on_down;
           Alcotest.test_case "loss rate" `Quick test_link_loss;
           Alcotest.test_case "bandwidth charge" `Quick test_link_bandwidth;
+          Alcotest.test_case "fail-stop semantics pinned" `Quick test_link_failstop_semantics;
+          Alcotest.test_case "chaos mutators compose" `Quick test_link_mutators_compose;
         ] );
       ( "process",
         [
