@@ -21,6 +21,8 @@ let experiments =
      Secrep_experiments.Exp9_ablation.run);
     ("e10", "availability + detection latency under churn and partitions",
      Secrep_experiments.Exp10_churn.run);
+    ("e11", "deduplicated audit re-execution + Merkle-batched pledge signing",
+     Secrep_experiments.Exp11_audit.run);
     ("micro", "primitive micro-benchmarks (bechamel)", Secrep_experiments.Micro.run);
   ]
 

@@ -45,8 +45,9 @@ let write_out path content =
     close_out oc
 
 let run_simulation ~masters ~slaves_per_master ~clients ~items ~duration ~read_rate
-    ~write_rate ~double_check_p ~max_latency ~keepalive ~audit ~malicious ~lie_prob
-    ~lie_mode ~lie_from ~seed ~csv ~trace_out ~trace_format ~metrics_out =
+    ~write_rate ~double_check_p ~max_latency ~keepalive ~audit ~pledge_batch
+    ~pledge_batch_window ~audit_dedup ~malicious ~lie_prob ~lie_mode ~lie_from ~seed ~csv
+    ~trace_out ~trace_format ~metrics_out =
   (* Reject a bad format before spending time on the simulation. *)
   if trace_format <> "jsonl" && trace_format <> "chrome" then begin
     Printf.eprintf "unknown trace format %S (expected jsonl or chrome)\n" trace_format;
@@ -60,6 +61,9 @@ let run_simulation ~masters ~slaves_per_master ~clients ~items ~duration ~read_r
         keepalive_period = keepalive;
         double_check_probability = double_check_p;
         audit_enabled = audit;
+        pledge_batch_size = pledge_batch;
+        pledge_batch_window;
+        audit_dedup;
       }
   in
   let system =
@@ -108,6 +112,9 @@ let run_simulation ~masters ~slaves_per_master ~clients ~items ~duration ~read_r
       (System.n_slaves system) clients items;
     Printf.printf "  protocol: max_latency=%.2gs keepalive=%.2gs p=%.3g audit=%b\n"
       max_latency keepalive double_check_p audit;
+    if pledge_batch > 1 || audit_dedup then
+      Printf.printf "  batching: pledge_batch=%d window=%.2gs dedup=%b\n" pledge_batch
+        pledge_batch_window audit_dedup;
     (match malicious with
     | Some slave ->
       Printf.printf "  attack: slave %d, mode %s, prob %.2g, from t=%.2gs\n" slave lie_mode
@@ -126,6 +133,10 @@ let run_simulation ~masters ~slaves_per_master ~clients ~items ~duration ~read_r
     Printf.printf "  wrong accepts    %d\n" s.Driver.accepted_wrong;
     Printf.printf "  audit            %d audited, backlog %d, caught %d\n"
       (Auditor.audited auditor) (Auditor.backlog auditor) (Auditor.caught auditor);
+    if audit_dedup then
+      Printf.printf "  audit dedup      %d distinct re-execution(s), %d memo hit(s)\n"
+        (Auditor.distinct_reexecs auditor)
+        (Auditor.dedup_hits auditor);
     Printf.printf "  exclusions       [%s]\n"
       (String.concat "; "
          (List.map
@@ -182,6 +193,31 @@ let run_cmd =
   let audit =
     Arg.(value & opt bool true & info [ "audit" ] ~doc:"Enable the background auditor.")
   in
+  let pledge_batch =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "pledge-batch-size" ]
+          ~doc:
+            "Pledges a slave signs per Merkle batch (1 = classic per-pledge signatures).")
+  in
+  let pledge_batch_window =
+    Arg.(
+      value
+      & opt float 0.05
+      & info [ "pledge-batch-window" ]
+          ~doc:"Max seconds a slave holds a partial pledge batch before flushing it.")
+  in
+  let audit_dedup =
+    Arg.(
+      value
+      & flag
+      & info [ "audit-dedup" ]
+          ~doc:
+            "Deduplicate auditor re-execution: each distinct (version, query) is \
+             re-executed once and all matching pledges settle against the memoized \
+             digest.")
+  in
   let malicious =
     Arg.(
       value
@@ -233,14 +269,17 @@ let run_cmd =
     Term.(
       const
         (fun masters slaves_per_master clients items duration read_rate write_rate
-             double_check_p max_latency keepalive audit malicious lie_prob lie_mode lie_from
-             seed csv trace_out trace_format metrics_out ->
+             double_check_p max_latency keepalive audit pledge_batch pledge_batch_window
+             audit_dedup malicious lie_prob lie_mode lie_from seed csv trace_out
+             trace_format metrics_out ->
           run_simulation ~masters ~slaves_per_master ~clients ~items ~duration ~read_rate
-            ~write_rate ~double_check_p ~max_latency ~keepalive ~audit ~malicious ~lie_prob
-            ~lie_mode ~lie_from ~seed ~csv ~trace_out ~trace_format ~metrics_out)
+            ~write_rate ~double_check_p ~max_latency ~keepalive ~audit ~pledge_batch
+            ~pledge_batch_window ~audit_dedup ~malicious ~lie_prob ~lie_mode ~lie_from ~seed
+            ~csv ~trace_out ~trace_format ~metrics_out)
       $ masters $ slaves $ clients $ items $ duration $ read_rate $ write_rate $ p
-      $ max_latency $ keepalive $ audit $ malicious $ lie_prob $ lie_mode $ lie_from $ seed
-      $ csv $ trace_out $ trace_format $ metrics_out)
+      $ max_latency $ keepalive $ audit $ pledge_batch $ pledge_batch_window $ audit_dedup
+      $ malicious $ lie_prob $ lie_mode $ lie_from $ seed $ csv $ trace_out $ trace_format
+      $ metrics_out)
   in
   Cmd.v
     (Cmd.info "run"
@@ -375,6 +414,8 @@ let run_chaos ~masters ~slaves_per_master ~clients ~items ~duration ~read_rate ~
      may overwrite old records on long runs, subscribers see everything. *)
   let events_rev = ref [] in
   Trace.on_emit (System.trace system) (fun r -> events_rev := r :: !events_rev);
+  let pledges_rev = ref [] in
+  System.on_pledge_submitted system (fun p -> pledges_rev := p :: !pledges_rev);
   let g = Prng.create ~seed:(Int64.of_int (seed + 1)) in
   let content = Catalog.product_catalog g ~n:items in
   System.load_content system content;
@@ -458,6 +499,7 @@ let run_chaos ~masters ~slaves_per_master ~clients ~items ~duration ~read_rate ~
           keepalive_period = keepalive;
           double_check_p = 0.05;
           audit = true;
+          pledge_batch = 1;
           net = Scenario.Wan;
           faults = [];
           chaos = [];
@@ -466,6 +508,13 @@ let run_chaos ~masters ~slaves_per_master ~clients ~items ~duration ~read_rate ~
       events = List.rev !events_rev;
       accepted = [];
       end_time = Secrep_sim.Sim.now (System.sim system);
+      pledges = List.rev !pledges_rev;
+      reexec = (fun ~version query -> System.reexec_digest system ~version query);
+      slave_public =
+        (fun slave_id ->
+          if slave_id >= 0 && slave_id < System.n_slaves system then
+            Some (Secrep_core.Slave.public (System.slave system slave_id))
+          else None);
     }
   in
   match Invariant.check_all checkers result with

@@ -28,6 +28,9 @@ type run_result = {
   events : Trace.record list;
   accepted : accepted_read list;
   end_time : float;
+  pledges : Secrep_core.Pledge.t list;
+  reexec : version:int -> Query.t -> string option;
+  slave_public : int -> Secrep_crypto.Sig_scheme.public option;
 }
 
 let net_profile = function
@@ -82,6 +85,7 @@ let run scenario =
         keepalive_period = s.Scenario.keepalive_period;
         double_check_probability = s.Scenario.double_check_p;
         audit_enabled = s.Scenario.audit;
+        pledge_batch_size = s.Scenario.pledge_batch;
       }
   in
   let system =
@@ -96,6 +100,11 @@ let run scenario =
      old records, subscribers see everything. *)
   let events_rev = ref [] in
   Trace.on_emit (System.trace system) (fun r -> events_rev := r :: !events_rev);
+  (* Record every pledge the auditor side receives, in delivery order:
+     the differential-audit invariant replays this exact stream through
+     both offline drivers. *)
+  let pledges_rev = ref [] in
+  System.on_pledge_submitted system (fun p -> pledges_rev := p :: !pledges_rev);
   let content =
     Catalog.product_catalog
       (Prng.create ~seed:(Int64.of_int ((2 * s.Scenario.sys_seed) + 1)))
@@ -189,6 +198,13 @@ let run scenario =
     events = List.rev !events_rev;
     accepted = List.rev !accepted_rev;
     end_time = Sim.now sim;
+    pledges = List.rev !pledges_rev;
+    reexec = (fun ~version query -> System.reexec_digest system ~version query);
+    slave_public =
+      (fun slave_id ->
+        if slave_id >= 0 && slave_id < System.n_slaves system then
+          Some (Secrep_core.Slave.public (System.slave system slave_id))
+        else None);
   }
 
 let events_digest result =

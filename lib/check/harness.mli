@@ -23,6 +23,14 @@ type run_result = {
   events : Secrep_sim.Trace.record list;  (** complete stream, oldest first *)
   accepted : accepted_read list;  (** in completion order *)
   end_time : float;
+  pledges : Secrep_core.Pledge.t list;
+      (** every pledge delivered to an auditor, in delivery order —
+          the input stream for the offline audit drivers *)
+  reexec : version:int -> Secrep_store.Query.t -> string option;
+      (** ground-truth re-execution oracle over the run's version
+          history ({!Secrep_core.System.reexec_digest}) *)
+  slave_public : int -> Secrep_crypto.Sig_scheme.public option;
+      (** public keys of the run's slaves, for offline signature checks *)
 }
 
 val run : Scenario.t -> run_result

@@ -392,6 +392,49 @@ let recovery_convergence =
         end);
   }
 
+let differential_audit =
+  {
+    name = "differential-audit";
+    doc =
+      "the dedup/batched auditor and the naive per-pledge auditor emit identical \
+       verdicts over the run's recorded pledge stream";
+    check =
+      (fun result ->
+        let module Audit_core = Secrep_core.Audit_core in
+        let pledges = result.Harness.pledges in
+        let naive =
+          Audit_core.run_naive ~slave_public:result.Harness.slave_public
+            ~reexec:result.Harness.reexec pledges
+        in
+        let dedup, _stats =
+          Audit_core.run_dedup ~slave_public:result.Harness.slave_public
+            ~reexec:result.Harness.reexec pledges
+        in
+        if List.length naive <> List.length dedup then
+          Error
+            (Printf.sprintf
+               "verdict count mismatch: naive produced %d, dedup produced %d (both \
+                audited the same %d pledges)"
+               (List.length naive) (List.length dedup) (List.length pledges))
+        else
+          let rec compare_at i = function
+            | [] -> Ok ()
+            | (vn, vd) :: rest ->
+              if Audit_core.equal_verdict vn vd then compare_at (i + 1) rest
+              else
+                let pledge = List.nth pledges i in
+                Error
+                  (Printf.sprintf
+                     "pledge #%d (slave %d, version %d): naive auditor says %s, dedup \
+                      auditor says %s"
+                     i pledge.Secrep_core.Pledge.slave_id
+                     (Secrep_core.Pledge.version pledge)
+                     (Format.asprintf "%a" Audit_core.pp_verdict vn)
+                     (Format.asprintf "%a" Audit_core.pp_verdict vd))
+          in
+          compare_at 0 (List.combine naive dedup));
+  }
+
 let all =
   [
     detection;
@@ -401,6 +444,7 @@ let all =
     pledge_validity;
     availability;
     recovery_convergence;
+    differential_audit;
   ]
 
 let named names =

@@ -44,6 +44,14 @@ val availability : checker
     succeed (from a slave or, degraded, from the master) or fail
     explicitly — they never hang, even under partitions and churn. *)
 
+val differential_audit : checker
+(** Replays the run's recorded pledge stream through
+    {!Secrep_core.Audit_core.run_naive} (full per-pledge signature
+    verification + re-execution) and {!Secrep_core.Audit_core.run_dedup}
+    (memoized batch-root verification + dedup index) and demands
+    verdict-for-verdict identical outcomes.  This is the differential
+    guarantee that batching and dedup are pure optimizations. *)
+
 val recovery_convergence : checker
 (** A slave that rejoins ([Node_recovered]) holds, or catches up to,
     the version committed at its rejoin time within [max_latency].

@@ -31,6 +31,7 @@ type t = {
   keepalive_period : float;
   double_check_p : float;
   audit : bool;
+  pledge_batch : int;
   net : net;
   faults : fault list;
   chaos : chaos list;
@@ -113,6 +114,7 @@ let normalize s =
     max_latency;
     keepalive_period;
     double_check_p = clampf 0.0 1.0 s.double_check_p;
+    pledge_batch = clamp 1 8 s.pledge_batch;
     faults = List.map normalize_fault s.faults;
     chaos = List.map normalize_chaos s.chaos;
     ops = List.map normalize_op s.ops;
@@ -179,6 +181,7 @@ let gen rng =
   let keepalive_frac = Gen.choose [ 0.15; 0.3; 0.5 ] rng in
   let double_check_p = Gen.choose [ 0.0; 0.05; 0.3 ] rng in
   let audit = Gen.frequency [ (3, Gen.return true); (1, Gen.return false) ] rng in
+  let pledge_batch = Gen.choose [ 1; 2; 3; 4 ] rng in
   let net =
     Gen.frequency
       [
@@ -202,6 +205,7 @@ let gen rng =
       keepalive_period = max_latency *. keepalive_frac;
       double_check_p;
       audit;
+      pledge_batch;
       net;
       faults;
       chaos;
@@ -264,6 +268,7 @@ let shrink s =
              (Seq.map (fun n_items -> { s with n_items })
                 (Shrink.int_towards ~target:1 s.n_items));
            (if s.double_check_p > 0.0 then [ { s with double_check_p = 0.0 } ] else []);
+           (if s.pledge_batch > 1 then [ { s with pledge_batch = 1 } ] else []);
            (match s.net with Lan -> [] | Wan | Lossy _ -> [ { s with net = Lan } ]);
          ])
   in
@@ -314,12 +319,12 @@ let pp fmt s =
   Format.fprintf fmt
     "@[<v>scenario:@,\
     \  sys_seed=%d  %d master(s) x %d slave(s), %d client(s), %d item(s)@,\
-    \  max_latency=%.2g keepalive=%.2g double_check_p=%.2g audit=%b net=%s@,\
+    \  max_latency=%.2g keepalive=%.2g double_check_p=%.2g audit=%b batch=%d net=%s@,\
     \  faults: %s@,\
     \  chaos: %s@,\
     \  ops (%d):@,%a@]"
     s.sys_seed s.n_masters s.slaves_per_master s.n_clients s.n_items s.max_latency
-    s.keepalive_period s.double_check_p s.audit (net_to_string s.net)
+    s.keepalive_period s.double_check_p s.audit s.pledge_batch (net_to_string s.net)
     (if s.faults = [] then "none"
      else String.concat "; " (List.map (Format.asprintf "%a" pp_fault) s.faults))
     (if s.chaos = [] then "none"

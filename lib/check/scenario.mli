@@ -52,6 +52,9 @@ type t = {
   keepalive_period : float;
   double_check_p : float;
   audit : bool;
+  pledge_batch : int;
+      (** [Config.pledge_batch_size]: 1 = classic per-pledge signing,
+          >1 = Merkle-batched pledges (clamped to [1,8]) *)
   net : net;
   faults : fault list;
   chaos : chaos list;

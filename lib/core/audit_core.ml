@@ -1,0 +1,108 @@
+(* Offline audit drivers over a recorded pledge stream.
+
+   Both drivers implement the auditor's pure verdict logic — signature
+   check, then digest comparison against a re-execution — without the
+   work queue, lag cursor or sampling.  [run_naive] is the reference:
+   it fully verifies and re-executes every pledge.  [run_dedup] mirrors
+   the production fast path: memoized batch-root verification plus the
+   dedup index.  Differential testing demands they agree verdict for
+   verdict on any input. *)
+
+module Merkle = Secrep_crypto.Merkle
+module Sig_scheme = Secrep_crypto.Sig_scheme
+module Audit_index = Secrep_store.Audit_index
+
+type verdict = Ok_pledge | Caught | Bad_signature
+
+let equal_verdict (a : verdict) b = a = b
+
+let pp_verdict fmt = function
+  | Ok_pledge -> Format.pp_print_string fmt "ok"
+  | Caught -> Format.pp_print_string fmt "caught"
+  | Bad_signature -> Format.pp_print_string fmt "bad-signature"
+
+let judge ~reexec (pledge : Pledge.t) ~signature_ok =
+  if not signature_ok then Bad_signature
+  else begin
+    match reexec ~version:(Pledge.version pledge) pledge.Pledge.query with
+    | None -> Bad_signature (* unanswerable query incriminates nobody *)
+    | Some honest_digest ->
+      if String.equal honest_digest pledge.Pledge.result_digest then Ok_pledge else Caught
+  end
+
+let run_naive ~slave_public ~reexec pledges =
+  List.map
+    (fun (pledge : Pledge.t) ->
+      let signature_ok =
+        match slave_public pledge.Pledge.slave_id with
+        | Some public -> Pledge.verify_signature ~slave_public:public pledge
+        | None -> false
+      in
+      judge ~reexec pledge ~signature_ok)
+    pledges
+
+type dedup_stats = { reexecs : int; dedup_hits : int; root_verifications : int }
+
+let run_dedup ~slave_public ~reexec pledges =
+  let idx = Audit_index.create () in
+  let verified_roots : (int * string * string, bool) Hashtbl.t = Hashtbl.create 64 in
+  let reexecs = ref 0 in
+  let root_verifications = ref 0 in
+  let verdicts =
+    List.map
+      (fun (pledge : Pledge.t) ->
+        let signature_ok =
+          match slave_public pledge.Pledge.slave_id with
+          | None -> false
+          | Some public -> begin
+            match pledge.Pledge.mode with
+            | Pledge.Single -> Pledge.verify_signature ~slave_public:public pledge
+            | Pledge.Batched { root; proof } ->
+              let proof_ok =
+                Merkle.verify ~root ~leaf:(Pledge.signed_payload pledge) proof
+              in
+              let key = (pledge.Pledge.slave_id, root, pledge.Pledge.signature) in
+              let root_ok =
+                match Hashtbl.find_opt verified_roots key with
+                | Some ok -> ok
+                | None ->
+                  incr root_verifications;
+                  let ok =
+                    Sig_scheme.verify public
+                      ~msg:(Pledge.batch_payload ~slave_id:pledge.Pledge.slave_id ~root)
+                      ~signature:pledge.Pledge.signature
+                  in
+                  Hashtbl.add verified_roots key ok;
+                  ok
+              in
+              proof_ok && root_ok
+          end
+        in
+        if not signature_ok then Bad_signature
+        else begin
+          let version = Pledge.version pledge in
+          let memoized =
+            match Audit_index.find idx ~version pledge.Pledge.query with
+            | Some digest -> Some digest
+            | None ->
+              (match reexec ~version pledge.Pledge.query with
+              | None -> None
+              | Some digest ->
+                incr reexecs;
+                Audit_index.store idx ~version pledge.Pledge.query ~digest;
+                Some digest)
+          in
+          match memoized with
+          | None -> Bad_signature
+          | Some honest_digest ->
+            if String.equal honest_digest pledge.Pledge.result_digest then Ok_pledge
+            else Caught
+        end)
+      pledges
+  in
+  ( verdicts,
+    {
+      reexecs = !reexecs;
+      dedup_hits = Audit_index.hits idx;
+      root_verifications = !root_verifications;
+    } )

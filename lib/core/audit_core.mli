@@ -1,0 +1,35 @@
+(** Offline audit drivers for differential testing.
+
+    A recorded pledge stream plus a re-execution oracle fully determine
+    the auditor's verdicts; these drivers compute them two independent
+    ways.  [run_naive] is the reference semantics (every pledge fully
+    signature-checked and re-executed); [run_dedup] is the production
+    fast path (memoized batch-root verification + dedup index).  The
+    [differential-audit] fuzz invariant asserts they emit identical
+    verdict lists on any scenario. *)
+
+type verdict = Ok_pledge | Caught | Bad_signature
+
+val equal_verdict : verdict -> verdict -> bool
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val run_naive :
+  slave_public:(int -> Secrep_crypto.Sig_scheme.public option) ->
+  reexec:(version:int -> Secrep_store.Query.t -> string option) ->
+  Pledge.t list ->
+  verdict list
+(** One verdict per pledge, in order.  [reexec] returns the honest
+    canonical result digest at a version ([None] = unanswerable, which
+    convicts nobody and yields [Bad_signature], matching the live
+    auditor's treatment of unexecutable queries). *)
+
+type dedup_stats = { reexecs : int; dedup_hits : int; root_verifications : int }
+
+val run_dedup :
+  slave_public:(int -> Secrep_crypto.Sig_scheme.public option) ->
+  reexec:(version:int -> Secrep_store.Query.t -> string option) ->
+  Pledge.t list ->
+  verdict list * dedup_stats
+(** Same verdict contract as {!run_naive}, computed through the dedup
+    index and memoized root verification; also reports how much work
+    the memoization saved. *)

@@ -12,6 +12,9 @@ module Query = Secrep_store.Query
 module Query_eval = Secrep_store.Query_eval
 module Canonical = Secrep_store.Canonical
 module Result_cache = Secrep_store.Result_cache
+module Audit_index = Secrep_store.Audit_index
+module Merkle = Secrep_crypto.Merkle
+module Sig_scheme = Secrep_crypto.Sig_scheme
 
 type audit_verdict = Pledge_ok | Slave_caught | Bad_pledge_signature
 
@@ -24,6 +27,11 @@ type t = {
   spans : Span.t option;
   store : Store.t; (* lags the masters *)
   cache : Result_cache.t;
+  dedup : Audit_index.t option; (* Some iff config.audit_dedup *)
+  (* (slave, root, signature) -> did the root signature verify?  Each
+     distinct batch root costs one full verification; every further
+     pledge under it is a hash-only proof check. *)
+  verified_roots : (int * string * string, bool) Hashtbl.t;
   work : Work_queue.t;
   slave_public : int -> Secrep_crypto.Sig_scheme.public option;
   report : Pledge.t -> unit;
@@ -60,6 +68,8 @@ let create sim ~config ~stats ~rng ~slave_public ~report ?trace:trace_buf ?spans
       spans;
       store = Store.create ();
       cache = Result_cache.create ~capacity:config.Config.audit_cache_capacity ();
+      dedup = (if config.Config.audit_dedup then Some (Audit_index.create ()) else None);
+      verified_roots = Hashtbl.create 64;
       work = Work_queue.create sim ();
       slave_public;
       report;
@@ -85,6 +95,8 @@ let overload_drops t = t.overload_drops
 let cache t = t.cache
 let work t = t.work
 let backlog_series t = t.backlog_series
+let dedup_hits t = match t.dedup with Some d -> Audit_index.hits d | None -> 0
+let distinct_reexecs t = match t.dedup with Some d -> Audit_index.distinct d | None -> 0
 
 let note_backlog t =
   Timeseries.record t.backlog_series ~time:(Sim.now t.sim) (float_of_int t.backlog)
@@ -120,6 +132,9 @@ let rec pump t =
         Store.apply_entry t.store entry;
         t.committed <- rest;
         Hashtbl.remove t.pending current;
+        (match t.dedup with
+        | Some idx -> Audit_index.drop_version idx ~version:current
+        | None -> ());
         emit t (Event.Audit_advance { version = current + 1 });
         pump t
       | (entry, commit_time) :: _ when entry.Oplog.version = current + 1 ->
@@ -158,40 +173,93 @@ and audit_one t pledge =
         t.pumping <- false;
         pump t)
   in
-  (* Signature check first: an unsigned "pledge" incriminates nobody. *)
-  let signature_ok =
+  (* Signature check first: an unsigned "pledge" incriminates nobody.
+     A [Single] pledge costs one full verification.  A [Batched] pledge
+     costs a full verification only for the first pledge carrying its
+     root; every later one is a hash-only inclusion-proof check against
+     the memoized outcome. *)
+  let signature_ok, sig_cost =
     match t.slave_public pledge.Pledge.slave_id with
-    | Some public -> Pledge.verify_signature ~slave_public:public pledge
-    | None -> false
+    | None -> (false, t.config.Config.verify_cost)
+    | Some public -> begin
+      match pledge.Pledge.mode with
+      | Pledge.Single ->
+        (Pledge.verify_signature ~slave_public:public pledge, t.config.Config.verify_cost)
+      | Pledge.Batched { root; proof } ->
+        let proof_ok = Merkle.verify ~root ~leaf:(Pledge.signed_payload pledge) proof in
+        let key = (pledge.Pledge.slave_id, root, pledge.Pledge.signature) in
+        let root_ok, cost =
+          match Hashtbl.find_opt t.verified_roots key with
+          | Some ok ->
+            Stats.incr t.stats "auditor.root_sig_hits";
+            (ok, 1e-6)
+          | None ->
+            let ok =
+              Sig_scheme.verify public
+                ~msg:(Pledge.batch_payload ~slave_id:pledge.Pledge.slave_id ~root)
+                ~signature:pledge.Pledge.signature
+            in
+            Hashtbl.add t.verified_roots key ok;
+            Stats.incr t.stats "auditor.root_verifications";
+            (ok, t.config.Config.verify_cost)
+        in
+        (proof_ok && root_ok, cost)
+    end
   in
-  if not signature_ok then finish Bad_pledge_signature t.config.Config.verify_cost
+  if not signature_ok then finish Bad_pledge_signature sig_cost
   else begin
     let query = pledge.Pledge.query in
     let version = audit_version t in
-    match Result_cache.find t.cache ~version query with
-    | Some digest ->
-      (* Cache hit: just compare digests — the "query optimization
-         mechanisms (cache results in the simplest case)" of §3.4. *)
+    let settle ~digest ~reexec_cost =
       let verdict =
         if String.equal digest pledge.Pledge.result_digest then Pledge_ok else Slave_caught
       in
-      Stats.incr t.stats "auditor.cache_hits";
-      finish verdict (t.config.Config.verify_cost +. 1e-6)
+      finish verdict (sig_cost +. reexec_cost)
+    in
+    match t.dedup with
+    | Some idx -> begin
+      (* Dedup: each distinct (version, query) re-executes once; every
+         repeat settles against the memoized digest. *)
+      match Audit_index.find idx ~version query with
+      | Some digest ->
+        Stats.incr t.stats "auditor.dedup_hits";
+        emit t
+          (Event.Audit_dedup_hit { slave = pledge.Pledge.slave_id; version });
+        settle ~digest ~reexec_cost:1e-6
+      | None -> begin
+        match Query_eval.execute t.store query with
+        | Error _ -> finish Bad_pledge_signature sig_cost
+        | Ok { result; scanned } ->
+          let digest = Canonical.result_digest result in
+          Audit_index.store idx ~version query ~digest;
+          Result_cache.store t.cache ~version query ~digest;
+          Stats.incr t.stats "auditor.reexecutions";
+          Stats.incr t.stats "auditor.distinct_reexecs";
+          settle ~digest
+            ~reexec_cost:
+              (Query_eval.cost_seconds ~scanned ~cost_class:(Query.cost_class query)
+                 ~per_doc:t.config.Config.per_doc_cost)
+      end
+    end
     | None -> begin
-      match Query_eval.execute t.store query with
-      | Error _ -> finish Bad_pledge_signature t.config.Config.verify_cost
-      | Ok { result; scanned } ->
-        let digest = Canonical.result_digest result in
-        Result_cache.store t.cache ~version query ~digest;
-        let cost =
-          t.config.Config.verify_cost
-          +. Query_eval.cost_seconds ~scanned ~cost_class:(Query.cost_class query)
-               ~per_doc:t.config.Config.per_doc_cost
-        in
-        let verdict =
-          if String.equal digest pledge.Pledge.result_digest then Pledge_ok else Slave_caught
-        in
-        finish verdict cost
+      match Result_cache.find t.cache ~version query with
+      | Some digest ->
+        (* Cache hit: just compare digests — the "query optimization
+           mechanisms (cache results in the simplest case)" of §3.4. *)
+        Stats.incr t.stats "auditor.cache_hits";
+        settle ~digest ~reexec_cost:1e-6
+      | None -> begin
+        match Query_eval.execute t.store query with
+        | Error _ -> finish Bad_pledge_signature sig_cost
+        | Ok { result; scanned } ->
+          let digest = Canonical.result_digest result in
+          Result_cache.store t.cache ~version query ~digest;
+          Stats.incr t.stats "auditor.reexecutions";
+          settle ~digest
+            ~reexec_cost:
+              (Query_eval.cost_seconds ~scanned ~cost_class:(Query.cost_class query)
+                 ~per_doc:t.config.Config.per_doc_cost)
+      end
     end
   end
 

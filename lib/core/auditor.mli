@@ -57,6 +57,14 @@ val overload_drops : t -> int
 val cache : t -> Secrep_store.Result_cache.t
 val work : t -> Secrep_sim.Work_queue.t
 
+val dedup_hits : t -> int
+(** Pledges settled from the dedup index without re-execution; 0 when
+    [Config.audit_dedup] is off. *)
+
+val distinct_reexecs : t -> int
+(** Distinct (version, query) re-executions recorded by the dedup
+    index; 0 when [Config.audit_dedup] is off. *)
+
 val backlog_series : t -> Secrep_sim.Timeseries.t
 (** (time, backlog) sampled at every submission and completion — the
     E6 day-curve. *)

@@ -24,6 +24,9 @@ type t = {
   breaker_cooldown : float;
   degraded_reads : bool;
   auditor_queue_capacity : int;
+  pledge_batch_size : int;
+  pledge_batch_window : float;
+  audit_dedup : bool;
 }
 
 let default =
@@ -57,6 +60,11 @@ let default =
     breaker_cooldown = 10.0;
     degraded_reads = true;
     auditor_queue_capacity = 100_000;
+    (* Batch size 1 and dedup off reproduce the unbatched protocol
+       bit-for-bit; E11 turns both on to measure the saving. *)
+    pledge_batch_size = 1;
+    pledge_batch_window = 0.05;
+    audit_dedup = false;
   }
 
 let validate t =
@@ -90,6 +98,11 @@ let validate t =
   else if t.breaker_threshold < 1 then err "breaker_threshold must be at least 1"
   else if t.breaker_cooldown < 0.0 then err "breaker_cooldown must be non-negative"
   else if t.auditor_queue_capacity < 1 then err "auditor_queue_capacity must be at least 1"
+  else if t.pledge_batch_size < 1 then err "pledge_batch_size must be at least 1"
+  else if t.pledge_batch_window <= 0.0 then err "pledge_batch_window must be positive"
+  else if t.pledge_batch_window >= t.max_latency then
+    err "pledge_batch_window (%g) must be below max_latency (%g) or batched pledges go stale"
+      t.pledge_batch_window t.max_latency
   else Ok ()
 
 let validate_exn t =

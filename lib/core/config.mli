@@ -69,6 +69,19 @@ type t = {
       (** Max pledges the auditor will hold across its intake queues;
           beyond it new submissions are dropped and counted instead of
           growing without bound during outages. *)
+  pledge_batch_size : int;
+      (** Pledges a slave accumulates before signing one Merkle root
+          over the batch and answering each read with its inclusion
+          proof.  1 (the default) signs every pledge individually and
+          reproduces the unbatched protocol exactly. *)
+  pledge_batch_window : float;
+      (** Max seconds a partially-filled batch may wait before being
+          flushed anyway; must stay well under [max_latency] or the
+          queued pledges go stale while parked. *)
+  audit_dedup : bool;
+      (** Re-execute each distinct (version, query) once and settle
+          repeat pledges against the memoized digest (off by default;
+          the auditor then behaves exactly as before). *)
 }
 
 val default : t

@@ -1,7 +1,10 @@
 module Sig_scheme = Secrep_crypto.Sig_scheme
+module Merkle = Secrep_crypto.Merkle
 module Hex = Secrep_crypto.Hex
 module Query = Secrep_store.Query
 module Canonical = Secrep_store.Canonical
+
+type sig_mode = Single | Batched of { root : string; proof : Merkle.proof }
 
 type t = {
   slave_id : int;
@@ -9,6 +12,7 @@ type t = {
   result_digest : string;
   keepalive : Keepalive.t;
   signature : string;
+  mode : sig_mode;
 }
 
 let payload ~slave_id ~query ~result_digest ~keepalive =
@@ -17,18 +21,35 @@ let payload ~slave_id ~query ~result_digest ~keepalive =
     (Hex.encode result_digest)
     (Keepalive.signed_payload keepalive ^ "~" ^ Hex.encode keepalive.Keepalive.signature)
 
+(* Domain-separated so a signed batch root can never be confused with a
+   directly-signed single pledge (and vice versa). *)
+let batch_payload ~slave_id ~root =
+  Printf.sprintf "pledge-batch|%d|%s" slave_id (Hex.encode root)
+
 let make ~slave_key ~slave_id ~query ~result_digest ~keepalive =
   let signature =
     Sig_scheme.sign slave_key (payload ~slave_id ~query ~result_digest ~keepalive)
   in
-  { slave_id; query; result_digest; keepalive; signature }
+  { slave_id; query; result_digest; keepalive; signature; mode = Single }
 
 let signed_payload t =
   payload ~slave_id:t.slave_id ~query:t.query ~result_digest:t.result_digest
     ~keepalive:t.keepalive
 
+let sign_batch ~slave_key ~slave_id ~root =
+  Sig_scheme.sign slave_key (batch_payload ~slave_id ~root)
+
 let verify_signature ~slave_public t =
-  Sig_scheme.verify slave_public ~msg:(signed_payload t) ~signature:t.signature
+  match t.mode with
+  | Single ->
+    Sig_scheme.verify slave_public ~msg:(signed_payload t) ~signature:t.signature
+  | Batched { root; proof } ->
+    (* The signature covers the batch root; the proof ties this pledge's
+       payload (a Merkle leaf) to that root. *)
+    Merkle.verify ~root ~leaf:(signed_payload t) proof
+    && Sig_scheme.verify slave_public
+         ~msg:(batch_payload ~slave_id:t.slave_id ~root)
+         ~signature:t.signature
 
 let version t = t.keepalive.Keepalive.version
 

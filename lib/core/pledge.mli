@@ -2,14 +2,30 @@
     (query, SHA-1 of the result, latest master keep-alive).  An
     incorrect answer turns the pledge into irrefutable proof of
     misbehaviour (§3.3) — and because only the slave can produce its
-    signature, a client cannot frame an innocent slave. *)
+    signature, a client cannot frame an innocent slave.
+
+    A slave may amortize one signature over many pledges: it signs the
+    root of a Merkle tree whose leaves are the pledge payloads, and each
+    client receives its pledge with an inclusion proof ([Batched]).
+    Either mode carries the same evidentiary weight — the proof path is
+    collision-resistant, so a batched pledge still pins the slave to
+    exactly one (query, digest, keep-alive) triple. *)
+
+type sig_mode =
+  | Single  (** signature directly over this pledge's payload *)
+  | Batched of { root : string; proof : Secrep_crypto.Merkle.proof }
+      (** signature over the batch root; the proof places this pledge's
+          payload among the leaves *)
 
 type t = {
   slave_id : int;
   query : Secrep_store.Query.t;
   result_digest : string;  (** SHA-1 of the canonical result *)
   keepalive : Keepalive.t;  (** master-signed version + timestamp *)
-  signature : string;  (** slave's signature over all of the above *)
+  signature : string;
+      (** slave's signature — over the payload ([Single]) or the batch
+          root ([Batched]) *)
+  mode : sig_mode;
 }
 
 val make :
@@ -19,10 +35,33 @@ val make :
   result_digest:string ->
   keepalive:Keepalive.t ->
   t
+(** Individually-signed ([Single]) pledge. *)
+
+val payload :
+  slave_id:int ->
+  query:Secrep_store.Query.t ->
+  result_digest:string ->
+  keepalive:Keepalive.t ->
+  string
+(** The pledge payload bytes before a pledge exists — what a batching
+    slave hashes into Merkle leaves prior to signing the root. *)
 
 val signed_payload : t -> string
+(** The byte string a [Single] signature covers — also the Merkle leaf
+    a [Batched] proof authenticates. *)
+
+val batch_payload : slave_id:int -> root:string -> string
+(** The byte string a batch signature covers; domain-separated from
+    single-pledge payloads. *)
+
+val sign_batch :
+  slave_key:Secrep_crypto.Sig_scheme.keypair -> slave_id:int -> root:string -> string
+(** One signature over a whole batch's Merkle root. *)
 
 val verify_signature : slave_public:Secrep_crypto.Sig_scheme.public -> t -> bool
+(** [Single]: check the signature over the payload.  [Batched]: check
+    the inclusion proof against the root, then the signature over the
+    root. *)
 
 val verify :
   slave_public:Secrep_crypto.Sig_scheme.public ->

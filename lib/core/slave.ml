@@ -6,6 +6,7 @@ module Event = Secrep_sim.Event
 module Span = Secrep_sim.Span
 module Prng = Secrep_crypto.Prng
 module Sig_scheme = Secrep_crypto.Sig_scheme
+module Merkle = Secrep_crypto.Merkle
 module Store = Secrep_store.Store
 module Oplog = Secrep_store.Oplog
 module Query = Secrep_store.Query
@@ -14,6 +15,18 @@ module Query_result = Secrep_store.Query_result
 module Canonical = Secrep_store.Canonical
 
 type read_reply = { result : Query_result.t; pledge : Pledge.t }
+
+(* One read waiting in a pledge batch: everything needed to build its
+   Merkle leaf and, after the root is signed, its reply. *)
+type intent = {
+  i_query : Query.t;
+  i_result : Query_result.t;
+  i_digest : string;
+  i_keepalive : Keepalive.t;
+  i_lied : bool;
+  i_forge : bool;  (* Bad_signature attacker: ship a forged root signature *)
+  i_reply : read_reply option -> unit;
+}
 
 type t = {
   sim : Sim.t;
@@ -33,6 +46,8 @@ type t = {
   mutable resync : (slave_id:int -> from_version:int -> unit) option;
   mutable reads_served : int;
   mutable lies_told : int;
+  mutable pending : intent list;  (* newest first *)
+  mutable batch_gen : int;  (* bumped on every flush; stales window timers *)
 }
 
 let create sim ~rng ~id ~config ~master_id ~stats ?trace ?spans () =
@@ -54,6 +69,8 @@ let create sim ~rng ~id ~config ~master_id ~stats ?trace ?spans () =
     resync = None;
     reads_served = 0;
     lies_told = 0;
+    pending = [];
+    batch_gen = 0;
   }
 
 let source t = Printf.sprintf "slave-%d" t.id
@@ -146,6 +163,90 @@ let reads_served t = t.reads_served
 let lies_told t = t.lies_told
 let work t = t.work
 
+(* A forged digest over the true result would fail the client's own
+   hash check, so the attacker fabricates a *result* and signs its true
+   hash: internally consistent, only re-execution exposes it.
+   Colluders derive the fabrication from a shared tag and the query, so
+   they agree with each other. *)
+let fabricated_result t ~mode ~query =
+  let body =
+    match mode with
+    | Fault.Collude tag ->
+      Printf.sprintf "collusion-%s-%s" tag
+        (Secrep_crypto.Hex.encode (Canonical.query_digest query))
+    | Fault.Corrupt_result | Fault.Stale_state | Fault.Bad_signature | Fault.Omit_result ->
+      Printf.sprintf "corrupted-%d-%d" t.id t.lies_told
+  in
+  Query_result.Agg (Secrep_store.Value.String body)
+
+(* -- Merkle-batched pledge signing ----------------------------------- *)
+
+let flush_batch t =
+  match t.pending with
+  | [] -> ()
+  | pending ->
+    let intents = List.rev pending in
+    t.pending <- [];
+    t.batch_gen <- t.batch_gen + 1;
+    let n = List.length intents in
+    let start = Sim.now t.sim in
+    (* One signature amortized over the whole batch. *)
+    span t ~start ~duration:t.config.Config.signature_cost "sign";
+    Work_queue.submit t.work ~cost:t.config.Config.signature_cost (fun () ->
+        if t.excluded then List.iter (fun i -> i.i_reply None) intents
+        else begin
+          Stats.incr t.stats "slave.signatures";
+          let leaves =
+            List.map
+              (fun i ->
+                Pledge.payload ~slave_id:t.id ~query:i.i_query ~result_digest:i.i_digest
+                  ~keepalive:i.i_keepalive)
+              intents
+          in
+          let tree = Merkle.build leaves in
+          let root = Merkle.root tree in
+          let signature = Pledge.sign_batch ~slave_key:t.key ~slave_id:t.id ~root in
+          let version =
+            match t.keepalive with
+            | Some ka -> ka.Keepalive.version
+            | None -> (List.hd intents).i_keepalive.Keepalive.version
+          in
+          emit t (Event.Pledge_batch_signed { slave = t.id; version; batch = n });
+          List.iteri
+            (fun idx i ->
+              let proof = Merkle.prove tree idx in
+              let pledge =
+                {
+                  Pledge.slave_id = t.id;
+                  query = i.i_query;
+                  result_digest = i.i_digest;
+                  keepalive = i.i_keepalive;
+                  signature = (if i.i_forge then "forged" else signature);
+                  mode = Pledge.Batched { root; proof };
+                }
+              in
+              t.reads_served <- t.reads_served + 1;
+              Stats.incr t.stats "slave.reads_served";
+              emit t
+                (Event.Pledge_signed
+                   { slave = t.id; version = Pledge.version pledge; lied = i.i_lied });
+              i.i_reply (Some { result = i.i_result; pledge }))
+            intents
+        end)
+
+let enqueue_intent t intent =
+  let was_empty = t.pending = [] in
+  t.pending <- intent :: t.pending;
+  if List.length t.pending >= t.config.Config.pledge_batch_size then flush_batch t
+  else if was_empty then begin
+    (* First pledge of a fresh batch arms the window timer; the
+       generation check lets a size-triggered flush stale it. *)
+    let gen = t.batch_gen in
+    ignore
+      (Sim.schedule t.sim ~delay:t.config.Config.pledge_batch_window (fun () ->
+           if t.batch_gen = gen then flush_batch t))
+  end
+
 let handle_read t ~client:_ ~query ~reply =
   let now = Sim.now t.sim in
   if t.excluded then reply None
@@ -179,6 +280,76 @@ let handle_read t ~client:_ ~query ~reply =
             Query_eval.cost_seconds ~scanned ~cost_class:(Query.cost_class query)
               ~per_doc:t.config.Config.per_doc_cost
           in
+          if t.config.Config.pledge_batch_size > 1 then begin
+            (* Batched mode: the read only pays evaluation here; the
+               signature cost is charged once per batch at flush. *)
+            span t ~start:now ~duration:exec_cost "query_eval";
+            Work_queue.submit t.work ~cost:exec_cost (fun () ->
+                if t.excluded then reply None
+                else begin
+                  let honest_digest = Canonical.result_digest result in
+                  match lie with
+                  | Some Fault.Omit_result ->
+                    (* silence; the client times out *)
+                    t.reads_served <- t.reads_served + 1;
+                    Stats.incr t.stats "slave.reads_served";
+                    t.lies_told <- t.lies_told + 1;
+                    Stats.incr t.stats "slave.lies_told"
+                  | None ->
+                    enqueue_intent t
+                      {
+                        i_query = query;
+                        i_result = result;
+                        i_digest = honest_digest;
+                        i_keepalive = keepalive;
+                        i_lied = false;
+                        i_forge = false;
+                        i_reply = reply;
+                      }
+                  | Some mode ->
+                    t.lies_told <- t.lies_told + 1;
+                    Stats.incr t.stats "slave.lies_told";
+                    let intent =
+                      match mode with
+                      | Fault.Omit_result -> assert false
+                      | Fault.Bad_signature ->
+                        {
+                          i_query = query;
+                          i_result = result;
+                          i_digest = honest_digest;
+                          i_keepalive = keepalive;
+                          i_lied = true;
+                          i_forge = true;
+                          i_reply = reply;
+                        }
+                      | Fault.Corrupt_result | Fault.Collude _ ->
+                        let fake = fabricated_result t ~mode ~query in
+                        {
+                          i_query = query;
+                          i_result = fake;
+                          i_digest = Canonical.result_digest fake;
+                          i_keepalive = keepalive;
+                          i_lied = true;
+                          i_forge = false;
+                          i_reply = reply;
+                        }
+                      | Fault.Stale_state ->
+                        (* Honest-looking reply over frozen state *is*
+                           the lie (see [dropping_updates]). *)
+                        {
+                          i_query = query;
+                          i_result = result;
+                          i_digest = honest_digest;
+                          i_keepalive = keepalive;
+                          i_lied = true;
+                          i_forge = false;
+                          i_reply = reply;
+                        }
+                    in
+                    enqueue_intent t intent
+                end)
+          end
+          else begin
           let cost = exec_cost +. t.config.Config.signature_cost in
           (* Span durations follow the cost model: evaluation first,
              then the pledge signature. *)
@@ -196,6 +367,7 @@ let handle_read t ~client:_ ~query ~reply =
                     Pledge.make ~slave_key:t.key ~slave_id:t.id ~query
                       ~result_digest:honest_digest ~keepalive
                   in
+                  Stats.incr t.stats "slave.signatures";
                   emit t
                     (Event.Pledge_signed
                        { slave = t.id; version = Pledge.version pledge; lied = false });
@@ -207,6 +379,7 @@ let handle_read t ~client:_ ~query ~reply =
                   | Fault.Omit_result -> ()
                   | Fault.Bad_signature | Fault.Corrupt_result | Fault.Collude _
                   | Fault.Stale_state ->
+                    Stats.incr t.stats "slave.signatures";
                     emit t
                       (Event.Pledge_signed
                          { slave = t.id; version = keepalive.Keepalive.version; lied = true }));
@@ -220,24 +393,7 @@ let handle_read t ~client:_ ~query ~reply =
                     reply
                       (Some { result; pledge = { pledge with Pledge.signature = "forged" } })
                   | Fault.Corrupt_result | Fault.Collude _ ->
-                    (* A forged digest over the true result would fail the
-                       client's own hash check, so the attacker fabricates
-                       a *result* and signs its true hash: internally
-                       consistent, only re-execution exposes it.
-                       Colluders derive the fabrication from a shared tag
-                       and the query, so they agree with each other. *)
-                    let fake =
-                      let body =
-                        match mode with
-                        | Fault.Collude tag ->
-                          Printf.sprintf "collusion-%s-%s" tag
-                            (Secrep_crypto.Hex.encode (Canonical.query_digest query))
-                        | Fault.Corrupt_result | Fault.Stale_state | Fault.Bad_signature
-                        | Fault.Omit_result ->
-                          Printf.sprintf "corrupted-%d-%d" t.id t.lies_told
-                      in
-                      Query_result.Agg (Secrep_store.Value.String body)
-                    in
+                    let fake = fabricated_result t ~mode ~query in
                     let pledge =
                       Pledge.make ~slave_key:t.key ~slave_id:t.id ~query
                         ~result_digest:(Canonical.result_digest fake) ~keepalive
@@ -253,5 +409,6 @@ let handle_read t ~client:_ ~query ~reply =
                     in
                     reply (Some { result; pledge }))
               end)
+          end
       end
   end

@@ -88,6 +88,8 @@ type t = {
   oracle : Store.t;
   oracle_snapshots : (int, Snapshot.t) Hashtbl.t;
   mutable oracle_buffer : Oplog.entry list;
+  (* observers of every pledge delivered to an auditor (test harness) *)
+  mutable pledge_taps : (Pledge.t -> unit) list;
 }
 
 let sim t = t.sim
@@ -190,7 +192,7 @@ let oracle_absorb t entry =
     drain ()
   end
 
-let check_result t ~version query ~digest =
+let reexec_digest t ~version query =
   if not t.track_ground_truth then None
   else begin
     match Hashtbl.find_opt t.oracle_snapshots version with
@@ -200,8 +202,15 @@ let check_result t ~version query ~digest =
       Store.restore scratch snap;
       (match Query_eval.execute scratch query with
       | Error _ -> None
-      | Ok { result; _ } -> Some (String.equal (Canonical.result_digest result) digest))
+      | Ok { result; _ } -> Some (Canonical.result_digest result))
   end
+
+let check_result t ~version query ~digest =
+  match reexec_digest t ~version query with
+  | None -> None
+  | Some honest -> Some (String.equal honest digest)
+
+let on_pledge_submitted t f = t.pledge_taps <- t.pledge_taps @ [ f ]
 
 (* -- exclusion & reassignment ----------------------------------------- *)
 
@@ -377,6 +386,7 @@ let create ?(n_masters = 3) ?(slaves_per_master = 4) ?(n_clients = 10) ?(n_audit
       oracle = Store.create ();
       oracle_snapshots = Hashtbl.create 64;
       oracle_buffer = [];
+      pledge_taps = [];
     }
   in
   t_ref := Some t;
@@ -508,7 +518,9 @@ let create ?(n_masters = 3) ?(slaves_per_master = 4) ?(n_clients = 10) ?(n_audit
               in
               let auditor = t.auditors.(shard) in
               Stats.add t.stats "system.pledge_bytes" (Wire.pledge_size pledge);
-              send t (C id) A (fun () -> Auditor.submit_pledge auditor pledge)
+              send t (C id) A (fun () ->
+                  List.iter (fun tap -> tap pledge) t.pledge_taps;
+                  Auditor.submit_pledge auditor pledge)
             end);
         report_proof =
           (fun pledge ->

@@ -163,3 +163,15 @@ val check_result :
 (** Ground truth: is [digest] the correct answer for the query at
     [version]?  [None] when tracking is off or the snapshot is
     missing. *)
+
+val reexec_digest : t -> version:int -> Secrep_store.Query.t -> string option
+(** Ground truth re-execution: the honest canonical result digest for
+    the query at [version].  [None] when tracking is off, the snapshot
+    is missing, or the query fails.  The offline audit drivers in
+    {!Audit_core} use this as their re-execution oracle. *)
+
+val on_pledge_submitted : t -> (Pledge.t -> unit) -> unit
+(** Subscribe to every pledge the moment it is delivered to an auditor
+    (after network latency, before sampling/queueing).  Test harness
+    hook: the differential audit invariant replays the recorded stream
+    through both offline audit drivers. *)

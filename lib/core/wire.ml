@@ -2,6 +2,7 @@ module Codec = Secrep_store.Codec
 module Writer = Codec.Writer
 module Reader = Codec.Reader
 module Sig_scheme = Secrep_crypto.Sig_scheme
+module Merkle = Secrep_crypto.Merkle
 
 let write_keepalive w (ka : Keepalive.t) =
   Writer.bytes w ka.content_id;
@@ -25,17 +26,35 @@ let encode_keepalive ka =
 
 let decode_keepalive s = Reader.run s read_keepalive
 
+(* Mode tag first: 0 = single, 1 = batched (root + inclusion proof
+   follow the common fields).  Proof sides are one byte each: 0 = the
+   sibling hashes in from the left, 1 = from the right. *)
 let encode_pledge (p : Pledge.t) =
   let w = Writer.create () in
+  (match p.mode with Pledge.Single -> Writer.u8 w 0 | Pledge.Batched _ -> Writer.u8 w 1);
   Writer.varint w p.slave_id;
   Writer.bytes w (Codec.encode_query p.query);
   Writer.bytes w p.result_digest;
   write_keepalive w p.keepalive;
   Writer.bytes w p.signature;
+  (match p.mode with
+  | Pledge.Single -> ()
+  | Pledge.Batched { root; proof } ->
+    Writer.bytes w root;
+    Writer.varint w proof.Merkle.leaf_index;
+    Writer.varint w (List.length proof.Merkle.path);
+    List.iter
+      (fun (sibling, side) ->
+        Writer.u8 w (match side with `Left -> 0 | `Right -> 1);
+        Writer.bytes w sibling)
+      proof.Merkle.path);
   Writer.contents w
 
 let decode_pledge s =
   Reader.run s (fun r ->
+      let tag = Reader.u8 r in
+      if tag <> 0 && tag <> 1 then
+        raise (Reader.Malformed (Printf.sprintf "pledge mode tag %d" tag));
       let slave_id = Reader.varint r in
       let query_bytes = Reader.bytes r in
       let query =
@@ -46,7 +65,32 @@ let decode_pledge s =
       let result_digest = Reader.bytes r in
       let keepalive = read_keepalive r in
       let signature = Reader.bytes r in
-      { Pledge.slave_id; query; result_digest; keepalive; signature })
+      let mode =
+        if tag = 0 then Pledge.Single
+        else begin
+          let root = Reader.bytes r in
+          let leaf_index = Reader.varint r in
+          let n = Reader.varint r in
+          if leaf_index < 0 || n < 0 then
+            raise (Reader.Malformed "pledge proof: negative length");
+          let rec read_path k acc =
+            if k = 0 then List.rev acc
+            else begin
+              let side =
+                match Reader.u8 r with
+                | 0 -> `Left
+                | 1 -> `Right
+                | b -> raise (Reader.Malformed (Printf.sprintf "pledge proof side %d" b))
+              in
+              let sibling = Reader.bytes r in
+              read_path (k - 1) ((sibling, side) :: acc)
+            end
+          in
+          let path = read_path n [] in
+          Pledge.Batched { root; proof = { Merkle.leaf_index; path } }
+        end
+      in
+      { Pledge.slave_id; query; result_digest; keepalive; signature; mode })
 
 let encode_certificate (c : Certificate.t) =
   let w = Writer.create () in

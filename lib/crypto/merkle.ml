@@ -50,12 +50,15 @@ let prove t index =
   in
   { leaf_index = index; path = collect 0 index [] }
 
-let verify ~root:expected ~leaf proof =
+let root_of_proof ~leaf proof =
   let acc = ref (hash_leaf leaf) in
   List.iter
     (fun (sibling, side) ->
       acc := (match side with `Left -> hash_node sibling !acc | `Right -> hash_node !acc sibling))
     proof.path;
-  Hmac.equal_const_time !acc expected
+  !acc
+
+let verify ~root:expected ~leaf proof =
+  Hmac.equal_const_time (root_of_proof ~leaf proof) expected
 
 let proof_length proof = List.length proof.path

@@ -22,6 +22,12 @@ type proof = { leaf_index : int; path : (string * [ `Left | `Right ]) list }
 val prove : t -> int -> proof
 (** Inclusion proof for the leaf at the given index. *)
 
+val root_of_proof : leaf:string -> proof -> string
+(** Root implied by folding the raw leaf data up the proof path.  A
+    proof is valid for [leaf] against root [r] iff this returns [r];
+    batched verifiers use it to check many proofs against one
+    already-verified root without rehashing the whole tree. *)
+
 val verify : root:string -> leaf:string -> proof -> bool
 (** Recomputes the path from the raw leaf data and compares roots. *)
 

@@ -11,6 +11,8 @@ type t =
       latency : float;
     }
   | Pledge_signed of { slave : int; version : int; lied : bool }
+  | Pledge_batch_signed of { slave : int; version : int; batch : int }
+  | Audit_dedup_hit of { slave : int; version : int }
   | Pledge_verified of {
       client : int;
       slave : int;
@@ -50,6 +52,8 @@ let kind = function
   | Read_issued _ -> "read_issued"
   | Read_answered _ -> "read_answered"
   | Pledge_signed _ -> "pledge_signed"
+  | Pledge_batch_signed _ -> "pledge_batch_signed"
+  | Audit_dedup_hit _ -> "audit_dedup_hit"
   | Pledge_verified _ -> "pledge_verified"
   | Double_check _ -> "double_check"
   | Write_committed _ -> "write_committed"
@@ -71,6 +75,8 @@ let all_kinds =
     "read_issued";
     "read_answered";
     "pledge_signed";
+    "pledge_batch_signed";
+    "audit_dedup_hit";
     "pledge_verified";
     "double_check";
     "write_committed";
@@ -100,6 +106,9 @@ let fields = function
     ]
   | Pledge_signed { slave; version; lied } ->
     [ ("slave", I slave); ("version", I version); ("lied", B lied) ]
+  | Pledge_batch_signed { slave; version; batch } ->
+    [ ("slave", I slave); ("version", I version); ("batch", I batch) ]
+  | Audit_dedup_hit { slave; version } -> [ ("slave", I slave); ("version", I version) ]
   | Pledge_verified { client; slave; version; ok; reason } ->
     [
       ("client", I client);
@@ -178,6 +187,15 @@ let of_fields ~kind fs =
     let* version = int_field fs "version" in
     let* lied = bool_field fs "lied" in
     Ok (Pledge_signed { slave; version; lied })
+  | "pledge_batch_signed" ->
+    let* slave = int_field fs "slave" in
+    let* version = int_field fs "version" in
+    let* batch = int_field fs "batch" in
+    Ok (Pledge_batch_signed { slave; version; batch })
+  | "audit_dedup_hit" ->
+    let* slave = int_field fs "slave" in
+    let* version = int_field fs "version" in
+    Ok (Audit_dedup_hit { slave; version })
   | "pledge_verified" ->
     let* client = int_field fs "client" in
     let* slave = int_field fs "slave" in

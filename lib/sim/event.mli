@@ -22,6 +22,12 @@ type t =
       latency : float;
     }
   | Pledge_signed of { slave : int; version : int; lied : bool }
+  | Pledge_batch_signed of { slave : int; version : int; batch : int }
+      (** Slave flushed a Merkle batch of [batch] pledges under one
+          signature; [version] is the keep-alive version at flush. *)
+  | Audit_dedup_hit of { slave : int; version : int }
+      (** Auditor settled a pledge from the dedup index instead of
+          re-executing its query. *)
   | Pledge_verified of {
       client : int;
       slave : int;

@@ -1,0 +1,46 @@
+(* Dedup index for audit re-execution (after Tan et al., "The Efficient
+   Server Audit Problem, Deduplicated Re-execution, and the Web").
+
+   Within one content version a query is a pure function of the store,
+   so the auditor only ever needs to re-execute each distinct read once
+   per version and can settle every later pledge for the same
+   (version, query) against the memoized digest.  Unlike Result_cache
+   this is not an LRU: entries are dropped explicitly when the audit
+   cursor advances past their version, which bounds the table by the
+   working set of in-flight versions. *)
+
+type t = {
+  table : (int * string, string) Hashtbl.t;
+  mutable hits : int;
+  mutable distinct : int;
+}
+
+let create () = { table = Hashtbl.create 256; hits = 0; distinct = 0 }
+
+let find t ~version q =
+  match Hashtbl.find_opt t.table (Query_key.versioned ~version q) with
+  | Some digest ->
+    t.hits <- t.hits + 1;
+    Some digest
+  | None -> None
+
+let store t ~version q ~digest =
+  let k = Query_key.versioned ~version q in
+  if not (Hashtbl.mem t.table k) then begin
+    t.distinct <- t.distinct + 1;
+    Hashtbl.add t.table k digest
+  end
+
+let drop_version t ~version =
+  Hashtbl.iter
+    (fun ((v, _) as k) _ -> if v = version then Hashtbl.remove t.table k)
+    (Hashtbl.copy t.table)
+
+let hits t = t.hits
+let distinct t = t.distinct
+
+let hit_rate t =
+  let total = t.hits + t.distinct in
+  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total
+
+let size t = Hashtbl.length t.table

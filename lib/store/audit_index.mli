@@ -1,0 +1,35 @@
+(** Deduplication index for audit re-execution.
+
+    Keyed by (content version, canonical query) through [Query_key], the
+    same key the auditor's [Result_cache] uses.  The auditor re-executes
+    each distinct read once per version ([store]), settles every later
+    matching pledge against the memoized digest ([find], counted as a
+    hit), and drops a version's entries when the audit cursor moves past
+    it ([drop_version]) so the table tracks only in-flight versions. *)
+
+type t
+
+val create : unit -> t
+
+val find : t -> version:int -> Query.t -> string option
+(** Memoized canonical result digest; counts a dedup hit when present. *)
+
+val store : t -> version:int -> Query.t -> digest:string -> unit
+(** Record the digest of a fresh re-execution.  First store per key
+    counts as a distinct re-execution; re-stores are ignored (within a
+    version the digest cannot change). *)
+
+val drop_version : t -> version:int -> unit
+(** Forget every entry for [version] — called when the audit cursor
+    advances past it. *)
+
+val hits : t -> int
+(** Pledges settled from the index without re-execution. *)
+
+val distinct : t -> int
+(** Distinct (version, query) re-executions recorded. *)
+
+val hit_rate : t -> float
+(** hits / (hits + distinct); 0 when empty. *)
+
+val size : t -> int

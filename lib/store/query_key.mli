@@ -1,0 +1,18 @@
+(** Canonical read keys shared by every query-memoization layer.
+
+    [Result_cache] and [Audit_index] both key entries by
+    (content version, canonical query encoding).  They must agree
+    byte-for-byte — if canonicalization ever changed under only one of
+    them, the dedup index would settle pledges against digests the
+    result cache never produced.  Routing both through this module makes
+    the agreement structural. *)
+
+val of_query : Query.t -> string
+(** Canonical query encoding — identical to [Canonical.of_query]. *)
+
+val digest : Query.t -> string
+(** SHA-1 of the canonical encoding — identical to
+    [Canonical.query_digest]. *)
+
+val versioned : version:int -> Query.t -> int * string
+(** The (version, canonical encoding) pair used as a hash-table key. *)

@@ -17,7 +17,7 @@ let create ?(capacity = 4096) () =
   if capacity <= 0 then invalid_arg "Result_cache.create: capacity must be positive";
   { capacity; table = Hashtbl.create 256; tick = 0; hits = 0; misses = 0 }
 
-let key ~version q = (version, Canonical.of_query q)
+let key ~version q = Query_key.versioned ~version q
 
 let find t ~version q =
   t.tick <- t.tick + 1;

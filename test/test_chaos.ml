@@ -277,6 +277,7 @@ let test_harness_chaos_scenario_invariants () =
       keepalive_period = 0.3;
       double_check_p = 0.0;
       audit = true;
+      pledge_batch = 1;
       net = Scenario.Lan;
       faults = [];
       chaos =

@@ -149,7 +149,7 @@ let test_fuzz_campaign_deterministic () =
 
 (* ---------------- Invariants under forced attacks ---------------- *)
 
-let attack_scenario ~sys_seed ~mode =
+let attack_scenario ?(pledge_batch = 1) ~sys_seed ~mode () =
   {
     Scenario.sys_seed;
     n_masters = 1;
@@ -160,6 +160,7 @@ let attack_scenario ~sys_seed ~mode =
     keepalive_period = 0.3;
     double_check_p = 0.05;
     audit = true;
+    pledge_batch;
     net = Scenario.Lan;
     faults = [ { Scenario.slave = 0; mode; probability = 1.0; from_time = 0.0 } ];
     chaos = [];
@@ -183,7 +184,7 @@ let test_detection_across_100_runs () =
   let total_wrong = ref 0 in
   for i = 0 to 109 do
     let mode = if i mod 2 = 0 then Fault.Corrupt_result else Fault.Stale_state in
-    let result = Harness.run (attack_scenario ~sys_seed:i ~mode) in
+    let result = Harness.run (attack_scenario ~sys_seed:i ~mode ()) in
     total_wrong :=
       !total_wrong
       + List.length (List.filter (fun a -> a.Harness.wrong) result.Harness.accepted);
@@ -195,7 +196,9 @@ let test_detection_across_100_runs () =
 
 let test_all_invariants_under_attack () =
   for i = 0 to 19 do
-    let result = Harness.run (attack_scenario ~sys_seed:(1000 + i) ~mode:Fault.Corrupt_result) in
+    let result =
+      Harness.run (attack_scenario ~sys_seed:(1000 + i) ~mode:Fault.Corrupt_result ())
+    in
     match Invariant.check_all Invariant.all result with
     | Ok () -> ()
     | Error msg -> Alcotest.failf "run %d: %s" i msg
@@ -203,11 +206,78 @@ let test_all_invariants_under_attack () =
 
 let test_no_false_accusation_honest_runs () =
   for i = 0 to 19 do
-    let s = { (attack_scenario ~sys_seed:(2000 + i) ~mode:Fault.Corrupt_result) with Scenario.faults = [] } in
+    let s =
+      {
+        (attack_scenario ~sys_seed:(2000 + i) ~mode:Fault.Corrupt_result ()) with
+        Scenario.faults = [];
+      }
+    in
     let result = Harness.run s in
     match Invariant.check_all Invariant.all result with
     | Ok () -> ()
     | Error msg -> Alcotest.failf "honest run %d: %s" i msg
+  done
+
+(* ---------------- Differential audit ---------------- *)
+
+(* The tentpole's correctness argument: replay each attacked run's
+   recorded pledge stream through the naive per-pledge auditor and the
+   dedup/batched auditor, demand verdict-for-verdict agreement — and
+   make sure the comparison has teeth (some runs convict, some pledges
+   dedup). *)
+let test_differential_audit_under_attack () =
+  let module Audit_core = Secrep_core.Audit_core in
+  let caught = ref 0 and dedup_hits = ref 0 and pledges_seen = ref 0 in
+  for i = 0 to 29 do
+    let mode =
+      match i mod 3 with
+      | 0 -> Fault.Corrupt_result
+      | 1 -> Fault.Stale_state
+      | _ -> Fault.Bad_signature
+    in
+    let pledge_batch = 1 + (i mod 4) in
+    let scenario = attack_scenario ~pledge_batch ~sys_seed:(3000 + i) ~mode () in
+    (* Even-numbered runs are honest: the attacked runs convict and
+       exclude their only slave within a couple of reads, so the honest
+       runs supply the long repeated-read pledge streams that give the
+       dedup index something to deduplicate. *)
+    let scenario =
+      if i mod 2 = 0 then { scenario with Scenario.faults = [] } else scenario
+    in
+    let result = Harness.run scenario in
+    pledges_seen := !pledges_seen + List.length result.Harness.pledges;
+    (match Invariant.differential_audit.Invariant.check result with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "run %d (batch=%d): %s" i pledge_batch msg);
+    let naive =
+      Audit_core.run_naive ~slave_public:result.Harness.slave_public
+        ~reexec:result.Harness.reexec result.Harness.pledges
+    in
+    let _, stats =
+      Audit_core.run_dedup ~slave_public:result.Harness.slave_public
+        ~reexec:result.Harness.reexec result.Harness.pledges
+    in
+    caught :=
+      !caught
+      + List.length
+          (List.filter (fun v -> not (Audit_core.equal_verdict v Audit_core.Ok_pledge)) naive);
+    dedup_hits := !dedup_hits + stats.Audit_core.dedup_hits
+  done;
+  check bool_t "pledges were recorded" true (!pledges_seen > 0);
+  check bool_t "some runs actually convicted" true (!caught > 0);
+  check bool_t "the dedup index actually deduplicated" true (!dedup_hits > 0)
+
+(* Batched runs satisfy every paper invariant, and batching changes no
+   verdicts relative to the semantics the other invariants encode. *)
+let test_all_invariants_batched () =
+  for i = 0 to 9 do
+    let result =
+      Harness.run
+        (attack_scenario ~pledge_batch:4 ~sys_seed:(4000 + i) ~mode:Fault.Corrupt_result ())
+    in
+    match Invariant.check_all Invariant.all result with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "batched run %d: %s" i msg
   done
 
 (* ---------------- Shrinking a real failure ---------------- *)
@@ -307,6 +377,13 @@ let () =
           Alcotest.test_case "honest runs never accused" `Quick
             test_no_false_accusation_honest_runs;
           Alcotest.test_case "named lookup" `Quick test_invariant_named;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "naive and dedup auditors agree under attack" `Quick
+            test_differential_audit_under_attack;
+          Alcotest.test_case "all invariants hold with batching on" `Quick
+            test_all_invariants_batched;
         ] );
       ( "shrinking",
         [

@@ -161,6 +161,115 @@ let test_pledge_failure_branches () =
   check bool_t "framing detected" false (Pledge.verify_signature ~slave_public:sp framed);
   ignore (keepalive, query)
 
+(* ---------------- Batched pledges ---------------- *)
+
+module Merkle = Secrep_crypto.Merkle
+
+(* A hand-built batch: five payloads, one Merkle root, one signature,
+   each pledge carrying its inclusion proof. *)
+let batched_fixture () =
+  let g = Prng.create ~seed:6L in
+  let master_key = Sig_scheme.generate Sig_scheme.Hmac_sim g in
+  let slave_key = Sig_scheme.generate Sig_scheme.Hmac_sim g in
+  let keepalive =
+    Keepalive.make ~master_key ~content_id:"cid" ~master_id:0 ~version:3 ~now:10.0
+  in
+  let slave_id = 9 in
+  let cases =
+    List.init 5 (fun i ->
+        let query = Query.point_read (Printf.sprintf "k%d" i) in
+        let result = Query_result.Agg (Value.Int i) in
+        (query, result, Canonical.result_digest result))
+  in
+  let leaves =
+    List.map
+      (fun (query, _, result_digest) ->
+        Pledge.payload ~slave_id ~query ~result_digest ~keepalive)
+      cases
+  in
+  let tree = Merkle.build leaves in
+  let root = Merkle.root tree in
+  let signature = Pledge.sign_batch ~slave_key ~slave_id ~root in
+  let pledges =
+    List.mapi
+      (fun i (query, _, result_digest) ->
+        {
+          Pledge.slave_id;
+          query;
+          result_digest;
+          keepalive;
+          signature;
+          mode = Pledge.Batched { root; proof = Merkle.prove tree i };
+        })
+      cases
+  in
+  (master_key, slave_key, cases, root, pledges)
+
+let test_pledge_batched_ok () =
+  let master_key, slave_key, cases, _, pledges = batched_fixture () in
+  let sp = Sig_scheme.public_of slave_key and mp = Sig_scheme.public_of master_key in
+  List.iteri
+    (fun i (pledge, (_, result, _)) ->
+      check bool_t
+        (Printf.sprintf "pledge %d signature verifies" i)
+        true
+        (Pledge.verify_signature ~slave_public:sp pledge);
+      check bool_t
+        (Printf.sprintf "pledge %d full client check passes" i)
+        true
+        (Pledge.verify ~slave_public:sp ~master_public:mp ~result ~now:12.0
+           ~max_latency:5.0 pledge
+        = Ok ()))
+    (List.combine pledges cases)
+
+let test_pledge_batched_rejects () =
+  let _, slave_key, _, root, pledges = batched_fixture () in
+  let sp = Sig_scheme.public_of slave_key in
+  let p0 = List.nth pledges 0 and p1 = List.nth pledges 1 in
+  check bool_t "forged root signature rejected" false
+    (Pledge.verify_signature ~slave_public:sp { p0 with Pledge.signature = "forged" });
+  (* A proof for a different leaf does not authenticate this pledge. *)
+  check bool_t "swapped proof rejected" false
+    (Pledge.verify_signature ~slave_public:sp { p0 with Pledge.mode = p1.Pledge.mode });
+  (* Framing: altering the pledged digest breaks the inclusion proof. *)
+  check bool_t "framing detected" false
+    (Pledge.verify_signature ~slave_public:sp
+       { p0 with Pledge.result_digest = String.make 20 'x' });
+  (* A correctly-signed root from some other batch proves nothing. *)
+  let other_root = Merkle.root (Merkle.build [ "unrelated" ]) in
+  let mode =
+    match p0.Pledge.mode with
+    | Pledge.Batched { proof; _ } -> Pledge.Batched { root = other_root; proof }
+    | Pledge.Single -> Alcotest.fail "fixture must be batched"
+  in
+  check bool_t "wrong root rejected" false
+    (Pledge.verify_signature ~slave_public:sp
+       {
+         p0 with
+         Pledge.signature = Pledge.sign_batch ~slave_key ~slave_id:9 ~root:other_root;
+         mode;
+       });
+  ignore root
+
+let test_wire_batched_pledge_roundtrip () =
+  let _, slave_key, _, _, pledges = batched_fixture () in
+  List.iteri
+    (fun i pledge ->
+      match Wire.decode_pledge (Wire.encode_pledge pledge) with
+      | Ok pledge' ->
+        check bool_t (Printf.sprintf "pledge %d roundtrip equal" i) true (pledge = pledge');
+        check bool_t
+          (Printf.sprintf "pledge %d still verifies" i)
+          true
+          (Pledge.verify_signature ~slave_public:(Sig_scheme.public_of slave_key) pledge')
+      | Error msg -> Alcotest.fail msg)
+    pledges;
+  (* The batched framing carries root + proof on top of the single
+     pledge layout. *)
+  let single = { (List.nth pledges 0) with Pledge.mode = Pledge.Single } in
+  check bool_t "batched framing is larger than single" true
+    (Wire.pledge_size (List.nth pledges 2) > Wire.pledge_size single)
+
 (* ---------------- Wire ---------------- *)
 
 let test_wire_keepalive_roundtrip () =
@@ -827,6 +936,146 @@ let test_e2e_auditor_queue_bounded () =
     (Auditor.overload_drops auditor)
     (Stats.get (System.stats system) "auditor.overload_drops")
 
+let test_e2e_batched_pledges_honest () =
+  (* Merkle-batched signing + audit dedup on: every read still accepts,
+     nobody is accused, the slave signs far fewer times than it serves,
+     and the dedup index absorbs the repeats. *)
+  let config =
+    {
+      fast_config with
+      Config.pledge_batch_size = 4;
+      (* Wide enough that consecutive reads of one slave land in the
+         same batch; p = 0 so every accepted read forwards its pledge
+         (a double-checked read goes to the master instead, which would
+         make the audited count inexact for reasons unrelated to
+         batching). *)
+      pledge_batch_window = 0.3;
+      audit_dedup = true;
+      double_check_probability = 0.0;
+    }
+  in
+  let system = make_system ~config () in
+  let reports = issue_reads system ~n:40 ~spacing:0.05 in
+  System.run_for system 60.0;
+  check int_t "all reads completed" 40 (List.length !reports);
+  List.iter
+    (fun r ->
+      match r.Client.outcome with
+      | `Accepted _ -> ()
+      | `Served_by_master _ | `Gave_up -> Alcotest.fail "expected slave-served accept")
+    !reports;
+  check int_t "no wrong accepts" 0 (Stats.get (System.stats system) "system.accepted_wrong");
+  check int_t "nothing caught" 0 (Auditor.caught (System.auditor system));
+  check int_t "no exclusions" 0 (List.length (Corrective.excluded (System.corrective system)));
+  let stats = System.stats system in
+  let signatures = Stats.get stats "slave.signatures" in
+  check bool_t "batching amortized signatures" true (signatures > 0 && signatures <= 20);
+  check bool_t "batch events emitted" true
+    (List.mem "pledge_batch_signed" (Trace.kinds (System.trace system)));
+  let auditor = System.auditor system in
+  check int_t "auditor audited every pledge" 40 (Auditor.audited auditor);
+  check bool_t "dedup hits recorded" true (Auditor.dedup_hits auditor > 0);
+  check int_t "dedup stats mirror the accessors"
+    (Auditor.dedup_hits auditor)
+    (Stats.get stats "auditor.dedup_hits")
+
+let test_e2e_batched_attack_caught () =
+  (* A lying slave cannot hide inside a batch: the proof pins its
+     pledge to the corrupt digest and the audit convicts as before. *)
+  let config =
+    {
+      fast_config with
+      Config.pledge_batch_size = 4;
+      audit_dedup = true;
+      double_check_probability = 0.0;
+    }
+  in
+  let system = make_system ~config () in
+  let victim = System.slave_of_client system 0 in
+  System.set_slave_behavior system ~slave:victim
+    (Fault.Malicious { probability = 1.0; mode = Fault.Corrupt_result; from_time = 0.0 });
+  let reports = issue_reads system ~n:40 ~spacing:0.2 in
+  System.run_for system 120.0;
+  check int_t "reads completed" 40 (List.length !reports);
+  check bool_t "liar caught despite batching" true (Auditor.caught (System.auditor system) > 0);
+  check bool_t "liar excluded" true
+    (Corrective.is_excluded (System.corrective system) ~slave_id:victim)
+
+let test_e2e_batched_accounting_exact () =
+  (* Satellite regression: audit_fraction sampling accounting stays
+     exact when pledges arrive batched — every forwarded pledge is
+     either audited or sampled out, none double-counted or lost. *)
+  let run ~batch =
+    let config =
+      {
+        fast_config with
+        Config.double_check_probability = 0.0;
+        audit_fraction = 0.3;
+        pledge_batch_size = batch;
+      }
+    in
+    let system = make_system ~config ~seed:21L () in
+    let reports = issue_reads system ~n:40 ~spacing:0.2 in
+    System.run_for system 60.0;
+    check int_t "reads done" 40 (List.length !reports);
+    let audited = Auditor.audited (System.auditor system) in
+    let sampled_out = Stats.get (System.stats system) "auditor.sampled_out" in
+    let late = Auditor.late_pledges (System.auditor system) in
+    check int_t
+      (Printf.sprintf "batch=%d: every pledge audited or sampled out" batch)
+      40
+      (audited + sampled_out + late);
+    check int_t (Printf.sprintf "batch=%d: none late" batch) 0 late
+  in
+  run ~batch:1;
+  run ~batch:4
+
+let test_e2e_batched_queue_bound_accounting () =
+  (* Satellite regression: a batch straddling the auditor's intake
+     capacity sheds the overflow pledge-by-pledge — overload_drops and
+     late_pledges accounting stays exact, the queue bound holds, and the
+     read path is untouched. *)
+  let run ~batch =
+    let config =
+      {
+        fast_config with
+        Config.auditor_queue_capacity = 3;
+        pledge_batch_size = batch;
+        double_check_probability = 0.0;
+      }
+    in
+    let system = make_system ~config ~seed:33L () in
+    System.write system ~client:0
+      (Oplog.Set_field { key = "item:000"; field = "stock"; value = Value.Int 42 })
+      ~on_done:(fun _ -> ());
+    System.run_for system 1.0;
+    let reports = issue_reads system ~n:60 ~spacing:0.02 in
+    System.run_for system 120.0;
+    check int_t (Printf.sprintf "batch=%d: reads unaffected" batch) 60 (List.length !reports);
+    let auditor = System.auditor system in
+    check bool_t
+      (Printf.sprintf "batch=%d: overload drops counted" batch)
+      true
+      (Auditor.overload_drops auditor > 0);
+    check bool_t
+      (Printf.sprintf "batch=%d: backlog within capacity" batch)
+      true
+      (Auditor.backlog auditor <= 3);
+    check int_t
+      (Printf.sprintf "batch=%d: stat mirrors accessor" batch)
+      (Auditor.overload_drops auditor)
+      (Stats.get (System.stats system) "auditor.overload_drops");
+    (* Exactness: after the run settles, every forwarded pledge is
+       accounted for exactly once across the four disjoint outcomes. *)
+    check int_t
+      (Printf.sprintf "batch=%d: audited + dropped + late + backlog = forwarded" batch)
+      60
+      (Auditor.audited auditor + Auditor.overload_drops auditor
+      + Auditor.late_pledges auditor + Auditor.backlog auditor)
+  in
+  run ~batch:1;
+  run ~batch:3
+
 let test_e2e_greedy_client_throttled () =
   (* Client 0 double-checks everything (p=1 via a tight greedy config);
      the other clients behave.  The master must start ignoring some of
@@ -1139,11 +1388,15 @@ let () =
         [
           Alcotest.test_case "verifies" `Quick test_pledge_ok;
           Alcotest.test_case "failure branches + framing" `Quick test_pledge_failure_branches;
+          Alcotest.test_case "batched mode verifies" `Quick test_pledge_batched_ok;
+          Alcotest.test_case "batched mode rejections" `Quick test_pledge_batched_rejects;
         ] );
       ( "wire",
         [
           Alcotest.test_case "keepalive roundtrip" `Quick test_wire_keepalive_roundtrip;
           Alcotest.test_case "pledge roundtrip" `Quick test_wire_pledge_roundtrip;
+          Alcotest.test_case "batched pledge roundtrip" `Quick
+            test_wire_batched_pledge_roundtrip;
           Alcotest.test_case "certificate roundtrip" `Quick test_wire_certificate_roundtrip;
           Alcotest.test_case "rsa public roundtrip" `Quick test_wire_rsa_public_roundtrip;
           Alcotest.test_case "garbage rejected" `Quick test_wire_garbage_rejected;
@@ -1186,6 +1439,14 @@ let () =
           Alcotest.test_case "all slaves excluded -> clean give-up" `Quick
             test_e2e_all_slaves_excluded_gives_up;
           Alcotest.test_case "auditor queue bounded" `Quick test_e2e_auditor_queue_bounded;
+          Alcotest.test_case "batched pledges: honest run" `Quick
+            test_e2e_batched_pledges_honest;
+          Alcotest.test_case "batched pledges: attack caught" `Quick
+            test_e2e_batched_attack_caught;
+          Alcotest.test_case "batched pledges: sampling accounting exact" `Quick
+            test_e2e_batched_accounting_exact;
+          Alcotest.test_case "batched pledges: queue-bound accounting exact" `Quick
+            test_e2e_batched_queue_bound_accounting;
           Alcotest.test_case "greedy client throttled" `Quick test_e2e_greedy_client_throttled;
           Alcotest.test_case "leveled reads reach the master" `Quick test_e2e_leveled_reads;
           Alcotest.test_case "slave resync after partition" `Quick

@@ -561,6 +561,60 @@ let prop_merkle_random =
         (fun i -> Merkle.verify ~root:(Merkle.root tree) ~leaf:(List.nth leaves i) (Merkle.prove tree i))
         (List.init (List.length leaves) Fun.id))
 
+(* Distinct leaves so a bit-flipped leaf cannot accidentally equal a
+   sibling; sizes deliberately include 1 and non-powers-of-two, where
+   odd-level duplication shapes the path. *)
+let gen_merkle_case =
+  QCheck2.Gen.(
+    int_range 1 23 >>= fun n ->
+    int_bound (n - 1) >>= fun i ->
+    nat >|= fun salt -> (n, i, salt))
+
+let leaves_of n salt = List.init n (fun i -> Printf.sprintf "leaf-%d-%d" salt i)
+
+let flip_bit s bit =
+  let b = Bytes.of_string s in
+  let byte = bit / 8 mod Bytes.length b in
+  Bytes.set b byte (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl (bit mod 8))));
+  Bytes.to_string b
+
+let prop_merkle_root_of_proof_consistent =
+  qtest ~count:100 "merkle: root_of_proof agrees with the tree root" gen_merkle_case
+    (fun (n, i, salt) ->
+      let leaves = leaves_of n salt in
+      let tree = Merkle.build leaves in
+      String.equal
+        (Merkle.root_of_proof ~leaf:(List.nth leaves i) (Merkle.prove tree i))
+        (Merkle.root tree))
+
+let prop_merkle_bitflip_fails =
+  qtest ~count:100 "merkle: bit-flipped leaf, root and proof all fail"
+    QCheck2.Gen.(pair gen_merkle_case nat)
+    (fun ((n, i, salt), bit) ->
+      let leaves = leaves_of n salt in
+      let tree = Merkle.build leaves in
+      let root = Merkle.root tree in
+      let leaf = List.nth leaves i in
+      let proof = Merkle.prove tree i in
+      let flipped_leaf = not (Merkle.verify ~root ~leaf:(flip_bit leaf bit) proof) in
+      let flipped_root = not (Merkle.verify ~root:(flip_bit root bit) ~leaf proof) in
+      let flipped_proof =
+        (* Flip one bit in one sibling digest; a single-leaf tree has an
+           empty path, so there is no proof to corrupt. *)
+        match proof.Merkle.path with
+        | [] -> n = 1
+        | path ->
+          let victim = bit mod List.length path in
+          let path =
+            List.mapi
+              (fun j (sibling, side) ->
+                if j = victim then (flip_bit sibling bit, side) else (sibling, side))
+              path
+          in
+          not (Merkle.verify ~root ~leaf { proof with Merkle.path })
+      in
+      flipped_leaf && flipped_root && flipped_proof)
+
 (* ---------------- PRNG ---------------- *)
 
 let test_prng_determinism () =
@@ -748,6 +802,8 @@ let () =
           Alcotest.test_case "leaf/node domain separation" `Quick test_merkle_domain_separation;
           Alcotest.test_case "empty rejected" `Quick test_merkle_empty;
           prop_merkle_random;
+          prop_merkle_root_of_proof_consistent;
+          prop_merkle_bitflip_fails;
         ] );
       ( "prng",
         [

@@ -553,6 +553,8 @@ let sample_events =
     Event.Read_answered
       { client = 3; slave = 7; outcome = "accepted"; version = 12; latency = 0.034 };
     Event.Pledge_signed { slave = 7; version = 12; lied = false };
+    Event.Pledge_batch_signed { slave = 7; version = 12; batch = 8 };
+    Event.Audit_dedup_hit { slave = 7; version = 12 };
     Event.Pledge_verified
       { client = 3; slave = 7; version = 12; ok = false; reason = "stale keepalive" };
     Event.Double_check { client = 3; slave = 7; outcome = Event.Mismatch };

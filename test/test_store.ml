@@ -817,6 +817,94 @@ let test_result_cache_restore_refreshes_recency () =
     (Result_cache.find c ~version:1 (q 1) = Some "d1'");
   check bool_t "q4 present" true (Result_cache.find c ~version:1 (q 4) = Some "d4")
 
+(* ---------------- Query_key ---------------- *)
+
+(* One canonical-digest helper feeds both memoization layers: if these
+   ever disagree, the dedup index would settle pledges against digests
+   the result cache never produced. *)
+let test_query_key_matches_canonical () =
+  let queries =
+    [
+      Query.point_read "k";
+      Query.point_read "";
+      Query.Select
+        {
+          from = Query.All;
+          where = Query.Field_greater ("stock", Value.Int 3);
+          project = None;
+          limit = None;
+        };
+    ]
+  in
+  List.iter
+    (fun q ->
+      check string_t "encoding = Canonical.of_query" (Canonical.of_query q)
+        (Query_key.of_query q);
+      check string_t "digest = Canonical.query_digest" (Canonical.query_digest q)
+        (Query_key.digest q);
+      check bool_t "versioned pairs version with the encoding" true
+        (Query_key.versioned ~version:7 q = (7, Canonical.of_query q)))
+    queries
+
+let test_query_key_shared_by_cache_and_index () =
+  (* The same (version, query) stored in both layers is found by both;
+     a different version or query is found by neither. *)
+  let cache = Result_cache.create ~capacity:10 () in
+  let index = Audit_index.create () in
+  let q = Query.point_read "k" in
+  Result_cache.store cache ~version:3 q ~digest:"d";
+  Audit_index.store index ~version:3 q ~digest:"d";
+  check bool_t "cache hit" true (Result_cache.find cache ~version:3 q = Some "d");
+  check bool_t "index hit" true (Audit_index.find index ~version:3 q = Some "d");
+  check bool_t "cache: version mismatch misses" true
+    (Result_cache.find cache ~version:4 q = None);
+  check bool_t "index: version mismatch misses" true
+    (Audit_index.find index ~version:4 q = None);
+  let q' = Query.point_read "other" in
+  check bool_t "cache: query mismatch misses" true
+    (Result_cache.find cache ~version:3 q' = None);
+  check bool_t "index: query mismatch misses" true
+    (Audit_index.find index ~version:3 q' = None)
+
+(* ---------------- Audit_index ---------------- *)
+
+let test_audit_index_hits_distinct () =
+  let idx = Audit_index.create () in
+  let q i = Query.point_read (string_of_int i) in
+  check bool_t "empty miss" true (Audit_index.find idx ~version:1 (q 1) = None);
+  Audit_index.store idx ~version:1 (q 1) ~digest:"d1";
+  Audit_index.store idx ~version:1 (q 2) ~digest:"d2";
+  check int_t "two distinct re-executions" 2 (Audit_index.distinct idx);
+  check bool_t "hit q1" true (Audit_index.find idx ~version:1 (q 1) = Some "d1");
+  check bool_t "hit q1 again" true (Audit_index.find idx ~version:1 (q 1) = Some "d1");
+  check bool_t "hit q2" true (Audit_index.find idx ~version:1 (q 2) = Some "d2");
+  check int_t "three hits" 3 (Audit_index.hits idx);
+  (* A re-store of an existing key is ignored: within a version the
+     honest digest cannot change. *)
+  Audit_index.store idx ~version:1 (q 1) ~digest:"clobber";
+  check int_t "re-store not counted distinct" 2 (Audit_index.distinct idx);
+  check bool_t "original digest kept" true
+    (Audit_index.find idx ~version:1 (q 1) = Some "d1");
+  check bool_t "hit rate = 4/(4+2)" true
+    (Float.abs (Audit_index.hit_rate idx -. (4.0 /. 6.0)) < 1e-9)
+
+let test_audit_index_drop_version () =
+  let idx = Audit_index.create () in
+  let q i = Query.point_read (string_of_int i) in
+  Audit_index.store idx ~version:1 (q 1) ~digest:"a";
+  Audit_index.store idx ~version:1 (q 2) ~digest:"b";
+  Audit_index.store idx ~version:2 (q 1) ~digest:"c";
+  check int_t "three live entries" 3 (Audit_index.size idx);
+  Audit_index.drop_version idx ~version:1;
+  check int_t "version 1 gone" 1 (Audit_index.size idx);
+  check bool_t "v1 entries dropped" true (Audit_index.find idx ~version:1 (q 1) = None);
+  check bool_t "v2 entry survives" true (Audit_index.find idx ~version:2 (q 1) = Some "c");
+  (* Dropping an absent version is a no-op. *)
+  Audit_index.drop_version idx ~version:9;
+  check int_t "no-op drop" 1 (Audit_index.size idx);
+  (* Counters describe history, not liveness: drop does not rewind them. *)
+  check int_t "distinct unchanged by drop" 3 (Audit_index.distinct idx)
+
 (* ---------------- Regex corner cases ---------------- *)
 
 let test_regex_empty_pattern () =
@@ -1004,6 +1092,19 @@ let () =
             test_canonical_all_query_forms_distinct;
           Alcotest.test_case "query digests" `Quick test_canonical_query_digest;
           prop_canonical_value_injective_ish;
+        ] );
+      ( "query_key",
+        [
+          Alcotest.test_case "matches canonical encoding" `Quick
+            test_query_key_matches_canonical;
+          Alcotest.test_case "shared by cache and index" `Quick
+            test_query_key_shared_by_cache_and_index;
+        ] );
+      ( "audit_index",
+        [
+          Alcotest.test_case "hits and distinct counters" `Quick
+            test_audit_index_hits_distinct;
+          Alcotest.test_case "drop_version" `Quick test_audit_index_drop_version;
         ] );
       ( "codec",
         [
