@@ -44,10 +44,90 @@ let write_out path content =
     output_string oc content;
     close_out oc
 
+(* -- online monitoring (lineage + SLO) ---------------------------------- *)
+
+module Slo = Secrep_monitor.Slo
+module Lineage = Secrep_monitor.Lineage
+module Health = Secrep_monitor.Health
+
+type monitoring = { m_slo : Slo.t; m_lineage : Lineage.t }
+
+(* Subscribe both monitors through one [on_emit] callback so lineage
+   sees each event before the SLO engine can emit alerts about it. *)
+let attach_monitoring system ~config =
+  let slo = Slo.create ~trace:(System.trace system) ~config:(Slo.config config) () in
+  let lineage = Lineage.create () in
+  Trace.on_emit (System.trace system) (fun r ->
+      Lineage.observe lineage r;
+      Slo.observe slo r);
+  { m_slo = slo; m_lineage = lineage }
+
+let finish_monitoring m system ~slo_out ~lineage_out ~print_report =
+  Slo.finalize m.m_slo ~now:(Secrep_sim.Sim.now (System.sim system));
+  let health =
+    Health.build ~trace:(System.trace system) ~spans:(System.spans system) ~slo:m.m_slo
+      ~lineage:m.m_lineage ()
+  in
+  if print_report then Format.printf "@.%a" Health.pp health;
+  (match slo_out with
+  | None -> ()
+  | Some path -> write_out path (Export.Json.to_string (Health.to_json health) ^ "\n"));
+  (match lineage_out with
+  | None -> ()
+  | Some path -> write_out path (Lineage.jsonl m.m_lineage));
+  health
+
+let monitoring_args =
+  let open Cmdliner in
+  let slo =
+    Arg.(
+      value
+      & flag
+      & info [ "slo" ]
+          ~doc:
+            "Run the online SLO monitor over the live event stream: alerts are raised as \
+             typed trace events and an end-of-run health report is printed.")
+  in
+  let slo_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "slo-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the machine-readable JSON health summary (alerts, lineage, \
+             diagnostics) to $(docv) ('-' = stdout).  Implies the monitor is on.")
+  in
+  let lineage_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "lineage-out" ] ~docv:"FILE"
+          ~doc:
+            "Write per-request causal lineage records (one JSON object per read) to \
+             $(docv) ('-' = stdout).  Implies the monitor is on.")
+  in
+  let trace_capacity =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trace-capacity" ] ~docv:"N"
+          ~doc:
+            "Event-trace ring capacity (default 4096).  The health report warns when the \
+             ring wrapped and dropped events.")
+  in
+  let span_capacity =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "span-capacity" ] ~docv:"N" ~doc:"Span ring capacity (default 4096).")
+  in
+  (slo, slo_out, lineage_out, trace_capacity, span_capacity)
+
 let run_simulation ~masters ~slaves_per_master ~clients ~items ~duration ~read_rate
     ~write_rate ~double_check_p ~max_latency ~keepalive ~audit ~pledge_batch
     ~pledge_batch_window ~audit_dedup ~malicious ~lie_prob ~lie_mode ~lie_from ~seed ~csv
-    ~trace_out ~trace_format ~metrics_out =
+    ~trace_out ~trace_format ~metrics_out ~slo ~slo_out ~lineage_out ~trace_capacity
+    ~span_capacity =
   (* Reject a bad format before spending time on the simulation. *)
   if trace_format <> "jsonl" && trace_format <> "chrome" then begin
     Printf.eprintf "unknown trace format %S (expected jsonl or chrome)\n" trace_format;
@@ -68,7 +148,12 @@ let run_simulation ~masters ~slaves_per_master ~clients ~items ~duration ~read_r
   in
   let system =
     System.create ~n_masters:masters ~slaves_per_master ~n_clients:clients ~config
-      ~seed:(Int64.of_int seed) ()
+      ~seed:(Int64.of_int seed) ?trace_capacity ?span_capacity ()
+  in
+  let monitoring =
+    if slo || slo_out <> None || lineage_out <> None then
+      Some (attach_monitoring system ~config)
+    else None
   in
   let g = Prng.create ~seed:(Int64.of_int (seed + 1)) in
   let content = Catalog.product_catalog g ~n:items in
@@ -148,6 +233,12 @@ let run_simulation ~masters ~slaves_per_master ~clients ~items ~duration ~read_r
                 | Corrective.Delayed -> "delayed"))
             (Corrective.events (System.corrective system))))
   end;
+  (* Finalize the monitor before dumping the trace so end-of-run alerts
+     (e.g. a never-accused liar) appear in the dump too. *)
+  (match monitoring with
+  | None -> ()
+  | Some m ->
+    ignore (finish_monitoring m system ~slo_out ~lineage_out ~print_report:(not csv)));
   (match trace_out with
   | None -> ()
   | Some path ->
@@ -265,21 +356,23 @@ let run_cmd =
             "Write counters, gauges and per-phase latency quantiles in Prometheus text \
              format to $(docv) ('-' = stdout).")
   in
+  let slo_flag, slo_out, lineage_out, trace_capacity, span_capacity = monitoring_args in
   let term =
     Term.(
       const
         (fun masters slaves_per_master clients items duration read_rate write_rate
              double_check_p max_latency keepalive audit pledge_batch pledge_batch_window
              audit_dedup malicious lie_prob lie_mode lie_from seed csv trace_out
-             trace_format metrics_out ->
+             trace_format metrics_out slo slo_out lineage_out trace_capacity span_capacity ->
           run_simulation ~masters ~slaves_per_master ~clients ~items ~duration ~read_rate
             ~write_rate ~double_check_p ~max_latency ~keepalive ~audit ~pledge_batch
             ~pledge_batch_window ~audit_dedup ~malicious ~lie_prob ~lie_mode ~lie_from ~seed
-            ~csv ~trace_out ~trace_format ~metrics_out)
+            ~csv ~trace_out ~trace_format ~metrics_out ~slo ~slo_out ~lineage_out
+            ~trace_capacity ~span_capacity)
       $ masters $ slaves $ clients $ items $ duration $ read_rate $ write_rate $ p
       $ max_latency $ keepalive $ audit $ pledge_batch $ pledge_batch_window $ audit_dedup
       $ malicious $ lie_prob $ lie_mode $ lie_from $ seed $ csv $ trace_out $ trace_format
-      $ metrics_out)
+      $ metrics_out $ slo_flag $ slo_out $ lineage_out $ trace_capacity $ span_capacity)
   in
   Cmd.v
     (Cmd.info "run"
@@ -380,7 +473,8 @@ let read_schedule_file path =
 
 let run_chaos ~masters ~slaves_per_master ~clients ~items ~duration ~read_rate ~write_rate
     ~max_latency ~keepalive ~schedule_file ~intensity ~seed ~invariants ~trace_out
-    ~trace_format ~counterexample_out =
+    ~trace_format ~counterexample_out ~slo:slo_flag ~slo_out ~lineage_out ~trace_capacity
+    ~span_capacity =
   if trace_format <> "jsonl" && trace_format <> "chrome" then begin
     Printf.eprintf "unknown trace format %S (expected jsonl or chrome)\n" trace_format;
     exit 2
@@ -389,7 +483,8 @@ let run_chaos ~masters ~slaves_per_master ~clients ~items ~duration ~read_rate ~
     match
       Invariant.named
         (if invariants = [] then
-           [ "availability"; "recovery-convergence"; "no-false-accusation"; "staleness"; "write-spacing" ]
+           [ "availability"; "recovery-convergence"; "no-false-accusation"; "staleness";
+             "write-spacing"; "alert-coverage" ]
          else invariants)
     with
     | Ok checkers -> checkers
@@ -408,7 +503,12 @@ let run_chaos ~masters ~slaves_per_master ~clients ~items ~duration ~read_rate ~
   in
   let system =
     System.create ~n_masters:masters ~slaves_per_master ~n_clients:clients ~config
-      ~seed:(Int64.of_int seed) ()
+      ~seed:(Int64.of_int seed) ?trace_capacity ?span_capacity ()
+  in
+  let monitoring =
+    if slo_flag || slo_out <> None || lineage_out <> None then
+      Some (attach_monitoring system ~config)
+    else None
   in
   (* Capture the live stream like the fuzz harness does: the trace ring
      may overwrite old records on long runs, subscribers see everything. *)
@@ -474,6 +574,11 @@ let run_chaos ~masters ~slaves_per_master ~clients ~items ~duration ~read_rate ~
     (Stats.get stats "auditor.overload_drops");
   Printf.printf "  exclusions: [%s]\n"
     (String.concat "; " (List.map string_of_int (Corrective.excluded (System.corrective system))));
+  (* Finalize before the trace dump so end-of-run alerts are included;
+     finalize-time alerts also land in [events_rev] for the checkers. *)
+  (match monitoring with
+  | None -> ()
+  | Some m -> ignore (finish_monitoring m system ~slo_out ~lineage_out ~print_report:true));
   (match trace_out with
   | None -> ()
   | Some path ->
@@ -609,18 +714,22 @@ let chaos_cmd =
             "On violation, write seed, schedule and violation to $(docv) ('-' = stdout) so \
              the run can be replayed.")
   in
+  let slo_flag, slo_out, lineage_out, trace_capacity, span_capacity = monitoring_args in
   let term =
     Term.(
       const
         (fun masters slaves_per_master clients items duration read_rate write_rate
              max_latency keepalive schedule_file intensity seed invariants trace_out
-             trace_format counterexample_out ->
+             trace_format counterexample_out slo slo_out lineage_out trace_capacity
+             span_capacity ->
           run_chaos ~masters ~slaves_per_master ~clients ~items ~duration ~read_rate
             ~write_rate ~max_latency ~keepalive ~schedule_file ~intensity ~seed ~invariants
-            ~trace_out ~trace_format ~counterexample_out)
+            ~trace_out ~trace_format ~counterexample_out ~slo ~slo_out ~lineage_out
+            ~trace_capacity ~span_capacity)
       $ masters $ slaves $ clients $ items $ duration $ read_rate $ write_rate $ max_latency
       $ keepalive $ schedule_file $ intensity $ seed $ invariants $ trace_out $ trace_format
-      $ counterexample_out)
+      $ counterexample_out $ slo_flag $ slo_out $ lineage_out $ trace_capacity
+      $ span_capacity)
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -714,6 +823,122 @@ let trace_cmd =
        ~doc:"Replay a JSONL trace dump with optional source / event-kind filters.")
     term
 
+(* -- offline monitor ---------------------------------------------------- *)
+
+let run_monitor ~file ~max_latency ~audit ~window ~format ~lineage_out ~check =
+  if format <> "text" && format <> "json" then begin
+    Printf.eprintf "unknown format %S (expected text or json)\n" format;
+    exit 2
+  end;
+  let ic =
+    if file = "-" then stdin
+    else
+      try open_in file
+      with Sys_error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2
+  in
+  let config =
+    Config.validate_exn { Config.default with Config.max_latency; audit_enabled = audit }
+  in
+  let slo = Slo.create ~config:(Slo.config ?window config) () in
+  let lineage = Lineage.create () in
+  let end_time = ref 0.0 in
+  let lineno = ref 0 in
+  let errors = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if String.trim line <> "" then begin
+         match Export.record_of_line line with
+         | Error msg ->
+           incr errors;
+           Printf.eprintf "line %d: %s\n" !lineno msg
+         | Ok r ->
+           end_time := Float.max !end_time r.Trace.time;
+           Lineage.observe lineage r;
+           Slo.observe slo r
+       end
+     done
+   with End_of_file -> ());
+  if file <> "-" then close_in ic;
+  Slo.finalize slo ~now:!end_time;
+  let health = Health.build ~slo ~lineage () in
+  (match format with
+  | "json" -> print_string (Export.Json.to_string (Health.to_json health) ^ "\n")
+  | _ -> Format.printf "%a" Health.pp health);
+  (match lineage_out with
+  | None -> ()
+  | Some path -> write_out path (Lineage.jsonl lineage));
+  if !errors > 0 then begin
+    Printf.eprintf "%d malformed line(s)\n" !errors;
+    exit 2
+  end;
+  if check && health.Health.alerts <> [] then exit 1
+
+let monitor_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"JSONL trace dump produced by run/chaos --trace-out ('-' = stdin).")
+  in
+  let max_latency =
+    Arg.(
+      value
+      & opt float 5.0
+      & info [ "max-latency" ]
+          ~doc:"Freshness bound the trace ran under; SLO thresholds derive from it.")
+  in
+  let audit =
+    Arg.(
+      value
+      & opt bool true
+      & info [ "audit" ] ~doc:"Whether the trace ran with the auditor on.")
+  in
+  let window =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "window" ] ~docv:"SECONDS"
+          ~doc:"Rolling-window span for rate rules (default 6 x max-latency).")
+  in
+  let format =
+    Arg.(
+      value
+      & opt string "text"
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Output: $(b,text) (human health report) or $(b,json) (machine summary).")
+  in
+  let lineage_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "lineage-out" ] ~docv:"FILE"
+          ~doc:"Also write per-request lineage records to $(docv) ('-' = stdout).")
+  in
+  let check =
+    Arg.(
+      value
+      & flag
+      & info [ "check" ] ~doc:"Exit 1 if any alert was raised (for CI gating).")
+  in
+  let term =
+    Term.(
+      const (fun file max_latency audit window format lineage_out check ->
+          run_monitor ~file ~max_latency ~audit ~window ~format ~lineage_out ~check)
+      $ file $ max_latency $ audit $ window $ format $ lineage_out $ check)
+  in
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:
+         "Replay a JSONL trace through the causal-lineage and SLO monitors offline: \
+          per-request lifecycle records, rule evaluation, and the end-of-run health \
+          report, without re-running the simulation.")
+    term
+
 let () =
   let info =
     Cmd.info "secrep-sim" ~version:"1.0.0"
@@ -721,4 +946,4 @@ let () =
         "Simulator for 'Secure Data Replication over Untrusted Hosts' (Popescu, Crispo, \
          Tanenbaum; HotOS 2003)."
   in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; fuzz_cmd; chaos_cmd; trace_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; fuzz_cmd; chaos_cmd; trace_cmd; monitor_cmd ]))

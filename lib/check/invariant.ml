@@ -435,6 +435,70 @@ let differential_audit =
           compare_at 0 (List.combine naive dedup));
   }
 
+let alert_coverage =
+  {
+    name = "alert-coverage";
+    doc =
+      "every violated invariant with an online SLO counterpart is covered by a raised \
+       alert of the matching rule";
+    check =
+      (fun result ->
+        let module Slo = Secrep_monitor.Slo in
+        let s = result.Harness.scenario in
+        (* Mirror the harness's config so the monitor judges the run by
+           the thresholds it actually ran under. *)
+        let config =
+          Secrep_core.Config.validate_exn
+            {
+              Secrep_core.Config.default with
+              Secrep_core.Config.max_latency = s.Scenario.max_latency;
+              keepalive_period = s.Scenario.keepalive_period;
+              double_check_probability = s.Scenario.double_check_p;
+              audit_enabled = s.Scenario.audit;
+              pledge_batch_size = s.Scenario.pledge_batch;
+            }
+        in
+        let violated =
+          List.filter_map
+            (fun c ->
+              match Slo.rule_for_invariant c.name with
+              | None -> None
+              | Some rule -> (
+                match c.check result with
+                | Ok () -> None
+                | Error msg -> Some (c.name, rule, msg)))
+            [
+              detection;
+              no_false_accusation;
+              staleness;
+              write_spacing;
+              availability;
+              recovery_convergence;
+            ]
+        in
+        if violated = [] then Ok ()
+        else begin
+          let slo = Slo.create ~config:(Slo.config config) () in
+          List.iter (Slo.observe slo) (events_of result);
+          Slo.finalize slo ~now:result.Harness.end_time;
+          let uncovered =
+            List.filter (fun (_, rule, _) -> not (Slo.was_raised slo rule)) violated
+          in
+          match uncovered with
+          | [] -> Ok ()
+          | (inv, rule, msg) :: _ ->
+            Error
+              (Printf.sprintf
+                 "invariant %s was violated but the SLO monitor never raised the %S alert \
+                  (raised: %s) — underlying violation: %s"
+                 inv rule
+                 (match Slo.raised_rules slo with
+                 | [] -> "none"
+                 | rs -> String.concat ", " rs)
+                 msg)
+        end);
+  }
+
 let all =
   [
     detection;
@@ -445,6 +509,7 @@ let all =
     availability;
     recovery_convergence;
     differential_audit;
+    alert_coverage;
   ]
 
 let named names =

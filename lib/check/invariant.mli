@@ -60,6 +60,16 @@ val recovery_convergence : checker
     (master cut or crash, re-cut of the same slave, loss burst or
     latency spike), exclusions, and runs ending before the deadline. *)
 
+val alert_coverage : checker
+(** Cross-check between the fuzz invariants and the online monitor:
+    replays the run's event stream through an offline
+    {!Secrep_monitor.Slo} (thresholds derived from the scenario's own
+    config) and demands that every violated invariant with an online
+    counterpart ({!Secrep_monitor.Slo.rule_for_invariant}) is covered
+    by at least one raised alert of the matching rule.  An invariant
+    violation the monitor would have slept through is itself a
+    violation. *)
+
 val all : checker list
 
 val named : string list -> (checker list, string) result

@@ -278,7 +278,8 @@ let submit_pledge t pledge =
        count it) than to queue without bound — dropped pledges only
        cost detection coverage, never correctness. *)
     t.overload_drops <- t.overload_drops + 1;
-    Stats.incr t.stats "auditor.overload_drops"
+    Stats.incr t.stats "auditor.overload_drops";
+    emit t (Event.Audit_overload { backlog = t.backlog })
   end
   else begin
     Queue.push pledge (queue_for t version);

@@ -11,6 +11,7 @@ type read_mode = Single | Quorum of int
 
 type read_report = {
   query : Query.t;
+  request : int;
   outcome :
     [ `Accepted of Query_result.t | `Served_by_master of Query_result.t | `Gave_up ];
   version : int;
@@ -27,9 +28,13 @@ type env = {
   slave_id : unit -> int;
   slave_public : unit -> Secrep_crypto.Sig_scheme.public;
   master_public : unit -> Secrep_crypto.Sig_scheme.public;
-  send_read : query:Query.t -> reply:(Slave.read_reply option -> unit) -> unit;
+  send_read : request:int -> query:Query.t -> reply:(Slave.read_reply option -> unit) -> unit;
   send_read_to :
-    slave_id:int -> query:Query.t -> reply:(Slave.read_reply option -> unit) -> unit;
+    slave_id:int ->
+    request:int ->
+    query:Query.t ->
+    reply:(Slave.read_reply option -> unit) ->
+    unit;
   quorum_candidates : unit -> int list;
   public_of_slave : int -> Secrep_crypto.Sig_scheme.public option;
   send_double_check :
@@ -169,7 +174,8 @@ let note_timeout t ~slave_id =
     if b.consecutive_timeouts >= t.config.Config.breaker_threshold then begin
       if not b.is_open then begin
         t.breaker_opened <- t.breaker_opened + 1;
-        Stats.incr t.stats "client.breaker_opened"
+        Stats.incr t.stats "client.breaker_opened";
+        emit t (Event.Breaker_opened { client = t.id; slave = slave_id })
       end;
       b.is_open <- true;
       b.open_until <- t.env.now () +. t.config.Config.breaker_cooldown
@@ -182,7 +188,8 @@ let note_slave_success t ~slave_id =
     if b.is_open then begin
       b.is_open <- false;
       t.breaker_closed <- t.breaker_closed + 1;
-      Stats.incr t.stats "client.breaker_closed"
+      Stats.incr t.stats "client.breaker_closed";
+      emit t (Event.Breaker_closed { client = t.id; slave = slave_id })
     end;
     b.consecutive_timeouts <- 0;
     b.open_until <- neg_infinity
@@ -201,15 +208,16 @@ let backoff_delay t ~retries =
   let j = c.Config.retry_jitter in
   (d *. (1.0 -. j)) +. (d *. j *. Prng.float t.rng)
 
-let give_up t ~query ~start ~retries ~double_checked ~caught =
+let give_up t ~query ~request ~start ~retries ~double_checked ~caught =
   t.reads_given_up <- t.reads_given_up + 1;
   Stats.incr t.stats "client.reads_given_up";
   let latency = t.env.now () -. start in
   emit t
     (Event.Read_answered
-       { client = t.id; slave = -1; outcome = "gave-up"; version = -1; latency });
+       { client = t.id; request; slave = -1; outcome = "gave-up"; version = -1; latency });
   {
     query;
+    request;
     outcome = `Gave_up;
     version = -1;
     latency;
@@ -246,7 +254,8 @@ let on_slave_excluded t ~slave_id =
 
 let tainted_reads t = t.tainted_reads
 
-let accept ?served_by t ~query ~result ~version ~start ~retries ~double_checked ~caught =
+let accept ?served_by t ~query ~request ~result ~version ~start ~retries ~double_checked
+    ~caught =
   t.reads_accepted <- t.reads_accepted + 1;
   Stats.incr t.stats "client.reads_accepted";
   (match served_by with
@@ -259,6 +268,7 @@ let accept ?served_by t ~query ~result ~version ~start ~retries ~double_checked 
     (Event.Read_answered
        {
          client = t.id;
+         request;
          slave = (match served_by with Some s -> s | None -> -1);
          outcome = "accepted";
          version;
@@ -266,6 +276,7 @@ let accept ?served_by t ~query ~result ~version ~start ~retries ~double_checked 
        });
   {
     query;
+    request;
     outcome = `Accepted result;
     version;
     latency;
@@ -278,13 +289,13 @@ let accept ?served_by t ~query ~result ~version ~start ~retries ~double_checked 
 (* A master read must still time out: during a master crash or a
    client<->master partition the reply never arrives, and the read has
    to be reported failed rather than lost. *)
-let master_read t query ~start ~retries ~caught ~on_done =
+let master_read t query ~request ~start ~retries ~caught ~on_done =
   let settled = ref false in
   t.env.schedule ~delay:(read_timeout t) (fun () ->
       if not !settled then begin
         settled := true;
         note_timeout t ~slave_id:(-1);
-        on_done (give_up t ~query ~start ~retries ~double_checked:false ~caught)
+        on_done (give_up t ~query ~request ~start ~retries ~double_checked:false ~caught)
       end);
   t.env.send_sensitive ~query ~reply:(fun reply ->
       if not !settled then begin
@@ -295,10 +306,18 @@ let master_read t query ~start ~retries ~caught ~on_done =
           let latency = t.env.now () -. start in
           emit t
             (Event.Read_answered
-               { client = t.id; slave = -1; outcome = "by-master"; version; latency });
+               {
+                 client = t.id;
+                 request;
+                 slave = -1;
+                 outcome = "by-master";
+                 version;
+                 latency;
+               });
           on_done
             {
               query;
+              request;
               outcome = `Served_by_master result;
               version;
               latency;
@@ -308,24 +327,24 @@ let master_read t query ~start ~retries ~caught ~on_done =
               served_by = None;
             }
         | None ->
-          on_done (give_up t ~query ~start ~retries ~double_checked:false ~caught)
+          on_done (give_up t ~query ~request ~start ~retries ~double_checked:false ~caught)
       end)
 
-let sensitive_read t query ~on_done =
+let sensitive_read t query ~request ~on_done =
   Stats.incr t.stats "client.sensitive_reads";
   let start = t.env.now () in
-  master_read t query ~start ~retries:0 ~caught:None ~on_done
+  master_read t query ~request ~start ~retries:0 ~caught:None ~on_done
 
 (* Retry budget exhausted: no slave could serve the read.  With
    [degraded_reads] on, fall back to the trusted master — counted,
    since every such read sacrifices the offloading the slaves exist
    for (§2). *)
-let exhausted t ~query ~start ~retries ~caught ~on_done =
+let exhausted t ~query ~request ~start ~retries ~caught ~on_done =
   if not t.config.Config.degraded_reads then
-    on_done (give_up t ~query ~start ~retries ~double_checked:false ~caught)
+    on_done (give_up t ~query ~request ~start ~retries ~double_checked:false ~caught)
   else begin
     Stats.incr t.stats "client.degraded_attempts";
-    master_read t query ~start ~retries ~caught ~on_done:(fun report ->
+    master_read t query ~request ~start ~retries ~caught ~on_done:(fun report ->
         (match report.outcome with
         | `Served_by_master _ ->
           t.degraded_served <- t.degraded_served + 1;
@@ -336,9 +355,9 @@ let exhausted t ~query ~start ~retries ~caught ~on_done =
 
 (* -- single-slave reads (the base protocol, §3.2-§3.3) --------------- *)
 
-let rec single_attempt t ~query ~dc_probability ~start ~retries ~caught ~on_done =
+let rec single_attempt t ~query ~request ~dc_probability ~start ~retries ~caught ~on_done =
   if retries > t.config.Config.read_retry_limit then
-    exhausted t ~query ~start ~retries ~caught ~on_done
+    exhausted t ~query ~request ~start ~retries ~caught ~on_done
   else begin
     (* Route around a quarantined slave before even sending. *)
     if is_quarantined t ~slave_id:(t.env.slave_id ()) then
@@ -351,8 +370,8 @@ let rec single_attempt t ~query ~dc_probability ~start ~retries ~caught ~on_done
         if reconnect then t.env.reconnect ~avoid:(quarantined t);
         Stats.incr t.stats "client.read_retries";
         t.env.schedule ~delay:(backoff_delay t ~retries) (fun () ->
-            single_attempt t ~query ~dc_probability ~start ~retries:(retries + 1) ~caught
-              ~on_done)
+            single_attempt t ~query ~request ~dc_probability ~start ~retries:(retries + 1)
+              ~caught ~on_done)
       end
     in
     (* Arm the timeout for an Omit_result attacker or a dead slave. *)
@@ -363,7 +382,7 @@ let rec single_attempt t ~query ~dc_probability ~start ~retries ~caught ~on_done
         end);
     let slave_public = t.env.slave_public () in
     let master_public = t.env.master_public () in
-    t.env.send_read ~query ~reply:(fun reply ->
+    t.env.send_read ~request ~query ~reply:(fun reply ->
         if not !settled then begin
           match reply with
           | None -> retry ~reconnect:true ~caught
@@ -379,6 +398,7 @@ let rec single_attempt t ~query ~dc_probability ~start ~retries ~caught ~on_done
                 (Event.Pledge_verified
                    {
                      client = t.id;
+                     request;
                      slave = pledge.Pledge.slave_id;
                      version = Pledge.version pledge;
                      ok = false;
@@ -396,6 +416,7 @@ let rec single_attempt t ~query ~dc_probability ~start ~retries ~caught ~on_done
                 (Event.Pledge_verified
                    {
                      client = t.id;
+                     request;
                      slave = pledge.Pledge.slave_id;
                      version = Pledge.version pledge;
                      ok = true;
@@ -408,7 +429,12 @@ let rec single_attempt t ~query ~dc_probability ~start ~retries ~caught ~on_done
                       let dc_event outcome =
                         emit t
                           (Event.Double_check
-                             { client = t.id; slave = pledge.Pledge.slave_id; outcome })
+                             {
+                               client = t.id;
+                               request;
+                               slave = pledge.Pledge.slave_id;
+                               outcome;
+                             })
                       in
                       match dc with
                       | Master.Throttled ->
@@ -417,8 +443,8 @@ let rec single_attempt t ~query ~dc_probability ~start ~retries ~caught ~on_done
                         settled := true;
                         t.env.forward_pledge pledge;
                         on_done
-                          (accept t ~served_by:pledge.Pledge.slave_id ~query ~result
-                             ~version:(Pledge.version pledge) ~start ~retries
+                          (accept t ~served_by:pledge.Pledge.slave_id ~query ~request
+                             ~result ~version:(Pledge.version pledge) ~start ~retries
                              ~double_checked:false ~caught)
                       | Master.Checked { digest; version } ->
                         if version <> Pledge.version pledge then
@@ -429,8 +455,8 @@ let rec single_attempt t ~query ~dc_probability ~start ~retries ~caught ~on_done
                           Stats.incr t.stats "client.double_checks_passed";
                           dc_event Event.Passed;
                           on_done
-                            (accept t ~served_by:pledge.Pledge.slave_id ~query ~result
-                               ~version ~start ~retries ~double_checked:true ~caught)
+                            (accept t ~served_by:pledge.Pledge.slave_id ~query ~request
+                               ~result ~version ~start ~retries ~double_checked:true ~caught)
                         end
                         else begin
                           (* Immediate discovery (§3.5). *)
@@ -446,7 +472,7 @@ let rec single_attempt t ~query ~dc_probability ~start ~retries ~caught ~on_done
                 settled := true;
                 t.env.forward_pledge pledge;
                 on_done
-                  (accept t ~served_by:pledge.Pledge.slave_id ~query ~result
+                  (accept t ~served_by:pledge.Pledge.slave_id ~query ~request ~result
                      ~version:(Pledge.version pledge) ~start ~retries ~double_checked:false
                      ~caught)
               end
@@ -456,9 +482,10 @@ let rec single_attempt t ~query ~dc_probability ~start ~retries ~caught ~on_done
 
 (* -- quorum reads (§4, second variant) -------------------------------- *)
 
-let rec quorum_attempt t ~query ~k ~dc_probability ~start ~retries ~caught ~on_done =
+let rec quorum_attempt t ~query ~request ~k ~dc_probability ~start ~retries ~caught
+    ~on_done =
   if retries > t.config.Config.read_retry_limit then
-    exhausted t ~query ~start ~retries ~caught ~on_done
+    exhausted t ~query ~request ~start ~retries ~caught ~on_done
   else begin
     let candidates =
       List.filter (fun s -> not (is_quarantined t ~slave_id:s)) (t.env.quorum_candidates ())
@@ -466,7 +493,7 @@ let rec quorum_attempt t ~query ~k ~dc_probability ~start ~retries ~caught ~on_d
     let targets = List.filteri (fun i _ -> i < k) candidates in
     if List.length targets < k then
       (* Not enough distinct healthy slaves; degrade to the base protocol. *)
-      single_attempt t ~query ~dc_probability ~start ~retries ~caught ~on_done
+      single_attempt t ~query ~request ~dc_probability ~start ~retries ~caught ~on_done
     else begin
       let settled = ref false in
       let replies = ref [] in
@@ -477,8 +504,8 @@ let rec quorum_attempt t ~query ~k ~dc_probability ~start ~retries ~caught ~on_d
           t.env.reconnect ~avoid:(quarantined t);
           Stats.incr t.stats "client.read_retries";
           t.env.schedule ~delay:(backoff_delay t ~retries) (fun () ->
-              quorum_attempt t ~query ~k ~dc_probability ~start ~retries:(retries + 1)
-                ~caught ~on_done)
+              quorum_attempt t ~query ~request ~k ~dc_probability ~start
+                ~retries:(retries + 1) ~caught ~on_done)
         end
       in
       t.env.schedule ~delay:(read_timeout t) (fun () ->
@@ -513,6 +540,7 @@ let rec quorum_attempt t ~query ~k ~dc_probability ~start ~retries ~caught ~on_d
                         (Event.Pledge_verified
                            {
                              client = t.id;
+                             request;
                              slave = slave_id;
                              version = Pledge.version pledge;
                              ok = true;
@@ -524,6 +552,7 @@ let rec quorum_attempt t ~query ~k ~dc_probability ~start ~retries ~caught ~on_d
                         (Event.Pledge_verified
                            {
                              client = t.id;
+                             request;
                              slave = slave_id;
                              version = Pledge.version pledge;
                              ok = false;
@@ -553,7 +582,12 @@ let rec quorum_attempt t ~query ~k ~dc_probability ~start ~retries ~caught ~on_d
                       let dc_event outcome =
                         emit t
                           (Event.Double_check
-                             { client = t.id; slave = first_pledge.Pledge.slave_id; outcome })
+                             {
+                               client = t.id;
+                               request;
+                               slave = first_pledge.Pledge.slave_id;
+                               outcome;
+                             })
                       in
                       match dc with
                       | Master.Throttled ->
@@ -561,7 +595,7 @@ let rec quorum_attempt t ~query ~k ~dc_probability ~start ~retries ~caught ~on_d
                         settled := true;
                         List.iter (fun (_, _, p) -> t.env.forward_pledge p) valid;
                         on_done
-                          (accept t ~served_by:first_pledge.Pledge.slave_id ~query
+                          (accept t ~served_by:first_pledge.Pledge.slave_id ~query ~request
                              ~result:first_result ~version:(Pledge.version first_pledge)
                              ~start ~retries ~double_checked:false ~caught)
                       | Master.Checked { digest; version } ->
@@ -573,7 +607,7 @@ let rec quorum_attempt t ~query ~k ~dc_probability ~start ~retries ~caught ~on_d
                           dc_event Event.Passed;
                           on_done
                             (accept t ~served_by:first_pledge.Pledge.slave_id ~query
-                               ~result:first_result ~version ~start ~retries
+                               ~request ~result:first_result ~version ~start ~retries
                                ~double_checked:true ~caught)
                         end
                         else begin
@@ -589,7 +623,7 @@ let rec quorum_attempt t ~query ~k ~dc_probability ~start ~retries ~caught ~on_d
                 settled := true;
                 List.iter (fun (_, _, p) -> t.env.forward_pledge p) valid;
                 on_done
-                  (accept t ~served_by:first_pledge.Pledge.slave_id ~query
+                  (accept t ~served_by:first_pledge.Pledge.slave_id ~query ~request
                      ~result:first_result ~version:(Pledge.version first_pledge) ~start
                      ~retries ~double_checked:false ~caught)
               end
@@ -632,8 +666,8 @@ let rec quorum_attempt t ~query ~k ~dc_probability ~start ~retries ~caught ~on_d
                           | [] -> caught
                         in
                         on_done
-                          (accept t ~served_by:pledge.Pledge.slave_id ~query ~result
-                             ~version:(Pledge.version pledge) ~start ~retries
+                          (accept t ~served_by:pledge.Pledge.slave_id ~query ~request
+                             ~result ~version:(Pledge.version pledge) ~start ~retries
                              ~double_checked:true ~caught)
                       | None ->
                         let caught =
@@ -648,7 +682,7 @@ let rec quorum_attempt t ~query ~k ~dc_probability ~start ~retries ~caught ~on_d
       in
       List.iter
         (fun slave_id ->
-          t.env.send_read_to ~slave_id ~query ~reply:(fun reply ->
+          t.env.send_read_to ~slave_id ~request ~query ~reply:(fun reply ->
               if not !settled then begin
                 replies := (slave_id, reply) :: !replies;
                 decr outstanding;
@@ -658,25 +692,33 @@ let rec quorum_attempt t ~query ~k ~dc_probability ~start ~retries ~caught ~on_d
     end
   end
 
+(* Request ids are globally unique and decodable: client 3's 14th read
+   is 3_000_014.  They key the causal lineage the monitor folds over. *)
+let request_id_stride = 1_000_000
+
 let read t ?(level = Security_level.Normal) ?(mode = Single) query ~on_done =
   t.reads_issued <- t.reads_issued + 1;
+  let request = (t.id * request_id_stride) + t.reads_issued in
   Stats.incr t.stats "client.reads_issued";
   let base = t.config.Config.double_check_probability in
   let mode_tag =
     if Security_level.executes_on_master ~base level then "sensitive"
     else match mode with Single -> "single" | Quorum k -> Printf.sprintf "quorum-%d" k
   in
-  emit t (Event.Read_issued { client = t.id; mode = mode_tag });
-  if Security_level.executes_on_master ~base level then sensitive_read t query ~on_done
+  emit t (Event.Read_issued { client = t.id; request; mode = mode_tag });
+  if Security_level.executes_on_master ~base level then
+    sensitive_read t query ~request ~on_done
   else begin
     let dc_probability = Security_level.double_check_probability ~base level in
     let start = t.env.now () in
     match mode with
     | Single ->
-      single_attempt t ~query ~dc_probability ~start ~retries:0 ~caught:None ~on_done
+      single_attempt t ~query ~request ~dc_probability ~start ~retries:0 ~caught:None
+        ~on_done
     | Quorum k ->
       if k < 1 then invalid_arg "Client.read: quorum size must be at least 1";
-      quorum_attempt t ~query ~k ~dc_probability ~start ~retries:0 ~caught:None ~on_done
+      quorum_attempt t ~query ~request ~k ~dc_probability ~start ~retries:0 ~caught:None
+        ~on_done
   end
 
 let write t op ~on_done =

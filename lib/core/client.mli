@@ -18,6 +18,9 @@ type read_mode =
 
 type read_report = {
   query : Secrep_store.Query.t;
+  request : int;
+      (** causal lineage id: [client_id * 1_000_000 + per-client seq];
+          stamped on every event this read generated *)
   outcome :
     [ `Accepted of Secrep_store.Query_result.t
     | `Served_by_master of Secrep_store.Query_result.t
@@ -40,9 +43,13 @@ type env = {
   slave_public : unit -> Secrep_crypto.Sig_scheme.public;
   master_public : unit -> Secrep_crypto.Sig_scheme.public;
   send_read :
-    query:Secrep_store.Query.t -> reply:(Slave.read_reply option -> unit) -> unit;
+    request:int ->
+    query:Secrep_store.Query.t ->
+    reply:(Slave.read_reply option -> unit) ->
+    unit;
   send_read_to :
     slave_id:int ->
+    request:int ->
     query:Secrep_store.Query.t ->
     reply:(Slave.read_reply option -> unit) ->
     unit;
@@ -83,6 +90,10 @@ val create :
     clients pick their own freshness bound. *)
 
 val id : t -> int
+
+val request_id_stride : int
+(** Request ids are [client_id * request_id_stride + seq] (seq is
+    1-based), so tooling can decode the issuing client from a bare id. *)
 
 val read :
   t ->

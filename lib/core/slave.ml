@@ -19,6 +19,7 @@ type read_reply = { result : Query_result.t; pledge : Pledge.t }
 (* One read waiting in a pledge batch: everything needed to build its
    Merkle leaf and, after the root is signed, its reply. *)
 type intent = {
+  i_request : int;  (* lineage id of the read this pledge answers *)
   i_query : Query.t;
   i_result : Query_result.t;
   i_digest : string;
@@ -229,7 +230,12 @@ let flush_batch t =
               Stats.incr t.stats "slave.reads_served";
               emit t
                 (Event.Pledge_signed
-                   { slave = t.id; version = Pledge.version pledge; lied = i.i_lied });
+                   {
+                     slave = t.id;
+                     request = i.i_request;
+                     version = Pledge.version pledge;
+                     lied = i.i_lied;
+                   });
               i.i_reply (Some { result = i.i_result; pledge }))
             intents
         end)
@@ -247,7 +253,7 @@ let enqueue_intent t intent =
            if t.batch_gen = gen then flush_batch t))
   end
 
-let handle_read t ~client:_ ~query ~reply =
+let handle_read t ~client:_ ~request ~query ~reply =
   let now = Sim.now t.sim in
   if t.excluded then reply None
   else begin
@@ -298,6 +304,7 @@ let handle_read t ~client:_ ~query ~reply =
                   | None ->
                     enqueue_intent t
                       {
+                        i_request = request;
                         i_query = query;
                         i_result = result;
                         i_digest = honest_digest;
@@ -314,6 +321,7 @@ let handle_read t ~client:_ ~query ~reply =
                       | Fault.Omit_result -> assert false
                       | Fault.Bad_signature ->
                         {
+                          i_request = request;
                           i_query = query;
                           i_result = result;
                           i_digest = honest_digest;
@@ -325,6 +333,7 @@ let handle_read t ~client:_ ~query ~reply =
                       | Fault.Corrupt_result | Fault.Collude _ ->
                         let fake = fabricated_result t ~mode ~query in
                         {
+                          i_request = request;
                           i_query = query;
                           i_result = fake;
                           i_digest = Canonical.result_digest fake;
@@ -337,6 +346,7 @@ let handle_read t ~client:_ ~query ~reply =
                         (* Honest-looking reply over frozen state *is*
                            the lie (see [dropping_updates]). *)
                         {
+                          i_request = request;
                           i_query = query;
                           i_result = result;
                           i_digest = honest_digest;
@@ -370,7 +380,7 @@ let handle_read t ~client:_ ~query ~reply =
                   Stats.incr t.stats "slave.signatures";
                   emit t
                     (Event.Pledge_signed
-                       { slave = t.id; version = Pledge.version pledge; lied = false });
+                       { slave = t.id; request; version = Pledge.version pledge; lied = false });
                   reply (Some { result; pledge })
                 | Some mode ->
                   t.lies_told <- t.lies_told + 1;
@@ -382,7 +392,12 @@ let handle_read t ~client:_ ~query ~reply =
                     Stats.incr t.stats "slave.signatures";
                     emit t
                       (Event.Pledge_signed
-                         { slave = t.id; version = keepalive.Keepalive.version; lied = true }));
+                         {
+                           slave = t.id;
+                           request;
+                           version = keepalive.Keepalive.version;
+                           lied = true;
+                         }));
                   (match mode with
                   | Fault.Omit_result -> () (* silence; the client times out *)
                   | Fault.Bad_signature ->

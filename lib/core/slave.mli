@@ -47,10 +47,17 @@ val on_resync_needed : t -> (slave_id:int -> from_version:int -> unit) -> unit
     gap. *)
 
 val handle_read :
-  t -> client:int -> query:Secrep_store.Query.t -> reply:(read_reply option -> unit) -> unit
+  t ->
+  client:int ->
+  request:int ->
+  query:Secrep_store.Query.t ->
+  reply:(read_reply option -> unit) ->
+  unit
 (** Executes on the slave's simulated CPU (scan cost + signing cost)
     and replies through [reply].  [None] = refused (stale keep-alive
-    or excluded).  An [Omit_result] attacker never calls [reply]. *)
+    or excluded).  An [Omit_result] attacker never calls [reply].
+    [request] is the read's lineage id, stamped on the pledge events
+    it generates. *)
 
 val version : t -> int
 val latest_keepalive : t -> Keepalive.t option

@@ -298,7 +298,8 @@ and exclude_slave t ~slave_id ~discovery =
 
 let create ?(n_masters = 3) ?(slaves_per_master = 4) ?(n_clients = 10) ?(n_auditors = 1)
     ?(config = Config.default) ?(net = default_net) ?(seed = 1L) ?(trace_capacity = 4096)
-    ?(track_ground_truth = true) ?(client_max_latency = fun (_ : int) -> None) () =
+    ?span_capacity ?(track_ground_truth = true)
+    ?(client_max_latency = fun (_ : int) -> None) () =
   let config = Config.validate_exn config in
   if n_masters < 1 then invalid_arg "System.create: need at least one master";
   if slaves_per_master < 1 then invalid_arg "System.create: need at least one slave per master";
@@ -308,7 +309,7 @@ let create ?(n_masters = 3) ?(slaves_per_master = 4) ?(n_clients = 10) ?(n_audit
   let rng = Prng.create ~seed in
   let stats = Stats.create () in
   let trace = Trace.create ~capacity:trace_capacity () in
-  let spans = Span.create ~stats () in
+  let spans = Span.create ?capacity:span_capacity ~stats () in
   let content = Content_key.create config.Config.scheme (Prng.split rng) in
   let directory = Directory.create () in
   let n_slaves = n_masters * slaves_per_master in
@@ -437,13 +438,13 @@ let create ?(n_masters = 3) ?(slaves_per_master = 4) ?(n_clients = 10) ?(n_audit
         slave_public = (fun () -> Slave.public t.slaves.(t.client_slave.(id)));
         master_public = (fun () -> Master.public t.masters.(t.client_master.(id)));
         send_read =
-          (fun ~query ~reply ->
+          (fun ~request ~query ~reply ->
             let s_id = t.client_slave.(id) in
             let s = t.slaves.(s_id) in
             Stats.add t.stats "system.query_bytes"
               (String.length (Secrep_store.Codec.encode_query query));
             send t (C id) (S s_id) (fun () ->
-                Slave.handle_read s ~client:id ~query ~reply:(fun r ->
+                Slave.handle_read s ~client:id ~request ~query ~reply:(fun r ->
                     (match r with
                     | Some { Slave.result; pledge } ->
                       Stats.add t.stats "system.read_reply_bytes"
@@ -452,10 +453,10 @@ let create ?(n_masters = 3) ?(slaves_per_master = 4) ?(n_clients = 10) ?(n_audit
                     | None -> ());
                     send t (S s_id) (C id) (fun () -> reply r))));
         send_read_to =
-          (fun ~slave_id ~query ~reply ->
+          (fun ~slave_id ~request ~query ~reply ->
             let s = t.slaves.(slave_id) in
             send t (C id) (S slave_id) (fun () ->
-                Slave.handle_read s ~client:id ~query ~reply:(fun r ->
+                Slave.handle_read s ~client:id ~request ~query ~reply:(fun r ->
                     send t (S slave_id) (C id) (fun () -> reply r))));
         quorum_candidates =
           (fun () ->

@@ -30,6 +30,7 @@ val create :
   ?net:net_profile ->
   ?seed:int64 ->
   ?trace_capacity:int ->
+  ?span_capacity:int ->
   ?track_ground_truth:bool ->
   ?client_max_latency:(int -> float option) ->
   unit ->

@@ -1,0 +1,35 @@
+(** End-of-run health report: alerts + lineage summary + per-node
+    rows + harness diagnostics, renderable as text ({!pp}) or as the
+    machine-readable JSON the CI smoke job uploads ({!to_json}). *)
+
+type diagnostics = {
+  trace_capacity : int option;
+  trace_total : int option;
+  trace_wrapped : bool;  (** ring overwrote records; trace is partial *)
+  leaked_spans : (string * string * float) list;
+      (** (name, source, start) of spans started but never finished *)
+}
+
+type t = {
+  alerts : Slo.alert list;
+  active_rules : string list;  (** rules still firing at end of run *)
+  summary : Lineage.summary;
+  clients : Lineage.client_row list;
+  slaves : Lineage.slave_row list;
+  diagnostics : diagnostics;
+}
+
+val build :
+  ?trace:Secrep_sim.Trace.t ->
+  ?spans:Secrep_sim.Span.t ->
+  slo:Slo.t ->
+  lineage:Lineage.t ->
+  unit ->
+  t
+(** Call after [Slo.finalize]; finalizes [lineage] itself. *)
+
+val healthy : t -> bool
+(** No alerts were ever raised and no spans leaked. *)
+
+val to_json : t -> Secrep_sim.Export.Json.t
+val pp : Format.formatter -> t -> unit

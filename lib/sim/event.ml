@@ -2,25 +2,27 @@ type dc_outcome = Passed | Mismatch | Throttled
 
 type t =
   | Log of string
-  | Read_issued of { client : int; mode : string }
+  | Read_issued of { client : int; request : int; mode : string }
   | Read_answered of {
       client : int;
+      request : int;
       slave : int;
       outcome : string;
       version : int;
       latency : float;
     }
-  | Pledge_signed of { slave : int; version : int; lied : bool }
+  | Pledge_signed of { slave : int; request : int; version : int; lied : bool }
   | Pledge_batch_signed of { slave : int; version : int; batch : int }
   | Audit_dedup_hit of { slave : int; version : int }
   | Pledge_verified of {
       client : int;
+      request : int;
       slave : int;
       version : int;
       ok : bool;
       reason : string;
     }
-  | Double_check of { client : int; slave : int; outcome : dc_outcome }
+  | Double_check of { client : int; request : int; slave : int; outcome : dc_outcome }
   | Write_committed of { master : int; version : int }
   | Keepalive_sent of { master : int; version : int }
   | State_update_applied of { slave : int; from_version : int; to_version : int }
@@ -33,6 +35,11 @@ type t =
   | Node_crashed of { node : string }
   | Node_recovered of { node : string; version : int }
   | Net_degraded of { loss : float; latency_factor : float }
+  | Breaker_opened of { client : int; slave : int }
+  | Breaker_closed of { client : int; slave : int }
+  | Audit_overload of { backlog : int }
+  | Alert_raised of { rule : string; value : float; threshold : float }
+  | Alert_cleared of { rule : string; duration : float }
 
 type field = I of int | F of float | S of string | B of bool
 
@@ -68,6 +75,11 @@ let kind = function
   | Node_crashed _ -> "node_crashed"
   | Node_recovered _ -> "node_recovered"
   | Net_degraded _ -> "net_degraded"
+  | Breaker_opened _ -> "breaker_opened"
+  | Breaker_closed _ -> "breaker_closed"
+  | Audit_overload _ -> "audit_overload"
+  | Alert_raised _ -> "alert_raised"
+  | Alert_cleared _ -> "alert_cleared"
 
 let all_kinds =
   [
@@ -91,34 +103,47 @@ let all_kinds =
     "node_crashed";
     "node_recovered";
     "net_degraded";
+    "breaker_opened";
+    "breaker_closed";
+    "audit_overload";
+    "alert_raised";
+    "alert_cleared";
   ]
 
 let fields = function
   | Log msg -> [ ("message", S msg) ]
-  | Read_issued { client; mode } -> [ ("client", I client); ("mode", S mode) ]
-  | Read_answered { client; slave; outcome; version; latency } ->
+  | Read_issued { client; request; mode } ->
+    [ ("client", I client); ("request", I request); ("mode", S mode) ]
+  | Read_answered { client; request; slave; outcome; version; latency } ->
     [
       ("client", I client);
+      ("request", I request);
       ("slave", I slave);
       ("outcome", S outcome);
       ("version", I version);
       ("latency", F latency);
     ]
-  | Pledge_signed { slave; version; lied } ->
-    [ ("slave", I slave); ("version", I version); ("lied", B lied) ]
+  | Pledge_signed { slave; request; version; lied } ->
+    [ ("slave", I slave); ("request", I request); ("version", I version); ("lied", B lied) ]
   | Pledge_batch_signed { slave; version; batch } ->
     [ ("slave", I slave); ("version", I version); ("batch", I batch) ]
   | Audit_dedup_hit { slave; version } -> [ ("slave", I slave); ("version", I version) ]
-  | Pledge_verified { client; slave; version; ok; reason } ->
+  | Pledge_verified { client; request; slave; version; ok; reason } ->
     [
       ("client", I client);
+      ("request", I request);
       ("slave", I slave);
       ("version", I version);
       ("ok", B ok);
       ("reason", S reason);
     ]
-  | Double_check { client; slave; outcome } ->
-    [ ("client", I client); ("slave", I slave); ("outcome", S (dc_outcome_to_string outcome)) ]
+  | Double_check { client; request; slave; outcome } ->
+    [
+      ("client", I client);
+      ("request", I request);
+      ("slave", I slave);
+      ("outcome", S (dc_outcome_to_string outcome));
+    ]
   | Write_committed { master; version } -> [ ("master", I master); ("version", I version) ]
   | Keepalive_sent { master; version } -> [ ("master", I master); ("version", I version) ]
   | State_update_applied { slave; from_version; to_version } ->
@@ -134,6 +159,12 @@ let fields = function
   | Node_recovered { node; version } -> [ ("node", S node); ("version", I version) ]
   | Net_degraded { loss; latency_factor } ->
     [ ("loss", F loss); ("latency_factor", F latency_factor) ]
+  | Breaker_opened { client; slave } -> [ ("client", I client); ("slave", I slave) ]
+  | Breaker_closed { client; slave } -> [ ("client", I client); ("slave", I slave) ]
+  | Audit_overload { backlog } -> [ ("backlog", I backlog) ]
+  | Alert_raised { rule; value; threshold } ->
+    [ ("rule", S rule); ("value", F value); ("threshold", F threshold) ]
+  | Alert_cleared { rule; duration } -> [ ("rule", S rule); ("duration", F duration) ]
 
 (* -- reconstruction (the JSONL importer) ----------------------------- *)
 
@@ -166,6 +197,10 @@ let bool_field fs name =
   let* f = find_field fs name in
   match f with B b -> Ok b | _ -> Error (Printf.sprintf "field %S is not a bool" name)
 
+(* Traces written before request-id lineage lack the "request" field;
+   default it to -1 so old JSONL files still replay. *)
+let request_field fs = if List.mem_assoc "request" fs then int_field fs "request" else Ok (-1)
+
 let of_fields ~kind fs =
   match kind with
   | "log" ->
@@ -173,20 +208,23 @@ let of_fields ~kind fs =
     Ok (Log message)
   | "read_issued" ->
     let* client = int_field fs "client" in
+    let* request = request_field fs in
     let* mode = str_field fs "mode" in
-    Ok (Read_issued { client; mode })
+    Ok (Read_issued { client; request; mode })
   | "read_answered" ->
     let* client = int_field fs "client" in
+    let* request = request_field fs in
     let* slave = int_field fs "slave" in
     let* outcome = str_field fs "outcome" in
     let* version = int_field fs "version" in
     let* latency = float_field fs "latency" in
-    Ok (Read_answered { client; slave; outcome; version; latency })
+    Ok (Read_answered { client; request; slave; outcome; version; latency })
   | "pledge_signed" ->
     let* slave = int_field fs "slave" in
+    let* request = request_field fs in
     let* version = int_field fs "version" in
     let* lied = bool_field fs "lied" in
-    Ok (Pledge_signed { slave; version; lied })
+    Ok (Pledge_signed { slave; request; version; lied })
   | "pledge_batch_signed" ->
     let* slave = int_field fs "slave" in
     let* version = int_field fs "version" in
@@ -198,17 +236,19 @@ let of_fields ~kind fs =
     Ok (Audit_dedup_hit { slave; version })
   | "pledge_verified" ->
     let* client = int_field fs "client" in
+    let* request = request_field fs in
     let* slave = int_field fs "slave" in
     let* version = int_field fs "version" in
     let* ok = bool_field fs "ok" in
     let* reason = str_field fs "reason" in
-    Ok (Pledge_verified { client; slave; version; ok; reason })
+    Ok (Pledge_verified { client; request; slave; version; ok; reason })
   | "double_check" ->
     let* client = int_field fs "client" in
+    let* request = request_field fs in
     let* slave = int_field fs "slave" in
     let* outcome = str_field fs "outcome" in
     let* outcome = dc_outcome_of_string outcome in
-    Ok (Double_check { client; slave; outcome })
+    Ok (Double_check { client; request; slave; outcome })
   | "write_committed" ->
     let* master = int_field fs "master" in
     let* version = int_field fs "version" in
@@ -257,6 +297,26 @@ let of_fields ~kind fs =
     let* loss = float_field fs "loss" in
     let* latency_factor = float_field fs "latency_factor" in
     Ok (Net_degraded { loss; latency_factor })
+  | "breaker_opened" ->
+    let* client = int_field fs "client" in
+    let* slave = int_field fs "slave" in
+    Ok (Breaker_opened { client; slave })
+  | "breaker_closed" ->
+    let* client = int_field fs "client" in
+    let* slave = int_field fs "slave" in
+    Ok (Breaker_closed { client; slave })
+  | "audit_overload" ->
+    let* backlog = int_field fs "backlog" in
+    Ok (Audit_overload { backlog })
+  | "alert_raised" ->
+    let* rule = str_field fs "rule" in
+    let* value = float_field fs "value" in
+    let* threshold = float_field fs "threshold" in
+    Ok (Alert_raised { rule; value; threshold })
+  | "alert_cleared" ->
+    let* rule = str_field fs "rule" in
+    let* duration = float_field fs "duration" in
+    Ok (Alert_cleared { rule; duration })
   | k -> Error (Printf.sprintf "unknown event kind %S" k)
 
 (* -- rendering -------------------------------------------------------- *)

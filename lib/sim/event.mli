@@ -13,15 +13,18 @@ type dc_outcome =
 
 type t =
   | Log of string  (** free-form message (compat shim for string logs) *)
-  | Read_issued of { client : int; mode : string }
+  | Read_issued of { client : int; request : int; mode : string }
+      (** [request] is the causal lineage id carried through every event
+          this read generates ([-1] on traces predating lineage). *)
   | Read_answered of {
       client : int;
+      request : int;
       slave : int;  (** -1 when no slave served it (gave up / by-master) *)
       outcome : string;  (** "accepted" | "by-master" | "gave-up" *)
       version : int;
       latency : float;
     }
-  | Pledge_signed of { slave : int; version : int; lied : bool }
+  | Pledge_signed of { slave : int; request : int; version : int; lied : bool }
   | Pledge_batch_signed of { slave : int; version : int; batch : int }
       (** Slave flushed a Merkle batch of [batch] pledges under one
           signature; [version] is the keep-alive version at flush. *)
@@ -30,12 +33,13 @@ type t =
           re-executing its query. *)
   | Pledge_verified of {
       client : int;
+      request : int;
       slave : int;
       version : int;  (** content version the pledge claims (-1 if unparsable) *)
       ok : bool;
       reason : string;
     }
-  | Double_check of { client : int; slave : int; outcome : dc_outcome }
+  | Double_check of { client : int; request : int; slave : int; outcome : dc_outcome }
   | Write_committed of { master : int; version : int }
   | Keepalive_sent of { master : int; version : int }
   | State_update_applied of { slave : int; from_version : int; to_version : int }
@@ -53,6 +57,17 @@ type t =
   | Net_degraded of { loss : float; latency_factor : float }
       (** Chaos loss/latency override changed; [loss = 0.0] and
           [latency_factor = 1.0] mean the network is back to normal. *)
+  | Breaker_opened of { client : int; slave : int }
+      (** Client circuit breaker tripped after consecutive timeouts. *)
+  | Breaker_closed of { client : int; slave : int }
+      (** Breaker reset by a successful read after cooldown. *)
+  | Audit_overload of { backlog : int }
+      (** Auditor dropped a pledge: queue at capacity [backlog]. *)
+  | Alert_raised of { rule : string; value : float; threshold : float }
+      (** Online SLO rule [rule] breached: observed [value] crossed
+          [threshold] (emitted by {e Slo}, source ["slo"]). *)
+  | Alert_cleared of { rule : string; duration : float }
+      (** The alert for [rule] recovered after [duration] seconds. *)
 
 type field = I of int | F of float | S of string | B of bool
 

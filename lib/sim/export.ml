@@ -257,14 +257,16 @@ let event_line ~time ~source event =
         :: ("kind", Json.Str (Event.kind event))
         :: List.map (fun (k, v) -> (k, json_of_field v)) (Event.fields event)))
 
-let jsonl_of_trace trace =
+let jsonl_of_records records =
   let buf = Buffer.create 4096 in
   List.iter
     (fun (r : Trace.record) ->
       Buffer.add_string buf (event_line ~time:r.time ~source:r.source r.event);
       Buffer.add_char buf '\n')
-    (Trace.to_list trace);
+    records;
   Buffer.contents buf
+
+let jsonl_of_trace trace = jsonl_of_records (Trace.to_list trace)
 
 let ( let* ) = Result.bind
 

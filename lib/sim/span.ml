@@ -1,6 +1,7 @@
 type record = { name : string; source : string; start : float; duration : float; depth : int }
 
 type active = {
+  a_id : int;
   a_name : string;
   a_source : string;
   a_start : float;
@@ -16,6 +17,8 @@ type t = {
   stats : Stats.t option;
   open_by_source : (string, int) Hashtbl.t;
   mutable open_count : int;
+  mutable next_id : int;
+  live : (int, active) Hashtbl.t;
 }
 
 let create ?(capacity = 4096) ?stats () =
@@ -28,6 +31,8 @@ let create ?(capacity = 4096) ?stats () =
     stats;
     open_by_source = Hashtbl.create 16;
     open_count = 0;
+    next_id = 0;
+    live = Hashtbl.create 16;
   }
 
 let histogram_name name = "span." ^ name
@@ -51,13 +56,26 @@ let start t ~now ~source name =
   let depth = depth_of t source in
   Hashtbl.replace t.open_by_source source (depth + 1);
   t.open_count <- t.open_count + 1;
-  { a_name = name; a_source = source; a_start = now; a_depth = depth; a_finished = false }
+  let a =
+    {
+      a_id = t.next_id;
+      a_name = name;
+      a_source = source;
+      a_start = now;
+      a_depth = depth;
+      a_finished = false;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  Hashtbl.replace t.live a.a_id a;
+  a
 
 let finish t a ~now =
   if a.a_finished then invalid_arg "Span.finish: span already finished";
   if now < a.a_start then invalid_arg "Span.finish: clock went backwards";
   a.a_finished <- true;
   t.open_count <- t.open_count - 1;
+  Hashtbl.remove t.live a.a_id;
   (match Hashtbl.find_opt t.open_by_source a.a_source with
   | Some d when d > 1 -> Hashtbl.replace t.open_by_source a.a_source (d - 1)
   | Some _ -> Hashtbl.remove t.open_by_source a.a_source
@@ -74,6 +92,12 @@ let finish t a ~now =
 let size t = min t.total t.capacity
 let total_finished t = t.total
 let active_count t = t.open_count
+let capacity t = t.capacity
+
+let leaked t =
+  Hashtbl.fold (fun _ a acc -> (a.a_start, a.a_name, a.a_source) :: acc) t.live []
+  |> List.sort compare
+  |> List.map (fun (start, name, source) -> (name, source, start))
 
 let finished t =
   let n = size t in

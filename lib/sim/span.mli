@@ -42,6 +42,16 @@ val size : t -> int
 val total_finished : t -> int
 val active_count : t -> int
 
+val capacity : t -> int
+(** Ring capacity for finished spans. *)
+
+val leaked : t -> (string * string * float) list
+(** Started-but-never-finished spans as [(name, source, start)],
+    ordered by start time.  A non-empty list at end of run means a
+    completion callback was dropped (e.g. a reply lost to a crash) —
+    the end-of-run health report prints these instead of silently
+    discarding them. *)
+
 val finished : t -> record list
 (** Oldest first (of what is still retained). *)
 

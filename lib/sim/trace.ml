@@ -25,6 +25,8 @@ let log t ~time ~source msg = emit t ~time ~source (Event.Log msg)
 
 let size t = min t.total t.capacity
 let total_logged t = t.total
+let capacity t = t.capacity
+let wrapped t = t.total > t.capacity
 
 let to_list t =
   let n = size t in

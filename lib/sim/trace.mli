@@ -21,8 +21,12 @@ val on_emit : t -> (record -> unit) -> unit
 (** Subscribe to the live event stream: [f] runs synchronously on
     every subsequent {!emit}, before the record can be overwritten by
     the ring.  This is how the fuzz harness captures complete event
-    streams regardless of the ring capacity.  Subscribers fire in
-    registration order and must not emit into the same trace. *)
+    streams regardless of the ring capacity, and how the SLO monitor
+    evaluates rules online.  Subscribers fire in registration order.
+    A subscriber may itself emit into the same trace (the SLO engine
+    emits [Alert_raised] this way) — the nested record is delivered to
+    every subscriber too, so a subscriber must not emit in response to
+    its own emissions or delivery will never terminate. *)
 
 val log : t -> time:float -> source:string -> string -> unit
 (** [log t ~time ~source msg] = [emit t ~time ~source (Event.Log msg)]. *)
@@ -32,6 +36,12 @@ val size : t -> int
 
 val total_logged : t -> int
 (** Records ever emitted, including those the ring has overwritten. *)
+
+val capacity : t -> int
+
+val wrapped : t -> bool
+(** [total_logged t > capacity t]: the ring has overwritten records,
+    so {!to_list} is a truncated view of the run. *)
 
 val to_list : t -> record list
 (** Oldest first (of what is still retained). *)

@@ -1284,7 +1284,7 @@ let test_e2e_slave_readmission () =
   let correct = ref 0 in
   let s = System.slave system victim in
   for _ = 1 to 3 do
-    Slave.handle_read s ~client:0 ~query:(Query.point_read "item:001")
+    Slave.handle_read s ~client:0 ~request:(-1) ~query:(Query.point_read "item:001")
       ~reply:(fun r ->
         match r with
         | Some { Slave.result; _ } ->

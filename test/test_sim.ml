@@ -520,7 +520,7 @@ let test_trace_wraparound_accounting () =
   let tr = Trace.create ~capacity () in
   let n = 100 in
   for i = 1 to n do
-    Trace.emit tr ~time:(float_of_int i) ~source:"s" (Event.Read_issued { client = i; mode = "single" })
+    Trace.emit tr ~time:(float_of_int i) ~source:"s" (Event.Read_issued { client = i; request = i; mode = "single" })
   done;
   check int_t "size = capacity" capacity (Trace.size tr);
   check int_t "total_logged = all emits" n (Trace.total_logged tr);
@@ -536,10 +536,10 @@ let test_trace_wraparound_accounting () =
 
 let test_trace_typed_queries () =
   let tr = Trace.create () in
-  Trace.emit tr ~time:1.0 ~source:"client-0" (Event.Read_issued { client = 0; mode = "single" });
+  Trace.emit tr ~time:1.0 ~source:"client-0" (Event.Read_issued { client = 0; request = 1; mode = "single" });
   Trace.emit tr ~time:2.0 ~source:"slave-1"
-    (Event.Pledge_signed { slave = 1; version = 3; lied = true });
-  Trace.emit tr ~time:3.0 ~source:"client-0" (Event.Read_issued { client = 0; mode = "quorum-2" });
+    (Event.Pledge_signed { slave = 1; request = 1; version = 3; lied = true });
+  Trace.emit tr ~time:3.0 ~source:"client-0" (Event.Read_issued { client = 0; request = 2; mode = "quorum-2" });
   check int_t "count_kind" 2 (Trace.count_kind tr ~kind:"read_issued");
   check (Alcotest.list Alcotest.string) "distinct kinds sorted"
     [ "pledge_signed"; "read_issued" ] (Trace.kinds tr)
@@ -549,15 +549,29 @@ let test_trace_typed_queries () =
 let sample_events =
   [
     Event.Log "free-form";
-    Event.Read_issued { client = 3; mode = "quorum-2" };
+    Event.Read_issued { client = 3; request = 3_000_001; mode = "quorum-2" };
     Event.Read_answered
-      { client = 3; slave = 7; outcome = "accepted"; version = 12; latency = 0.034 };
-    Event.Pledge_signed { slave = 7; version = 12; lied = false };
+      {
+        client = 3;
+        request = 3_000_001;
+        slave = 7;
+        outcome = "accepted";
+        version = 12;
+        latency = 0.034;
+      };
+    Event.Pledge_signed { slave = 7; request = 3_000_001; version = 12; lied = false };
     Event.Pledge_batch_signed { slave = 7; version = 12; batch = 8 };
     Event.Audit_dedup_hit { slave = 7; version = 12 };
     Event.Pledge_verified
-      { client = 3; slave = 7; version = 12; ok = false; reason = "stale keepalive" };
-    Event.Double_check { client = 3; slave = 7; outcome = Event.Mismatch };
+      {
+        client = 3;
+        request = 3_000_001;
+        slave = 7;
+        version = 12;
+        ok = false;
+        reason = "stale keepalive";
+      };
+    Event.Double_check { client = 3; request = 3_000_001; slave = 7; outcome = Event.Mismatch };
     Event.Write_committed { master = 1; version = 13 };
     Event.Keepalive_sent { master = 1; version = 13 };
     Event.State_update_applied { slave = 7; from_version = 12; to_version = 13 };
@@ -570,6 +584,11 @@ let sample_events =
     Event.Node_crashed { node = "slave-7" };
     Event.Node_recovered { node = "slave-7"; version = 13 };
     Event.Net_degraded { loss = 0.2; latency_factor = 4.0 };
+    Event.Breaker_opened { client = 3; slave = 7 };
+    Event.Breaker_closed { client = 3; slave = 7 };
+    Event.Audit_overload { backlog = 100000 };
+    Event.Alert_raised { rule = "staleness"; value = 6.2; threshold = 5.0 };
+    Event.Alert_cleared { rule = "staleness"; duration = 12.5 };
   ]
 
 let test_event_fields_roundtrip () =
@@ -647,7 +666,7 @@ let test_export_jsonl_roundtrip () =
 
 let test_export_chrome_parses () =
   let tr = Trace.create () in
-  Trace.emit tr ~time:1.0 ~source:"client-0" (Event.Read_issued { client = 0; mode = "single" });
+  Trace.emit tr ~time:1.0 ~source:"client-0" (Event.Read_issued { client = 0; request = 1; mode = "single" });
   let sp = Span.create () in
   Span.record sp ~source:"slave-0" ~start:1.0 ~duration:0.25 "query_eval";
   let json = Export.chrome_of ~spans:sp ~trace:tr () in
@@ -694,6 +713,168 @@ let test_export_prometheus () =
   check bool_t "p50 label" true (has "secrep_span_verify{quantile=\"0.50\"} 0.050000");
   check bool_t "p99 label" true (has "secrep_span_verify{quantile=\"0.99\"} 0.099000");
   check bool_t "count line" true (has "secrep_span_verify_count 100")
+
+(* ---------------- Rolling ---------------- *)
+
+let test_rolling_empty () =
+  let r = Rolling.create ~window:10.0 () in
+  check int_t "count" 0 (Rolling.count r);
+  check float_t "sum" 0.0 (Rolling.sum r);
+  check (Alcotest.option float_t) "mean" None (Rolling.mean r);
+  check (Alcotest.option float_t) "percentile" None (Rolling.percentile r 99.0);
+  check float_t "window" 10.0 (Rolling.window r)
+
+let test_rolling_single_sample () =
+  let r = Rolling.create ~window:10.0 () in
+  Rolling.record r ~time:1.0 4.0;
+  check int_t "count" 1 (Rolling.count r);
+  check (Alcotest.option float_t) "mean" (Some 4.0) (Rolling.mean r);
+  check (Alcotest.option float_t) "p0 = p100 = the sample" (Some 4.0)
+    (Rolling.percentile r 0.0);
+  check (Alcotest.option float_t) "p100" (Some 4.0) (Rolling.percentile r 100.0)
+
+let test_rolling_eviction () =
+  let r = Rolling.create ~window:5.0 () in
+  Rolling.record r ~time:0.0 1.0;
+  Rolling.record r ~time:2.0 2.0;
+  Rolling.record r ~time:4.0 3.0;
+  check int_t "all inside window" 3 (Rolling.count r);
+  (* advancing to 6 evicts the t=0 sample ((6 - 5) > 0) only *)
+  Rolling.advance r ~now:6.0;
+  check int_t "one evicted" 2 (Rolling.count r);
+  check float_t "sum follows" 5.0 (Rolling.sum r);
+  check (Alcotest.option float_t) "mean follows" (Some 2.5) (Rolling.mean r);
+  Rolling.advance r ~now:100.0;
+  check int_t "all evicted" 0 (Rolling.count r);
+  check (Alcotest.option float_t) "empty again" None (Rolling.mean r)
+
+let test_rolling_record_evicts_too () =
+  let r = Rolling.create ~window:5.0 () in
+  Rolling.record r ~time:0.0 1.0;
+  (* recording far in the future evicts the stale sample on the way in *)
+  Rolling.record r ~time:20.0 7.0;
+  check int_t "stale sample gone" 1 (Rolling.count r);
+  check (Alcotest.option float_t) "only the fresh one" (Some 7.0) (Rolling.mean r)
+
+let test_rolling_out_of_order () =
+  let r = Rolling.create ~window:5.0 () in
+  Rolling.record r ~time:3.0 1.0;
+  Alcotest.check_raises "time goes backwards"
+    (Invalid_argument "Rolling.record: time went backwards") (fun () ->
+      Rolling.record r ~time:2.0 1.0);
+  (* equal timestamps are fine (several events in the same sim instant) *)
+  Rolling.record r ~time:3.0 2.0;
+  check int_t "tie accepted" 2 (Rolling.count r)
+
+let test_rolling_percentile () =
+  let r = Rolling.create ~window:1000.0 () in
+  for i = 1 to 100 do
+    Rolling.record r ~time:(float_of_int i) (float_of_int i)
+  done;
+  check (Alcotest.option float_t) "p50 nearest-rank" (Some 50.0) (Rolling.percentile r 50.0);
+  check (Alcotest.option float_t) "p99" (Some 99.0) (Rolling.percentile r 99.0);
+  check (Alcotest.option float_t) "p100" (Some 100.0) (Rolling.percentile r 100.0);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Rolling.percentile: p outside [0,100]") (fun () ->
+      ignore (Rolling.percentile r 101.0))
+
+(* ---------------- Timeseries (aggregation edges) ---------------- *)
+
+let test_timeseries_empty_edges () =
+  let ts = Timeseries.create () in
+  check int_t "empty length" 0 (Timeseries.length ts);
+  check (Alcotest.option (Alcotest.pair float_t float_t)) "empty last" None
+    (Timeseries.last ts);
+  check (Alcotest.option float_t) "empty max" None (Timeseries.max_value ts);
+  check int_t "empty downsample" 0 (Array.length (Timeseries.downsample ts ~buckets:5))
+
+let test_timeseries_single_point () =
+  let ts = Timeseries.create () in
+  Timeseries.record ts ~time:2.0 7.0;
+  check (Alcotest.option float_t) "max" (Some 7.0) (Timeseries.max_value ts);
+  let b = Timeseries.downsample ts ~buckets:4 in
+  check int_t "one occupied bucket" 1 (Array.length b);
+  check float_t "bucket mean is the point" 7.0 (snd b.(0));
+  (* equal timestamps accepted, strictly earlier rejected *)
+  Timeseries.record ts ~time:2.0 8.0;
+  check int_t "tie accepted" 2 (Timeseries.length ts)
+
+(* ---------------- Span leaks ---------------- *)
+
+let test_span_leak_reporting () =
+  let sp = Span.create ~capacity:8 () in
+  check int_t "capacity" 8 (Span.capacity sp);
+  let a = Span.start sp ~now:1.0 ~source:"slave-0" "audit" in
+  let _leaked = Span.start sp ~now:2.0 ~source:"client-1" "verify" in
+  Span.finish sp a ~now:3.0;
+  check int_t "one live" 1 (Span.active_count sp);
+  (match Span.leaked sp with
+  | [ ("verify", "client-1", start) ] -> check float_t "leak start" 2.0 start
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 leak, got %d" (List.length l)));
+  (* sorted by start time when several leak *)
+  let _l2 = Span.start sp ~now:0.5 ~source:"x" "early" in
+  (match Span.leaked sp with
+  | [ ("early", _, _); ("verify", _, _) ] -> ()
+  | _ -> Alcotest.fail "leaks not sorted by start")
+
+(* ---------------- Export: alert events ---------------- *)
+
+let test_export_alert_golden () =
+  (* Stable field ordering + float rendering: these exact lines are the
+     wire format downstream tooling greps, pinned as goldens. *)
+  let raised = Event.Alert_raised { rule = "staleness"; value = 6.2; threshold = 5.0 } in
+  check Alcotest.string "alert_raised line"
+    {|{"ts":7.250000000,"source":"slo","kind":"alert_raised","rule":"staleness","value":6.200000000,"threshold":5.0}|}
+    (Export.event_line ~time:7.25 ~source:"slo" raised);
+  let cleared = Event.Alert_cleared { rule = "read-latency"; duration = 12.5 } in
+  check Alcotest.string "alert_cleared line"
+    {|{"ts":30.0,"source":"slo","kind":"alert_cleared","rule":"read-latency","duration":12.500000000}|}
+    (Export.event_line ~time:30.0 ~source:"slo" cleared);
+  (* label escaping: a hostile rule name survives the round-trip *)
+  let hostile = Event.Alert_raised { rule = {|ru"le\n|}; value = 1.0; threshold = 0.0 } in
+  match Export.record_of_line (Export.event_line ~time:1.0 ~source:"slo" hostile) with
+  | Ok r -> check bool_t "hostile rule round-trips" true (r.Trace.event = hostile)
+  | Error msg -> Alcotest.fail msg
+
+let test_export_alert_all_formats () =
+  (* Alert events survive every --trace-format: jsonl round-trips and
+     chrome renders them as instants on the "slo" thread. *)
+  let tr = Trace.create () in
+  Trace.emit tr ~time:1.0 ~source:"slo"
+    (Event.Alert_raised { rule = "availability"; value = 4.0; threshold = 2.0 });
+  Trace.emit tr ~time:9.0 ~source:"slo"
+    (Event.Alert_cleared { rule = "availability"; duration = 8.0 });
+  let lines = String.split_on_char '\n' (String.trim (Export.jsonl_of_trace tr)) in
+  List.iter
+    (fun line ->
+      match Export.record_of_line line with
+      | Ok r -> check Alcotest.string "source" "slo" r.Trace.source
+      | Error msg -> Alcotest.fail msg)
+    lines;
+  match Export.Json.parse (Export.chrome_of ~trace:tr ()) with
+  | Error msg -> Alcotest.fail msg
+  | Ok doc -> begin
+    match Export.Json.member "traceEvents" doc with
+    | Some (Export.Json.Arr events) ->
+      let instants =
+        List.filter
+          (fun e ->
+            match Export.Json.member "ph" e with
+            | Some (Export.Json.Str "i") -> true
+            | _ -> false)
+          events
+      in
+      check int_t "two instants" 2 (List.length instants);
+      List.iter
+        (fun e ->
+          match Export.Json.member "name" e with
+          | Some (Export.Json.Str name) ->
+            check bool_t "instant named after the alert kind" true
+              (name = "alert_raised" || name = "alert_cleared")
+          | _ -> Alcotest.fail "instant missing name")
+        instants
+    | _ -> Alcotest.fail "missing traceEvents array"
+  end
 
 let test_export_json_parser () =
   let ok s = match Export.Json.parse s with Ok v -> Some v | Error _ -> None in
@@ -767,10 +948,21 @@ let () =
           prop_histogram_percentile_bounds;
         ] );
       ("stats", [ Alcotest.test_case "counters/gauges/histograms" `Quick test_stats_counters ]);
+      ( "rolling",
+        [
+          Alcotest.test_case "empty window" `Quick test_rolling_empty;
+          Alcotest.test_case "single sample" `Quick test_rolling_single_sample;
+          Alcotest.test_case "eviction" `Quick test_rolling_eviction;
+          Alcotest.test_case "record evicts stale" `Quick test_rolling_record_evicts_too;
+          Alcotest.test_case "out-of-order guard" `Quick test_rolling_out_of_order;
+          Alcotest.test_case "percentile nearest-rank" `Quick test_rolling_percentile;
+        ] );
       ( "timeseries",
         [
           Alcotest.test_case "basics" `Quick test_timeseries_basic;
           Alcotest.test_case "downsample" `Quick test_timeseries_downsample;
+          Alcotest.test_case "empty edges" `Quick test_timeseries_empty_edges;
+          Alcotest.test_case "single point" `Quick test_timeseries_single_point;
         ] );
       ( "trace",
         [
@@ -783,6 +975,7 @@ let () =
         [
           Alcotest.test_case "nesting and durations" `Quick test_span_nesting_and_durations;
           Alcotest.test_case "record and errors" `Quick test_span_record_and_errors;
+          Alcotest.test_case "leak reporting" `Quick test_span_leak_reporting;
         ] );
       ( "export",
         [
@@ -790,5 +983,7 @@ let () =
           Alcotest.test_case "chrome trace parses" `Quick test_export_chrome_parses;
           Alcotest.test_case "prometheus text" `Quick test_export_prometheus;
           Alcotest.test_case "json parser" `Quick test_export_json_parser;
+          Alcotest.test_case "alert golden lines" `Quick test_export_alert_golden;
+          Alcotest.test_case "alerts in every format" `Quick test_export_alert_all_formats;
         ] );
     ]
