@@ -23,6 +23,8 @@ let experiments =
      Secrep_experiments.Exp10_churn.run);
     ("e11", "deduplicated audit re-execution + Merkle-batched pledge signing",
      Secrep_experiments.Exp11_audit.run);
+    ("e12", "sharded content plane: throughput + detection vs shard count",
+     Secrep_experiments.Exp12_shard.run);
     ("micro", "primitive micro-benchmarks (bechamel)", Secrep_experiments.Micro.run);
   ]
 

@@ -253,12 +253,197 @@ let run_simulation ~masters ~slaves_per_master ~clients ~items ~duration ~read_r
   | None -> ()
   | Some path -> write_out path (Export.prometheus_of_stats stats)
 
+(* -- sharded run --------------------------------------------------------
+
+   [--shards K] (K > 1) swaps the single system for a
+   [Secrep_shard.Deployment]: K content items over one host pool, a
+   cross-shard Zipf workload with a diurnal skew rotation, per-shard
+   SLO monitors and a shard-tagged JSONL trace. *)
+
+module Deployment = Secrep_shard.Deployment
+module Cross = Secrep_workload.Cross
+
+let run_sharded_simulation ~shards ~masters ~replication_factor ~clients ~items ~duration
+    ~read_rate ~write_rate ~double_check_p ~max_latency ~keepalive ~audit ~malicious
+    ~lie_prob ~lie_mode ~lie_from ~seed ~csv ~trace_out ~trace_format ~slo ~slo_out =
+  if trace_format <> "jsonl" then begin
+    Printf.eprintf "only --trace-format jsonl is supported with --shards > 1\n";
+    exit 2
+  end;
+  let config =
+    Config.validate_exn
+      {
+        Config.default with
+        Config.max_latency;
+        keepalive_period = keepalive;
+        double_check_probability = double_check_p;
+        audit_enabled = audit;
+      }
+  in
+  let d =
+    Deployment.create ~n_shards:shards ~n_masters:masters ~replication_factor
+      ~n_clients:clients ~config ~seed:(Int64.of_int seed) ~items_per_shard:items ()
+  in
+  let monitors =
+    if slo || slo_out <> None then
+      Some (Array.init shards (fun i -> attach_monitoring (Deployment.system d i) ~config))
+    else None
+  in
+  let tagged_rev = ref [] in
+  if trace_out <> None then
+    Deployment.on_event d (fun ~shard r ->
+        tagged_rev := Deployment.tagged_line ~shard r :: !tagged_rev);
+  (* the attack targets shard [slave mod K], same routing as the fuzz
+     harness, with [slave] as the local replica index *)
+  (match (malicious, lie_mode_of_string lie_mode) with
+  | Some slave, Ok mode ->
+    if slave < 0 || slave >= Deployment.replication d then begin
+      Printf.eprintf "slave %d out of range (0..%d)\n" slave (Deployment.replication d - 1);
+      exit 2
+    end;
+    System.set_slave_behavior
+      (Deployment.system d (slave mod shards))
+      ~slave
+      (Fault.Malicious { probability = lie_prob; mode; from_time = lie_from })
+  | Some _, Error msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 2
+  | None, _ -> ());
+  (* cross-shard workload: Zipf over contents (rotating hot shard) x
+     Zipf over keys within each shard's own catalogue *)
+  let issued = Array.make shards 0 in
+  let accepted = Array.make shards 0 in
+  let by_master = Array.make shards 0 in
+  let gave_up = Array.make shards 0 in
+  let on_done shard (r : Secrep_core.Client.read_report) =
+    match r.Secrep_core.Client.outcome with
+    | `Accepted _ -> accepted.(shard) <- accepted.(shard) + 1
+    | `Served_by_master _ -> by_master.(shard) <- by_master.(shard) + 1
+    | `Gave_up -> gave_up.(shard) <- gave_up.(shard) + 1
+  in
+  let g = Prng.create ~seed:(Int64.of_int (seed + 1)) in
+  let mixes =
+    Array.init shards (fun i -> Mix.create ~rng:(Prng.split g) ~keys:(Deployment.keys d i) ())
+  in
+  let pick_client = Prng.split g in
+  let cross =
+    Cross.create ~rng:(Prng.split g) ~n_shards:shards
+      ~rotate_period:(Float.max 1.0 (duration /. 4.0))
+      ()
+  in
+  List.iter
+    (fun (at, shard) ->
+      Deployment.schedule d ~shard ~time:at (fun () ->
+          issued.(shard) <- issued.(shard) + 1;
+          Deployment.read d ~shard
+            ~client:(Prng.int pick_client clients)
+            (Mix.next_query mixes.(shard))
+            ~on_done:(on_done shard)))
+    (Cross.arrivals cross ~rate:read_rate ~duration);
+  if write_rate > 0.0 then begin
+    let wcross = Cross.create ~rng:(Prng.split g) ~n_shards:shards () in
+    List.iter
+      (fun (at, shard) ->
+        Deployment.schedule d ~shard ~time:at (fun () ->
+            Deployment.write d ~shard ~client:0
+              (Mix.next_write mixes.(shard))
+              ~on_done:(fun _ -> ())))
+      (Cross.arrivals wcross ~rate:write_rate ~duration)
+  end;
+  Deployment.run_until d (duration +. (4.0 *. max_latency) +. 60.0);
+  if csv then begin
+    Printf.printf
+      "shard,reads_issued,reads_accepted,served_by_master,reads_gave_up,audited,caught,excluded\n";
+    for i = 0 to shards - 1 do
+      let sys = Deployment.system d i in
+      let auditor = System.auditor sys in
+      Printf.printf "%d,%d,%d,%d,%d,%d,%d,%s\n" i issued.(i) accepted.(i) by_master.(i)
+        gave_up.(i) (Auditor.audited auditor) (Auditor.caught auditor)
+        (String.concat ";"
+           (List.map string_of_int (Corrective.excluded (System.corrective sys))))
+    done
+  end
+  else begin
+    Printf.printf "sharded deployment summary\n";
+    Printf.printf
+      "  content plane: %d shard(s), replication %d, pool of %d host(s), %d docs/shard\n"
+      shards (Deployment.replication d) (Deployment.pool_size d) items;
+    Printf.printf "  protocol: max_latency=%.2gs keepalive=%.2gs p=%.3g audit=%b\n"
+      max_latency keepalive double_check_p audit;
+    (match malicious with
+    | Some slave ->
+      Printf.printf "  attack: slave %d of shard %d, mode %s, prob %.2g, from t=%.2gs\n"
+        slave (slave mod shards) lie_mode lie_prob lie_from
+    | None -> Printf.printf "  attack: none\n");
+    for i = 0 to shards - 1 do
+      let sys = Deployment.system d i in
+      let auditor = System.auditor sys in
+      Printf.printf
+        "  shard %d: reads %d (accepted %d, by-master %d, gave up %d); audited %d, caught \
+         %d; excluded [%s]; hosts [%s]\n"
+        i issued.(i) accepted.(i) by_master.(i) gave_up.(i) (Auditor.audited auditor)
+        (Auditor.caught auditor)
+        (String.concat "; "
+           (List.map string_of_int (Corrective.excluded (System.corrective sys))))
+        (String.concat "; "
+           (List.map string_of_int (Array.to_list (Deployment.hosts_of_shard d i))))
+    done;
+    Printf.printf "  totals: %d reads issued, %d accepted, audit backlog %d\n"
+      (Array.fold_left ( + ) 0 issued)
+      (Array.fold_left ( + ) 0 accepted)
+      (Deployment.audit_backlog d)
+  end;
+  (match monitors with
+  | None -> ()
+  | Some ms ->
+    let lines = ref [] in
+    Array.iteri
+      (fun i m ->
+        let sys = Deployment.system d i in
+        Slo.finalize m.m_slo ~now:(Secrep_sim.Sim.now (System.sim sys));
+        let health =
+          Health.build ~trace:(System.trace sys) ~spans:(System.spans sys) ~slo:m.m_slo
+            ~lineage:m.m_lineage ()
+        in
+        if not csv then Format.printf "@.-- shard %d --@.%a" i Health.pp health;
+        lines :=
+          Export.Json.to_string
+            (Export.Json.Obj
+               [ ("shard", Export.Json.Int i); ("health", Health.to_json health) ])
+          :: !lines)
+      ms;
+    match slo_out with
+    | None -> ()
+    | Some path -> write_out path (String.concat "\n" (List.rev !lines) ^ "\n"));
+  match trace_out with
+  | None -> ()
+  | Some path -> write_out path (String.concat "\n" (List.rev !tagged_rev) ^ "\n")
+
 open Cmdliner
 
 let run_cmd =
   let masters = Arg.(value & opt int 2 & info [ "masters" ] ~doc:"Number of master servers.") in
   let slaves =
     Arg.(value & opt int 3 & info [ "slaves-per-master" ] ~doc:"Slaves per master.")
+  in
+  let shards =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "shards" ]
+          ~doc:
+            "Content items in the deployment.  1 runs the classic single-content system; \
+             >1 runs a sharded deployment over a shared host pool with per-shard \
+             auditors and a cross-shard Zipf workload.")
+  in
+  let replication_factor =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "replication-factor" ]
+          ~doc:
+            "Replicas per content item (default: masters x slaves-per-master).  Only \
+             meaningful with --shards > 1.")
   in
   let clients = Arg.(value & opt int 8 & info [ "clients" ] ~doc:"Number of clients.") in
   let items = Arg.(value & opt int 300 & info [ "items" ] ~doc:"Documents in the content.") in
@@ -360,19 +545,36 @@ let run_cmd =
   let term =
     Term.(
       const
-        (fun masters slaves_per_master clients items duration read_rate write_rate
-             double_check_p max_latency keepalive audit pledge_batch pledge_batch_window
-             audit_dedup malicious lie_prob lie_mode lie_from seed csv trace_out
-             trace_format metrics_out slo slo_out lineage_out trace_capacity span_capacity ->
-          run_simulation ~masters ~slaves_per_master ~clients ~items ~duration ~read_rate
-            ~write_rate ~double_check_p ~max_latency ~keepalive ~audit ~pledge_batch
-            ~pledge_batch_window ~audit_dedup ~malicious ~lie_prob ~lie_mode ~lie_from ~seed
-            ~csv ~trace_out ~trace_format ~metrics_out ~slo ~slo_out ~lineage_out
-            ~trace_capacity ~span_capacity)
-      $ masters $ slaves $ clients $ items $ duration $ read_rate $ write_rate $ p
-      $ max_latency $ keepalive $ audit $ pledge_batch $ pledge_batch_window $ audit_dedup
-      $ malicious $ lie_prob $ lie_mode $ lie_from $ seed $ csv $ trace_out $ trace_format
-      $ metrics_out $ slo_flag $ slo_out $ lineage_out $ trace_capacity $ span_capacity)
+        (fun masters slaves_per_master shards replication_factor clients items duration
+             read_rate write_rate double_check_p max_latency keepalive audit pledge_batch
+             pledge_batch_window audit_dedup malicious lie_prob lie_mode lie_from seed csv
+             trace_out trace_format metrics_out slo slo_out lineage_out trace_capacity
+             span_capacity ->
+          if shards > 1 then
+            run_sharded_simulation ~shards ~masters
+              ~replication_factor:
+                (match replication_factor with
+                | Some r -> r
+                | None -> masters * slaves_per_master)
+              ~clients ~items ~duration ~read_rate ~write_rate ~double_check_p ~max_latency
+              ~keepalive ~audit ~malicious ~lie_prob ~lie_mode ~lie_from ~seed ~csv
+              ~trace_out ~trace_format ~slo ~slo_out
+          else
+            let slaves_per_master =
+              match replication_factor with
+              | Some r -> max 1 (r / max 1 masters)
+              | None -> slaves_per_master
+            in
+            run_simulation ~masters ~slaves_per_master ~clients ~items ~duration ~read_rate
+              ~write_rate ~double_check_p ~max_latency ~keepalive ~audit ~pledge_batch
+              ~pledge_batch_window ~audit_dedup ~malicious ~lie_prob ~lie_mode ~lie_from
+              ~seed ~csv ~trace_out ~trace_format ~metrics_out ~slo ~slo_out ~lineage_out
+              ~trace_capacity ~span_capacity)
+      $ masters $ slaves $ shards $ replication_factor $ clients $ items $ duration
+      $ read_rate $ write_rate $ p $ max_latency $ keepalive $ audit $ pledge_batch
+      $ pledge_batch_window $ audit_dedup $ malicious $ lie_prob $ lie_mode $ lie_from
+      $ seed $ csv $ trace_out $ trace_format $ metrics_out $ slo_flag $ slo_out
+      $ lineage_out $ trace_capacity $ span_capacity)
   in
   Cmd.v
     (Cmd.info "run"
@@ -384,14 +586,16 @@ let run_cmd =
 module Fuzz = Secrep_check.Fuzz
 module Invariant = Secrep_check.Invariant
 
-let run_fuzz ~seed ~runs ~max_shrink_steps ~invariants ~counterexample_out =
+let run_fuzz ~seed ~runs ~max_shrink_steps ~invariants ~shards ~replication_factor
+    ~counterexample_out =
   match Invariant.named invariants with
   | Error msg ->
     Printf.eprintf "%s\n" msg;
     exit 2
   | Ok checkers ->
     let outcome =
-      Fuzz.run ~runs ~max_shrink_steps ~invariants:checkers ~seed:(Int64.of_int seed) ()
+      Fuzz.run ~runs ~max_shrink_steps ~invariants:checkers ?shards
+        ?slaves_per_master:replication_factor ~seed:(Int64.of_int seed) ()
     in
     Format.printf "%a@." Fuzz.pp_outcome outcome;
     (match outcome with
@@ -434,11 +638,31 @@ let fuzz_cmd =
       & info [ "counterexample-out" ] ~docv:"FILE"
           ~doc:"On failure, also write the shrunk counterexample to $(docv) ('-' = stdout).")
   in
+  let shards =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ]
+          ~doc:
+            "Pin every scenario's shard count to $(docv) (1-4) instead of drawing it.  \
+             Sharded scenarios run on a deployment with per-shard invariant checks."
+          ~docv:"K")
+  in
+  let replication_factor =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "replication-factor" ] ~docv:"R"
+          ~doc:"Pin every scenario's replicas-per-master to $(docv) instead of drawing it.")
+  in
   let term =
     Term.(
-      const (fun seed runs max_shrink_steps invariants counterexample_out ->
-          run_fuzz ~seed ~runs ~max_shrink_steps ~invariants ~counterexample_out)
-      $ seed $ runs $ max_shrink_steps $ invariants $ counterexample_out)
+      const (fun seed runs max_shrink_steps invariants shards replication_factor
+                counterexample_out ->
+          run_fuzz ~seed ~runs ~max_shrink_steps ~invariants ~shards ~replication_factor
+            ~counterexample_out)
+      $ seed $ runs $ max_shrink_steps $ invariants $ shards $ replication_factor
+      $ counterexample_out)
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -596,6 +820,7 @@ let run_chaos ~masters ~slaves_per_master ~clients ~items ~duration ~read_rate ~
       Harness.scenario =
         {
           Scenario.sys_seed = seed;
+          n_shards = 1;
           n_masters = masters;
           slaves_per_master;
           n_clients = clients;
@@ -640,10 +865,212 @@ let run_chaos ~masters ~slaves_per_master ~clients ~items ~duration ~read_rate ~
            (Schedule.to_string schedule)));
     exit 1
 
+(* Sharded chaos: host-level windows over the shared pool.  A crashed
+   or cut host takes down every co-located replica at once — the
+   cross-shard blast radius a per-slave schedule cannot express. *)
+let run_chaos_sharded ~shards ~masters ~replication_factor ~clients ~items ~duration
+    ~read_rate ~write_rate ~max_latency ~keepalive ~intensity ~seed ~invariants ~trace_out
+    ~counterexample_out =
+  let checkers =
+    match
+      Invariant.named
+        (if invariants = [] then
+           [ "availability"; "recovery-convergence"; "no-false-accusation"; "staleness";
+             "write-spacing"; "alert-coverage" ]
+         else invariants)
+    with
+    | Ok checkers -> checkers
+    | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+  in
+  let config =
+    Config.validate_exn
+      {
+        Config.default with
+        Config.max_latency;
+        keepalive_period = keepalive;
+        double_check_probability = 0.05;
+      }
+  in
+  let d =
+    Deployment.create ~n_shards:shards ~n_masters:masters ~replication_factor
+      ~n_clients:clients ~config ~seed:(Int64.of_int seed) ~items_per_shard:items ()
+  in
+  let pool = Deployment.pool_size d in
+  (* per-shard live capture, exactly like the fuzz harness *)
+  let events_rev = Array.make shards [] in
+  let pledges_rev = Array.make shards [] in
+  for i = 0 to shards - 1 do
+    let sys = Deployment.system d i in
+    Trace.on_emit (System.trace sys) (fun r -> events_rev.(i) <- r :: events_rev.(i));
+    System.on_pledge_submitted sys (fun p -> pledges_rev.(i) <- p :: pledges_rev.(i))
+  done;
+  let tagged_rev = ref [] in
+  if trace_out <> None then
+    Deployment.on_event d (fun ~shard r ->
+        tagged_rev := Deployment.tagged_line ~shard r :: !tagged_rev);
+  (* seeded-random host windows: crash (state wiped, re-homed after the
+     provisioning delay) or cut (links only), self-healing *)
+  let crng = Prng.create ~seed:(Int64.of_int (seed + 2)) in
+  let n_windows = max 1 (int_of_float (intensity *. duration /. 30.0)) in
+  let windows =
+    List.init n_windows (fun _ ->
+        let host = Prng.int crng pool in
+        let kind = if Prng.bool crng then `Crash else `Cut in
+        let at = 5.0 +. (Prng.float crng *. Float.max 1.0 (duration -. 25.0)) in
+        let outage = 2.0 +. (Prng.float crng *. 13.0) in
+        (host, kind, at, outage))
+  in
+  List.iter
+    (fun (host, kind, at, outage) ->
+      match kind with
+      | `Crash ->
+        Deployment.crash_host d ~at host;
+        Deployment.recover_host d ~at:(at +. outage) host
+      | `Cut ->
+        Deployment.cut_host d ~at host;
+        Deployment.heal_host d ~at:(at +. outage) host)
+    windows;
+  (* cross-shard workload *)
+  let g = Prng.create ~seed:(Int64.of_int (seed + 1)) in
+  let mixes =
+    Array.init shards (fun i -> Mix.create ~rng:(Prng.split g) ~keys:(Deployment.keys d i) ())
+  in
+  let pick_client = Prng.split g in
+  let cross = Cross.create ~rng:(Prng.split g) ~n_shards:shards () in
+  let issued = Array.make shards 0 in
+  let gave_up = Array.make shards 0 in
+  List.iter
+    (fun (at, shard) ->
+      Deployment.schedule d ~shard ~time:at (fun () ->
+          issued.(shard) <- issued.(shard) + 1;
+          Deployment.read d ~shard
+            ~client:(Prng.int pick_client clients)
+            (Mix.next_query mixes.(shard))
+            ~on_done:(fun r ->
+              match r.Secrep_core.Client.outcome with
+              | `Gave_up -> gave_up.(shard) <- gave_up.(shard) + 1
+              | _ -> ())))
+    (Cross.arrivals cross ~rate:read_rate ~duration);
+  if write_rate > 0.0 then begin
+    let wcross = Cross.create ~rng:(Prng.split g) ~n_shards:shards () in
+    List.iter
+      (fun (at, shard) ->
+        Deployment.schedule d ~shard ~time:at (fun () ->
+            Deployment.write d ~shard ~client:0
+              (Mix.next_write mixes.(shard))
+              ~on_done:(fun _ -> ())))
+      (Cross.arrivals wcross ~rate:write_rate ~duration)
+  end;
+  let read_slack =
+    float_of_int (config.Config.read_retry_limit + 2)
+    *. ((config.Config.read_timeout_factor *. max_latency) +. config.Config.retry_backoff_cap)
+  in
+  let last_heal =
+    List.fold_left (fun acc (_, _, at, outage) -> Float.max acc (at +. outage)) 0.0 windows
+  in
+  Deployment.run_until d
+    (Float.max duration last_heal +. read_slack +. (6.0 *. max_latency) +. 60.0);
+  Printf.printf "sharded chaos run: seed %d, %d shard(s) over %d host(s), %d window(s)\n"
+    seed shards pool (List.length windows);
+  List.iter
+    (fun (host, kind, at, outage) ->
+      Printf.printf "    at %.1f %s host %d for %.1fs\n" at
+        (match kind with `Crash -> "crash" | `Cut -> "cut")
+        host outage)
+    (List.sort (fun (_, _, a, _) (_, _, b, _) -> Float.compare a b) windows);
+  for i = 0 to shards - 1 do
+    let sys = Deployment.system d i in
+    Printf.printf "  shard %d: %d read(s) issued, %d gave up; excluded [%s]\n" i issued.(i)
+      gave_up.(i)
+      (String.concat "; "
+         (List.map string_of_int (Corrective.excluded (System.corrective sys))))
+  done;
+  (match trace_out with
+  | None -> ()
+  | Some path -> write_out path (String.concat "\n" (List.rev !tagged_rev) ^ "\n"));
+  (* judge every shard against its own stream; the run injected no
+     adversarial faults, so the honest-run invariants apply in full *)
+  let violations = ref [] in
+  for i = 0 to shards - 1 do
+    let sys = Deployment.system d i in
+    let result =
+      {
+        Harness.scenario =
+          {
+            Scenario.sys_seed = seed;
+            n_shards = 1;
+            n_masters = masters;
+            slaves_per_master = max 1 (replication_factor / max 1 masters);
+            n_clients = clients;
+            n_items = items;
+            max_latency;
+            keepalive_period = keepalive;
+            double_check_p = 0.05;
+            audit = true;
+            pledge_batch = 1;
+            net = Scenario.Wan;
+            faults = [];
+            chaos = [];
+            ops = [];
+          };
+        events = List.rev events_rev.(i);
+        accepted = [];
+        end_time = Secrep_sim.Sim.now (System.sim sys);
+        pledges = List.rev pledges_rev.(i);
+        reexec = (fun ~version query -> System.reexec_digest sys ~version query);
+        slave_public =
+          (fun slave_id ->
+            if slave_id >= 0 && slave_id < System.n_slaves sys then
+              Some (Secrep_core.Slave.public (System.slave sys slave_id))
+            else None);
+      }
+    in
+    match Invariant.check_all checkers result with
+    | Ok () -> ()
+    | Error msg -> violations := Printf.sprintf "[shard %d] %s" i msg :: !violations
+  done;
+  match List.rev !violations with
+  | [] ->
+    Printf.printf "invariants: %s — all held on every shard\n"
+      (String.concat ", " (List.map (fun c -> c.Invariant.name) checkers))
+  | violations ->
+    List.iter (fun msg -> Printf.printf "invariant VIOLATED: %s\n" msg) violations;
+    (match counterexample_out with
+    | None -> ()
+    | Some path ->
+      write_out path
+        (Printf.sprintf
+           "sharded chaos counterexample\nseed: %d\nshards: %d\nreplication: %d\n\
+            duration: %g\nviolations:\n%s\n"
+           seed shards replication_factor duration
+           (String.concat "\n" violations)));
+    exit 1
+
 let chaos_cmd =
   let masters = Arg.(value & opt int 2 & info [ "masters" ] ~doc:"Number of master servers.") in
   let slaves =
     Arg.(value & opt int 3 & info [ "slaves-per-master" ] ~doc:"Slaves per master.")
+  in
+  let shards =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "shards" ]
+          ~doc:
+            "Content items in the deployment.  >1 switches to host-level chaos over a \
+             shared pool: each window crashes or cuts a pool host, hitting every \
+             co-located replica, and invariants are checked per shard.")
+  in
+  let replication_factor =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "replication-factor" ]
+          ~doc:
+            "Replicas per content item (default: masters x slaves-per-master).  Only \
+             meaningful with --shards > 1.")
   in
   let clients = Arg.(value & opt int 4 & info [ "clients" ] ~doc:"Number of clients.") in
   let items = Arg.(value & opt int 50 & info [ "items" ] ~doc:"Documents in the content.") in
@@ -718,18 +1145,34 @@ let chaos_cmd =
   let term =
     Term.(
       const
-        (fun masters slaves_per_master clients items duration read_rate write_rate
-             max_latency keepalive schedule_file intensity seed invariants trace_out
-             trace_format counterexample_out slo slo_out lineage_out trace_capacity
-             span_capacity ->
-          run_chaos ~masters ~slaves_per_master ~clients ~items ~duration ~read_rate
-            ~write_rate ~max_latency ~keepalive ~schedule_file ~intensity ~seed ~invariants
-            ~trace_out ~trace_format ~counterexample_out ~slo ~slo_out ~lineage_out
-            ~trace_capacity ~span_capacity)
-      $ masters $ slaves $ clients $ items $ duration $ read_rate $ write_rate $ max_latency
-      $ keepalive $ schedule_file $ intensity $ seed $ invariants $ trace_out $ trace_format
-      $ counterexample_out $ slo_flag $ slo_out $ lineage_out $ trace_capacity
-      $ span_capacity)
+        (fun masters slaves_per_master shards replication_factor clients items duration
+             read_rate write_rate max_latency keepalive schedule_file intensity seed
+             invariants trace_out trace_format counterexample_out slo slo_out lineage_out
+             trace_capacity span_capacity ->
+          if shards > 1 then begin
+            if schedule_file <> None then begin
+              Printf.eprintf
+                "--schedule targets single-system slave/master ids; use seeded-random \
+                 host-level chaos with --shards > 1\n";
+              Stdlib.exit 2
+            end;
+            run_chaos_sharded ~shards ~masters
+              ~replication_factor:
+                (match replication_factor with
+                | Some r -> r
+                | None -> masters * slaves_per_master)
+              ~clients ~items ~duration ~read_rate ~write_rate ~max_latency ~keepalive
+              ~intensity ~seed ~invariants ~trace_out ~counterexample_out
+          end
+          else
+            run_chaos ~masters ~slaves_per_master ~clients ~items ~duration ~read_rate
+              ~write_rate ~max_latency ~keepalive ~schedule_file ~intensity ~seed
+              ~invariants ~trace_out ~trace_format ~counterexample_out ~slo ~slo_out
+              ~lineage_out ~trace_capacity ~span_capacity)
+      $ masters $ slaves $ shards $ replication_factor $ clients $ items $ duration
+      $ read_rate $ write_rate $ max_latency $ keepalive $ schedule_file $ intensity $ seed
+      $ invariants $ trace_out $ trace_format $ counterexample_out $ slo_flag $ slo_out
+      $ lineage_out $ trace_capacity $ span_capacity)
   in
   Cmd.v
     (Cmd.info "chaos"

@@ -1,9 +1,42 @@
 type outcome = Passed of { runs : int } | Failed of Scenario.t Prop.failure
 
-let run ?(runs = 100) ?(max_shrink_steps = 200) ?(invariants = Invariant.all) ~seed () =
-  let prop scenario = Invariant.check_all invariants (Harness.run scenario) in
+let run ?(runs = 100) ?(max_shrink_steps = 200) ?(invariants = Invariant.all) ?shards
+    ?slaves_per_master ~seed () =
+  (* CLI pins: applied after generation AND after every shrink step so
+     a pinned campaign never drifts off the requested topology. *)
+  let pin s =
+    let s =
+      match shards with None -> s | Some k -> { s with Scenario.n_shards = k }
+    in
+    match slaves_per_master with
+    | None -> s
+    | Some r -> { s with Scenario.slaves_per_master = r }
+  in
+  let gen = Gen.map pin Scenario.gen in
+  let shrink s = Seq.map pin (Scenario.shrink s) in
+  (* Every shard is judged independently against the full invariant
+     set.  [n_shards = 1] takes the classic single-system path, so the
+     shrinker's pull toward one shard lands back on the old prop. *)
+  let prop scenario =
+    let results = Harness.run_sharded scenario in
+    let many = List.length results > 1 in
+    List.fold_left
+      (fun (acc, i) result ->
+        let acc =
+          match acc with
+          | Error _ -> acc
+          | Ok () -> (
+            match Invariant.check_all invariants result with
+            | Ok () -> Ok ()
+            | Error msg ->
+              Error (if many then Printf.sprintf "[shard %d] %s" i msg else msg))
+        in
+        (acc, i + 1))
+      (Ok (), 0) results
+    |> fst
+  in
   match
-    Prop.check ~runs ~max_shrink_steps ~seed ~gen:Scenario.gen ~shrink:Scenario.shrink prop
+    Prop.check ~runs ~max_shrink_steps ~seed ~gen ~shrink prop
   with
   | Prop.Pass { runs } -> Passed { runs }
   | Prop.Fail f -> Failed f

@@ -11,12 +11,20 @@ val run :
   ?runs:int ->
   ?max_shrink_steps:int ->
   ?invariants:Invariant.checker list ->
+  ?shards:int ->
+  ?slaves_per_master:int ->
   seed:int64 ->
   unit ->
   outcome
 (** Defaults: 100 runs, 200 shrink steps, all invariants.  Run [i]
     uses seed [seed + i], so any failure replays with
-    [run ~runs:1 ~seed:failure.seed]. *)
+    [run ~runs:1 ~seed:failure.seed].  Scenarios draw a shard count
+    (1–4); sharded scenarios run on a {!Secrep_shard.Deployment} via
+    {!Harness.run_sharded} with every invariant checked per shard, and
+    violations are prefixed with the failing shard's index.
+    [shards] / [slaves_per_master] pin those scenario fields across
+    both generation and shrinking (the CLI's [--shards] and
+    [--replication-factor]). *)
 
 val replay_hint : Scenario.t Prop.failure -> string
 (** One-line CLI invocation reproducing the failing run exactly. *)

@@ -39,6 +39,19 @@ val run : Scenario.t -> run_result
     the run horizon covers the last heal plus a convergence margin and
     every read's worst-case retry ladder. *)
 
+val run_sharded : Scenario.t -> run_result list
+(** Execute the scenario over [n_shards] content items and return one
+    result per shard, each carrying the slice of the scenario that
+    shard saw (its own faults and ops; chaos windows are global).
+
+    [n_shards = 1] is exactly [[run scenario]] — same code path, same
+    stream — so the sharded prop degenerates to the classic one.  With
+    [K > 1] the scenario runs on a {!Secrep_shard.Deployment}: ops
+    route to shard [key mod K], adversarial faults to shard
+    [slave mod K], and chaos windows become cross-shard (slave cuts
+    and churn act on pool hosts, hitting every co-located replica;
+    auditor cuts and network degradation hit all shards). *)
+
 val schedule_of_chaos : Scenario.chaos list -> Secrep_chaos.Schedule.t
 (** The disrupt/heal entry pairs a scenario's chaos windows expand to.
     Exposed for the CLI, which reuses it to print and export

@@ -23,6 +23,7 @@ type chaos =
 
 type t = {
   sys_seed : int;
+  n_shards : int;
   n_masters : int;
   slaves_per_master : int;
   n_clients : int;
@@ -43,6 +44,7 @@ let clampf lo hi v = Float.max lo (Float.min hi v)
 let imod v n = ((v mod n) + n) mod n
 
 let normalize s =
+  let n_shards = clamp 1 4 s.n_shards in
   let n_masters = clamp 1 3 s.n_masters in
   let slaves_per_master = clamp 1 3 s.slaves_per_master in
   let n_clients = clamp 1 4 s.n_clients in
@@ -107,6 +109,7 @@ let normalize s =
   {
     s with
     sys_seed = abs s.sys_seed;
+    n_shards;
     n_masters;
     slaves_per_master;
     n_clients;
@@ -173,6 +176,18 @@ let gen_op rng =
 
 let gen rng =
   let sys_seed = Gen.int_range 0 1_000_000 rng in
+  (* Single-shard runs stay the common case; multi-shard draws exercise
+     the deployment layer and cross-shard chaos fan-out. *)
+  let n_shards =
+    Gen.frequency
+      [
+        (3, Gen.return 1);
+        (2, Gen.return 2);
+        (1, Gen.return 3);
+        (1, Gen.return 4);
+      ]
+      rng
+  in
   let n_masters = Gen.int_range 1 3 rng in
   let slaves_per_master = Gen.int_range 1 3 rng in
   let n_clients = Gen.int_range 1 4 rng in
@@ -197,6 +212,7 @@ let gen rng =
   normalize
     {
       sys_seed;
+      n_shards;
       n_masters;
       slaves_per_master;
       n_clients;
@@ -254,6 +270,12 @@ let shrink s =
     List.to_seq
       (List.concat
          [
+           (* Pull toward one shard first: a violation that survives on
+              the single-content system implicates the protocol, not
+              the deployment layer. *)
+           List.of_seq
+             (Seq.map (fun n_shards -> { s with n_shards })
+                (Shrink.int_towards ~target:1 s.n_shards));
            List.of_seq
              (Seq.map (fun n_clients -> { s with n_clients })
                 (Shrink.int_towards ~target:1 s.n_clients));
@@ -318,12 +340,12 @@ let pp_chaos fmt = function
 let pp fmt s =
   Format.fprintf fmt
     "@[<v>scenario:@,\
-    \  sys_seed=%d  %d master(s) x %d slave(s), %d client(s), %d item(s)@,\
+    \  sys_seed=%d  %d shard(s), %d master(s) x %d slave(s), %d client(s), %d item(s)@,\
     \  max_latency=%.2g keepalive=%.2g double_check_p=%.2g audit=%b batch=%d net=%s@,\
     \  faults: %s@,\
     \  chaos: %s@,\
     \  ops (%d):@,%a@]"
-    s.sys_seed s.n_masters s.slaves_per_master s.n_clients s.n_items s.max_latency
+    s.sys_seed s.n_shards s.n_masters s.slaves_per_master s.n_clients s.n_items s.max_latency
     s.keepalive_period s.double_check_p s.audit s.pledge_batch (net_to_string s.net)
     (if s.faults = [] then "none"
      else String.concat "; " (List.map (Format.asprintf "%a" pp_fault) s.faults))

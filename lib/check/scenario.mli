@@ -44,6 +44,11 @@ type chaos =
 
 type t = {
   sys_seed : int;  (** seeds the system PRNG and the content *)
+  n_shards : int;
+      (** content items in the deployment (clamped to [1,4]); 1 runs
+          the classic single-content system, >1 runs a sharded
+          {!Secrep_shard.Deployment} with per-shard invariant checks
+          and cross-shard chaos windows *)
   n_masters : int;
   slaves_per_master : int;
   n_clients : int;
@@ -81,7 +86,9 @@ val chaos_end : chaos -> float
 val gen : t Gen.t
 
 val shrink : t Shrink.t
-(** Order of attack: drop ops, drop faults, then pull the topology,
+(** Order of attack: drop ops, drop faults, then pull the shard count
+    toward 1 (a violation that survives on the single-content system
+    implicates the protocol, not the deployment layer), the topology,
     content size and double-check probability toward minimal.  Timing
     parameters ([max_latency], [keepalive_period], op times) are left
     alone: changing them reshapes the whole schedule and mostly makes

@@ -1,0 +1,335 @@
+(* The sharded deployment: K content items, each served by an
+   unmodified single-content protocol instance, laid out over one
+   shared pool of slave hosts.
+
+   Two design rules keep this layer honest:
+
+   - Every shard is a stock [System.t] advanced in lockstep time slices
+     by the deployment scheduler.  The deployment never draws from a
+     shard's PRNG and never injects events into a shard beyond the
+     documented chaos hooks, so a shard's event stream is bit-identical
+     to the stream of a standalone single-content system created with
+     the same derived seed — the property the differential sharding
+     tests pin down.
+
+   - All cross-shard coupling is explicit: the shared directory (copied
+     certificates), the host pool (rendezvous placement + host-level
+     chaos that fans out to every co-located replica), and the shared
+     bounded auditor budget (the global audit queue capacity is divided
+     across per-shard auditors). *)
+
+module System = Secrep_core.System
+module Config = Secrep_core.Config
+module Directory = Secrep_core.Directory
+module Fault = Secrep_core.Fault
+module Sim = Secrep_sim.Sim
+module Trace = Secrep_sim.Trace
+module Event = Secrep_sim.Event
+module Export = Secrep_sim.Export
+module Prng = Secrep_crypto.Prng
+module Catalog = Secrep_workload.Catalog
+
+type shard = {
+  index : int;
+  system : System.t;
+  content_id : string;
+  keys : string array;
+  hosts : int array;  (* slot (local slave id) -> pool host *)
+}
+
+type t = {
+  n_shards : int;
+  replication : int;
+  pool_size : int;
+  provision_delay : float;
+  auto_rebalance : bool;
+  slice : float;
+  shards : shard array;
+  directory : Directory.t;
+  trace : Trace.t;  (* deployment-level placement / rebalance events *)
+  host_alive : bool array;
+  by_content : (string, int) Hashtbl.t;
+  mutable taps : (shard:int -> Trace.record -> unit) list;
+  mutable now : float;
+}
+
+(* -- seed derivation ---------------------------------------------------
+
+   Exposed so the differential tests can construct the standalone
+   reference systems from exactly the same inputs.  The golden-ratio
+   stride is the SplitMix64 increment: adjacent shards land far apart
+   in seed space. *)
+
+let golden = 0x9E3779B97F4A7C15L
+
+let shard_seed ~seed k = Int64.add seed (Int64.mul (Int64.of_int (k + 1)) golden)
+let shard_content_seed ~seed k = Int64.add (shard_seed ~seed k) 1L
+
+(* The shared bounded auditor budget: one global queue capacity divided
+   evenly across the per-shard auditors. *)
+let shard_config ?audit_queue_total ~n_shards config =
+  match audit_queue_total with
+  | None -> config
+  | Some total ->
+    { config with Config.auditor_queue_capacity = max 1 (total / max 1 n_shards) }
+
+let all_hosts pool_size = List.init pool_size (fun h -> h)
+
+let deliver t ~shard record = List.iter (fun tap -> tap ~shard record) t.taps
+
+let emit_deployment t ~shard ~time event =
+  Trace.emit t.trace ~time ~source:"deployment" event;
+  deliver t ~shard { Trace.time; source = "deployment"; event }
+
+(* Re-home [slot] of [sh] off [dead_host]: pick the best live host not
+   already carrying a replica of this content, update the mapping, and
+   record the move.  Returns the replacement (None = pool exhausted,
+   the replica stays homeless until a host recovers). *)
+let rebalance_slot t sh ~slot ~reason =
+  let dead = sh.hosts.(slot) in
+  let live =
+    List.filter (fun h -> t.host_alive.(h)) (all_hosts t.pool_size)
+  in
+  match
+    Placement.replacement ~content_id:sh.content_id ~hosts:live
+      ~current:(Array.to_list sh.hosts) ~dead
+  with
+  | None -> None
+  | Some fresh ->
+    sh.hosts.(slot) <- fresh;
+    emit_deployment t ~shard:sh.index
+      ~time:(Sim.now (System.sim sh.system))
+      (Event.Shard_rebalanced
+         { shard = sh.index; slot; from_host = dead; to_host = fresh; reason });
+    Some fresh
+
+let create ~n_shards ?(n_masters = 1) ?(replication_factor = 3) ?(n_clients = 2)
+    ?pool_size ?(config = Config.default) ?net ?(seed = 1L) ?(items_per_shard = 0)
+    ?audit_queue_total ?slice ?(auto_rebalance = true) ?provision_delay
+    ?track_ground_truth ?trace_capacity () =
+  if n_shards < 1 then invalid_arg "Deployment.create: n_shards must be at least 1";
+  let slaves_per_master = max 1 (replication_factor / max 1 n_masters) in
+  let replication = n_masters * slaves_per_master in
+  let pool_size =
+    match pool_size with Some p -> max p replication | None -> (2 * replication) + 2
+  in
+  let config = shard_config ?audit_queue_total ~n_shards config in
+  let provision_delay =
+    match provision_delay with
+    | Some d -> d
+    | None -> 2.0 *. config.Config.keepalive_period
+  in
+  let slice =
+    match slice with Some s -> s | None -> Float.max config.Config.keepalive_period 0.5
+  in
+  let directory = Directory.create () in
+  let trace = Trace.create ?capacity:trace_capacity () in
+  let by_content = Hashtbl.create n_shards in
+  let host_alive = Array.make pool_size true in
+  let t =
+    {
+      n_shards;
+      replication;
+      pool_size;
+      provision_delay;
+      auto_rebalance;
+      slice;
+      shards = [||];
+      directory;
+      trace;
+      host_alive;
+      by_content;
+      taps = [];
+      now = 0.0;
+    }
+  in
+  let shards =
+    Array.init n_shards (fun k ->
+        let system =
+          System.create ~n_masters ~slaves_per_master ~n_clients ~config ?net
+            ~seed:(shard_seed ~seed k) ?track_ground_truth ()
+        in
+        let keys =
+          if items_per_shard > 0 then begin
+            let content =
+              Catalog.product_catalog
+                (Prng.create ~seed:(shard_content_seed ~seed k))
+                ~n:items_per_shard
+            in
+            System.load_content system content;
+            Array.of_list (List.map fst content)
+          end
+          else [||]
+        in
+        let content_id = System.content_id system in
+        (* Shard-aware routing: the shared directory carries every
+           shard's master certificates, so a client can resolve any
+           content key to its master set (and verify the certs against
+           the self-certifying id). *)
+        List.iter (Directory.publish directory)
+          (Directory.lookup (System.directory system) ~content_id);
+        Hashtbl.replace by_content content_id k;
+        let placed =
+          Placement.assign ~content_id ~hosts:(all_hosts pool_size) ~replicas:replication
+        in
+        { index = k; system; content_id; keys; hosts = Array.of_list placed })
+  in
+  let t = { t with shards } in
+  Array.iter
+    (fun sh ->
+      Array.iteri
+        (fun slot host ->
+          emit_deployment t ~shard:sh.index ~time:0.0
+            (Event.Shard_assigned { shard = sh.index; host; slot }))
+        sh.hosts;
+      (* Fan each shard's live stream out to the deployment taps, and
+         react to exclusions: §3.5 re-homing moves the excluded replica
+         to a fresh host and reinstates the process there after the
+         provisioning delay. *)
+      let sys = sh.system in
+      Trace.on_emit (System.trace sys) (fun r ->
+          deliver t ~shard:sh.index r;
+          match r.Trace.event with
+          | Event.Slave_excluded { slave = slot; _ } when t.auto_rebalance ->
+            (match rebalance_slot t sh ~slot ~reason:"exclusion" with
+            | None -> ()
+            | Some _fresh ->
+              ignore
+                (Sim.schedule (System.sim sys) ~delay:t.provision_delay (fun () ->
+                     (* The owner "recovers the host to a safe state"
+                        before readmission: the fresh host starts
+                        honest. *)
+                     System.set_slave_behavior sys ~slave:slot Fault.Honest;
+                     ignore (System.readmit_slave sys ~slave_id:slot))))
+          | _ -> ()))
+    shards;
+  t
+
+(* -- accessors ---------------------------------------------------------- *)
+
+let n_shards t = t.n_shards
+let replication t = t.replication
+let pool_size t = t.pool_size
+let now t = t.now
+let directory t = t.directory
+let trace t = t.trace
+let system t k = t.shards.(k).system
+let content_id t k = t.shards.(k).content_id
+let keys t k = t.shards.(k).keys
+let hosts_of_shard t k = Array.copy t.shards.(k).hosts
+let host_is_alive t h = t.host_alive.(h)
+let shard_of_content t ~content_id = Hashtbl.find_opt t.by_content content_id
+let on_event t tap = t.taps <- tap :: t.taps
+
+let audit_backlog t =
+  Array.fold_left
+    (fun acc sh -> acc + Secrep_core.Auditor.backlog (System.auditor sh.system))
+    0 t.shards
+
+(* -- the lockstep scheduler --------------------------------------------
+
+   One shared bounded scheduler advances every shard in [slice]-sized
+   time windows: no shard can run ahead of its siblings by more than a
+   slice, so host-level chaos and cross-shard routing observe a
+   consistent global clock, while each shard's internal event order is
+   exactly what a standalone run would produce. *)
+
+let run_until t time =
+  while t.now < time do
+    let next = Float.min (t.now +. t.slice) time in
+    Array.iter (fun sh -> Sim.run ~until:next (System.sim sh.system)) t.shards;
+    t.now <- next
+  done
+
+let run_for t d = run_until t (t.now +. d)
+
+(* -- shard-aware client routing ---------------------------------------- *)
+
+let read t ~shard ~client ?level ?mode query ~on_done =
+  System.read t.shards.(shard).system ~client ?level ?mode query ~on_done
+
+let write t ~shard ~client op ~on_done =
+  System.write t.shards.(shard).system ~client op ~on_done
+
+let read_content t ~content_id ~client ?level ?mode query ~on_done =
+  match shard_of_content t ~content_id with
+  | None -> Error (Printf.sprintf "unknown content id %s" content_id)
+  | Some shard ->
+    read t ~shard ~client ?level ?mode query ~on_done;
+    Ok shard
+
+let schedule t ~shard ~time f =
+  ignore (Sim.schedule_at (System.sim t.shards.(shard).system) ~time f)
+
+(* -- host-level chaos ---------------------------------------------------
+
+   Each action schedules a per-shard thunk at the same absolute time on
+   every shard's own simulator, so the effect lands at exactly [at] in
+   each stream regardless of slice boundaries.  The shared host flags
+   are flipped idempotently by every thunk. *)
+
+let slots_on sh host =
+  let acc = ref [] in
+  Array.iteri (fun slot h -> if h = host then acc := slot :: !acc) sh.hosts;
+  List.rev !acc
+
+let schedule_on_all t ~at f =
+  Array.iter
+    (fun sh -> ignore (Sim.schedule_at (System.sim sh.system) ~time:at (fun () -> f sh)))
+    t.shards
+
+let crash_host t ~at host =
+  schedule_on_all t ~at (fun sh ->
+      t.host_alive.(host) <- false;
+      List.iter
+        (fun slot ->
+          System.crash_slave sh.system ~slave_id:slot;
+          if t.auto_rebalance then
+            (* Re-provision on a fresh host unless the old one came back
+               first (short churn windows recover in place). *)
+            ignore
+              (Sim.schedule (System.sim sh.system) ~delay:t.provision_delay (fun () ->
+                   if (not t.host_alive.(host)) && sh.hosts.(slot) = host then begin
+                     match rebalance_slot t sh ~slot ~reason:"crash" with
+                     | None -> ()
+                     | Some _fresh -> ignore (System.recover_slave sh.system ~slave_id:slot)
+                   end)))
+        (slots_on sh host))
+
+let recover_host t ~at host =
+  schedule_on_all t ~at (fun sh ->
+      t.host_alive.(host) <- true;
+      List.iter
+        (fun slot ->
+          if System.is_crashed sh.system ~slave_id:slot then
+            ignore (System.recover_slave sh.system ~slave_id:slot))
+        (slots_on sh host))
+
+let cut_host t ~at host =
+  schedule_on_all t ~at (fun sh ->
+      List.iter
+        (fun slot -> System.set_slave_connectivity sh.system ~slave_id:slot ~up:false)
+        (slots_on sh host))
+
+let heal_host t ~at host =
+  schedule_on_all t ~at (fun sh ->
+      List.iter
+        (fun slot -> System.set_slave_connectivity sh.system ~slave_id:slot ~up:true)
+        (slots_on sh host))
+
+(* -- shard-tagged JSONL ------------------------------------------------- *)
+
+let tagged_line ~shard (r : Trace.record) =
+  let extra =
+    if List.mem_assoc "shard" (Event.fields r.Trace.event) then []
+    else [ ("shard", Export.Json.Int shard) ]
+  in
+  Export.event_line ~extra ~time:r.Trace.time ~source:r.Trace.source r.Trace.event
+
+let shard_of_line line =
+  match Export.Json.parse line with
+  | Error _ -> None
+  | Ok json -> (
+    match Export.Json.member "shard" json with
+    | Some (Export.Json.Int k) -> Some k
+    | _ -> None)

@@ -1,0 +1,149 @@
+(** Sharded content plane: K single-content protocol instances over a
+    shared slave-host pool.
+
+    Each shard is an unmodified {!Secrep_core.System} with its own
+    deterministically derived seed, advanced in lockstep time slices by
+    one shared bounded scheduler.  Cross-shard coupling is explicit and
+    side-effect-free for the shard streams: a shared directory holding
+    every shard's master certificates, rendezvous placement of replicas
+    on pool hosts, host-level chaos that fans out to every co-located
+    replica, and a shared auditor queue budget divided across the
+    per-shard auditors.
+
+    Because the deployment never perturbs a shard's PRNG or event
+    schedule, a shard's event stream is bit-identical to a standalone
+    single-content run with the same derived seed — the differential
+    sharding tests assert exactly this. *)
+
+type t
+
+val create :
+  n_shards:int ->
+  ?n_masters:int ->
+  ?replication_factor:int ->
+  ?n_clients:int ->
+  ?pool_size:int ->
+  ?config:Secrep_core.Config.t ->
+  ?net:Secrep_core.System.net_profile ->
+  ?seed:int64 ->
+  ?items_per_shard:int ->
+  ?audit_queue_total:int ->
+  ?slice:float ->
+  ?auto_rebalance:bool ->
+  ?provision_delay:float ->
+  ?track_ground_truth:bool ->
+  ?trace_capacity:int ->
+  unit ->
+  t
+(** Defaults: 1 master and 3 replicas per shard, 2 clients per shard,
+    pool of [2*replication + 2] hosts, seed 1.  [items_per_shard > 0]
+    loads a per-shard product catalogue (seeded by
+    {!shard_content_seed}).  [audit_queue_total] divides one global
+    auditor queue capacity evenly across shards.  [auto_rebalance]
+    (default true) re-homes replicas off crashed hosts and excluded
+    slaves onto fresh pool hosts after [provision_delay] (default two
+    keep-alive periods); turn it off for strict differential runs
+    against standalone systems that lack a re-homing operator. *)
+
+(** {2 Seed derivation} — shared with the differential tests so the
+    standalone reference systems can be built from identical inputs. *)
+
+val shard_seed : seed:int64 -> int -> int64
+val shard_content_seed : seed:int64 -> int -> int64
+
+val shard_config :
+  ?audit_queue_total:int -> n_shards:int -> Secrep_core.Config.t -> Secrep_core.Config.t
+(** The per-shard config actually used: the shared auditor budget
+    divided by the shard count (identity without [audit_queue_total]). *)
+
+(** {2 Accessors} *)
+
+val n_shards : t -> int
+val replication : t -> int
+val pool_size : t -> int
+val now : t -> float
+val directory : t -> Secrep_core.Directory.t
+val trace : t -> Secrep_sim.Trace.t
+(** Deployment-level events only (placement, rebalances). *)
+
+val system : t -> int -> Secrep_core.System.t
+val content_id : t -> int -> string
+val keys : t -> int -> string array
+val hosts_of_shard : t -> int -> int array
+(** Current slot -> host mapping (a copy). *)
+
+val host_is_alive : t -> int -> bool
+val shard_of_content : t -> content_id:string -> int option
+val audit_backlog : t -> int
+(** Aggregate backlog across every per-shard auditor. *)
+
+val on_event : t -> (shard:int -> Secrep_sim.Trace.record -> unit) -> unit
+(** Subscribe to the merged live stream: every shard event (tagged with
+    its shard index) plus the deployment's own placement events. *)
+
+(** {2 Running} *)
+
+val run_until : t -> float -> unit
+(** Advance every shard in lockstep slices to the target time. *)
+
+val run_for : t -> float -> unit
+
+(** {2 Shard-aware client routing} *)
+
+val read :
+  t ->
+  shard:int ->
+  client:int ->
+  ?level:Secrep_core.Security_level.t ->
+  ?mode:Secrep_core.Client.read_mode ->
+  Secrep_store.Query.t ->
+  on_done:(Secrep_core.Client.read_report -> unit) ->
+  unit
+
+val write :
+  t ->
+  shard:int ->
+  client:int ->
+  Secrep_store.Oplog.op ->
+  on_done:(Secrep_core.Master.write_ack -> unit) ->
+  unit
+
+val read_content :
+  t ->
+  content_id:string ->
+  client:int ->
+  ?level:Secrep_core.Security_level.t ->
+  ?mode:Secrep_core.Client.read_mode ->
+  Secrep_store.Query.t ->
+  on_done:(Secrep_core.Client.read_report -> unit) ->
+  (int, string) result
+(** Route by content key: resolve the self-certifying content id to its
+    shard and issue the read there.  Returns the shard that served it. *)
+
+val schedule : t -> shard:int -> time:float -> (unit -> unit) -> unit
+(** Schedule a thunk on a shard's own simulator at an absolute time. *)
+
+(** {2 Host-level chaos}
+
+    Actions land at exactly [at] in every shard's stream: each one
+    schedules a per-shard thunk on that shard's own simulator. *)
+
+val crash_host : t -> at:float -> int -> unit
+(** Fail-stop every replica on the host.  With [auto_rebalance], each
+    replica is re-homed to a fresh host and reinstated from a master
+    checkpoint after [provision_delay] (unless the host recovered
+    first). *)
+
+val recover_host : t -> at:float -> int -> unit
+val cut_host : t -> at:float -> int -> unit
+val heal_host : t -> at:float -> int -> unit
+
+(** {2 Shard-tagged JSONL} *)
+
+val tagged_line : shard:int -> Secrep_sim.Trace.record -> string
+(** {!Secrep_sim.Export.event_line} plus a ["shard"] tag (omitted when
+    the event already carries its shard).  Round-trips through
+    {!Secrep_sim.Export.record_of_line}, which ignores unknown keys. *)
+
+val shard_of_line : string -> int option
+(** Read the shard tag back from a tagged JSONL line. *)

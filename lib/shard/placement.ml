@@ -1,0 +1,54 @@
+(* Rendezvous (highest-random-weight) placement.
+
+   Each (content, host) pair gets a score = SHA-1(content_id | host)
+   read as a big-endian 63-bit integer; a content's replicas live on
+   the R highest-scoring live hosts.  The textbook HRW property is what
+   the deployment leans on: removing one host from the candidate set
+   only moves the replicas that lived on it — every other content keeps
+   its placement, so a crash never triggers a cluster-wide shuffle. *)
+
+module Sha1 = Secrep_crypto.Sha1
+
+let score ~content_id ~host =
+  let digest = Sha1.digest (Printf.sprintf "%s#%d" content_id host) in
+  (* First 8 digest bytes, big-endian, sign bit cleared: a total order
+     that every process computes identically with no coordination. *)
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code digest.[i]))
+  done;
+  Int64.logand !v Int64.max_int
+
+(* Ties are impossible in practice (they need a SHA-1 collision) but the
+   host id breaks them deterministically anyway. *)
+let compare_scored (s1, h1) (s2, h2) =
+  match Int64.compare s2 s1 with 0 -> Int.compare h1 h2 | c -> c
+
+let rank ~content_id ~hosts =
+  List.map (fun host -> (score ~content_id ~host, host)) hosts
+  |> List.sort compare_scored
+  |> List.map snd
+
+let assign ~content_id ~hosts ~replicas =
+  if replicas < 1 then invalid_arg "Placement.assign: replicas must be at least 1";
+  if List.length hosts < replicas then
+    invalid_arg
+      (Printf.sprintf "Placement.assign: %d replica(s) requested but only %d host(s)"
+         replicas (List.length hosts));
+  let ranked = rank ~content_id ~hosts in
+  List.filteri (fun i _ -> i < replicas) ranked
+
+let replacement ~content_id ~hosts ~current ~dead =
+  let live = List.filter (fun h -> h <> dead && not (List.mem h current)) hosts in
+  match rank ~content_id ~hosts:live with [] -> None | h :: _ -> Some h
+
+let spread ~content_ids ~hosts ~replicas =
+  let load = Hashtbl.create (List.length hosts) in
+  List.iter (fun h -> Hashtbl.replace load h 0) hosts;
+  List.iter
+    (fun cid ->
+      List.iter
+        (fun h -> Hashtbl.replace load h (1 + Option.value ~default:0 (Hashtbl.find_opt load h)))
+        (assign ~content_id:cid ~hosts ~replicas))
+    content_ids;
+  List.map (fun h -> (h, Option.value ~default:0 (Hashtbl.find_opt load h))) hosts

@@ -1,0 +1,26 @@
+(** Deterministic rendezvous (highest-random-weight) placement of
+    content replicas over a shared host pool.
+
+    Scores are SHA-1 based, so every participant — deployment, tests,
+    an operator re-deriving a layout offline — computes the same
+    assignment with no coordination, and removing a host only moves the
+    replicas that lived on it. *)
+
+val score : content_id:string -> host:int -> int64
+(** HRW score of placing [content_id] on [host]; non-negative. *)
+
+val rank : content_id:string -> hosts:int list -> int list
+(** All hosts, best placement first.  Deterministic total order. *)
+
+val assign : content_id:string -> hosts:int list -> replicas:int -> int list
+(** The [replicas] highest-scoring hosts, best first.  Raises
+    [Invalid_argument] when fewer than [replicas] hosts are offered. *)
+
+val replacement :
+  content_id:string -> hosts:int list -> current:int list -> dead:int -> int option
+(** Re-homing pick: the best host that is neither [dead] nor already in
+    [current].  [None] when the pool is exhausted. *)
+
+val spread : content_ids:string list -> hosts:int list -> replicas:int -> (int * int) list
+(** Per-host replica counts for a whole catalogue of contents — the
+    load-balance view the placement tests assert on. *)

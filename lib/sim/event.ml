@@ -40,6 +40,14 @@ type t =
   | Audit_overload of { backlog : int }
   | Alert_raised of { rule : string; value : float; threshold : float }
   | Alert_cleared of { rule : string; duration : float }
+  | Shard_assigned of { shard : int; host : int; slot : int }
+  | Shard_rebalanced of {
+      shard : int;
+      slot : int;
+      from_host : int;
+      to_host : int;
+      reason : string;
+    }
 
 type field = I of int | F of float | S of string | B of bool
 
@@ -80,6 +88,8 @@ let kind = function
   | Audit_overload _ -> "audit_overload"
   | Alert_raised _ -> "alert_raised"
   | Alert_cleared _ -> "alert_cleared"
+  | Shard_assigned _ -> "shard_assigned"
+  | Shard_rebalanced _ -> "shard_rebalanced"
 
 let all_kinds =
   [
@@ -108,6 +118,8 @@ let all_kinds =
     "audit_overload";
     "alert_raised";
     "alert_cleared";
+    "shard_assigned";
+    "shard_rebalanced";
   ]
 
 let fields = function
@@ -165,6 +177,16 @@ let fields = function
   | Alert_raised { rule; value; threshold } ->
     [ ("rule", S rule); ("value", F value); ("threshold", F threshold) ]
   | Alert_cleared { rule; duration } -> [ ("rule", S rule); ("duration", F duration) ]
+  | Shard_assigned { shard; host; slot } ->
+    [ ("shard", I shard); ("host", I host); ("slot", I slot) ]
+  | Shard_rebalanced { shard; slot; from_host; to_host; reason } ->
+    [
+      ("shard", I shard);
+      ("slot", I slot);
+      ("from_host", I from_host);
+      ("to_host", I to_host);
+      ("reason", S reason);
+    ]
 
 (* -- reconstruction (the JSONL importer) ----------------------------- *)
 
@@ -317,6 +339,18 @@ let of_fields ~kind fs =
     let* rule = str_field fs "rule" in
     let* duration = float_field fs "duration" in
     Ok (Alert_cleared { rule; duration })
+  | "shard_assigned" ->
+    let* shard = int_field fs "shard" in
+    let* host = int_field fs "host" in
+    let* slot = int_field fs "slot" in
+    Ok (Shard_assigned { shard; host; slot })
+  | "shard_rebalanced" ->
+    let* shard = int_field fs "shard" in
+    let* slot = int_field fs "slot" in
+    let* from_host = int_field fs "from_host" in
+    let* to_host = int_field fs "to_host" in
+    let* reason = str_field fs "reason" in
+    Ok (Shard_rebalanced { shard; slot; from_host; to_host; reason })
   | k -> Error (Printf.sprintf "unknown event kind %S" k)
 
 (* -- rendering -------------------------------------------------------- *)

@@ -68,6 +68,18 @@ type t =
           [threshold] (emitted by {e Slo}, source ["slo"]). *)
   | Alert_cleared of { rule : string; duration : float }
       (** The alert for [rule] recovered after [duration] seconds. *)
+  | Shard_assigned of { shard : int; host : int; slot : int }
+      (** Deployment placement: content [shard]'s replica [slot] was
+          placed on pool host [host] (rendezvous hashing). *)
+  | Shard_rebalanced of {
+      shard : int;
+      slot : int;
+      from_host : int;
+      to_host : int;
+      reason : string;  (** "crash" | "exclusion" *)
+    }
+      (** Re-homing (§3.5): the replica moved to a fresh host after its
+          old host died or the slave process was excluded. *)
 
 type field = I of int | F of float | S of string | B of bool
 

@@ -249,13 +249,16 @@ let field_of_json = function
 
 (* -- JSONL ------------------------------------------------------------- *)
 
-let event_line ~time ~source event =
+(* [extra] pairs are appended after the event's own fields (a tag like
+   "shard" that is metadata about the stream, not part of the event);
+   the importer drops unknown keys, so tagged lines stay replayable. *)
+let event_line ?(extra = []) ~time ~source event =
   Json.to_string
     (Json.Obj
        (("ts", Json.Num time)
         :: ("source", Json.Str source)
         :: ("kind", Json.Str (Event.kind event))
-        :: List.map (fun (k, v) -> (k, json_of_field v)) (Event.fields event)))
+        :: (List.map (fun (k, v) -> (k, json_of_field v)) (Event.fields event) @ extra)))
 
 let jsonl_of_records records =
   let buf = Buffer.create 4096 in

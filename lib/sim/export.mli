@@ -20,9 +20,13 @@ module Json : sig
   val member : string -> t -> t option
 end
 
-val event_line : time:float -> source:string -> Event.t -> string
+val event_line :
+  ?extra:(string * Json.t) list -> time:float -> source:string -> Event.t -> string
 (** One JSONL line (no trailing newline):
-    [{"ts":…,"source":…,"kind":…,<fields>}]. *)
+    [{"ts":…,"source":…,"kind":…,<fields>}].  [extra] pairs are
+    appended after the event fields (stream metadata such as a
+    ["shard"] tag); {!record_of_line} ignores keys no event declares,
+    so tagged lines round-trip to the same record. *)
 
 val jsonl_of_trace : Trace.t -> string
 (** Every retained record, oldest first, one line each. *)

@@ -25,6 +25,28 @@ let test_election_rules () =
   check (Alcotest.option int_t) "suspect alone" None
     (Election.next_view_sequencer ~alive:[ 2 ] ~suspected:2)
 
+let test_election_cascading_suspicion () =
+  (* re-election edge cases: the deterministic rule must keep producing
+     a unique next sequencer as candidates fall over one by one *)
+  check (Alcotest.option int_t) "first candidate after sequencer crash" (Some 1)
+    (Election.next_view_sequencer ~alive:[ 0; 1; 2 ] ~suspected:0);
+  check (Alcotest.option int_t) "candidate crashes too: next in line" (Some 2)
+    (Election.next_view_sequencer ~alive:[ 1; 2 ] ~suspected:1);
+  check (Alcotest.option int_t) "suspect already removed from membership" (Some 3)
+    (Election.next_view_sequencer ~alive:[ 3; 4 ] ~suspected:0);
+  check (Alcotest.option int_t) "last survivor elects itself" (Some 4)
+    (Election.next_view_sequencer ~alive:[ 4 ] ~suspected:3);
+  (* role separation: ordering and audit duties stay on different
+     hosts whenever two masters survive *)
+  List.iter
+    (fun alive ->
+      match (Election.sequencer ~alive, Election.auditor ~alive) with
+      | Some s, Some a when List.length alive >= 2 ->
+        check bool_t "sequencer and auditor distinct" true (s <> a)
+      | Some s, Some a -> check int_t "singleton holds both roles" s a
+      | _ -> Alcotest.fail "roles must exist for non-empty membership")
+    [ [ 0; 1; 2 ]; [ 7; 3 ]; [ 5 ]; [ 9; 1; 4; 6 ] ]
+
 (* ---------------- Harness ---------------- *)
 
 type harness = {
@@ -129,6 +151,60 @@ let test_double_crash () =
   let d2 = deliveries h 2 and d3 = deliveries h 3 in
   check bool_t "survivors agree after two crashes" true (d2 = d3);
   check (Alcotest.list Alcotest.string) "both messages" [ "one"; "two" ] (List.map snd d2)
+
+let test_crash_mid_view_change () =
+  (* the candidate dies while taking over: member 0 crashes, member 1
+     starts the view change (suspect timeout is 2s) and is itself
+     crashed right in the takeover window, so the re-election has to
+     cascade to member 2 without losing any slot *)
+  let h = make_harness ~members:[ 0; 1; 2; 3 ] () in
+  Total_order.broadcast h.group ~from:3 "pre";
+  Sim.run ~until:1.0 h.sim;
+  check int_t "initial sequencer" 0 (Total_order.sequencer_of h.group 3);
+  Total_order.crash h.group 0;
+  (* survivors suspect 0 at ~3s; kill the first candidate mid-takeover *)
+  ignore (Sim.schedule h.sim ~delay:2.2 (fun () -> Total_order.crash h.group 1));
+  ignore
+    (Sim.schedule h.sim ~delay:3.0 (fun () -> Total_order.broadcast h.group ~from:3 "post"));
+  Sim.run ~until:120.0 h.sim;
+  check int_t "member 2 ends up sequencer" 2 (Total_order.sequencer_of h.group 2);
+  check int_t "member 3 agrees on the sequencer" 2 (Total_order.sequencer_of h.group 3);
+  check bool_t "view advanced past the failed takeover" true
+    (Total_order.view_of h.group 3 >= 1);
+  check int_t "views agree" (Total_order.view_of h.group 2) (Total_order.view_of h.group 3);
+  let d2 = deliveries h 2 and d3 = deliveries h 3 in
+  check bool_t "survivors agree" true (d2 = d3);
+  check
+    (Alcotest.list Alcotest.string)
+    "no slot lost across the cascaded view change" [ "pre"; "post" ] (List.map snd d3);
+  check (Alcotest.list int_t) "alive set" [ 2; 3 ] (Total_order.alive h.group)
+
+let test_simultaneous_candidate_timeout () =
+  (* both survivors hit the suspect timeout in the same heartbeat
+     window and race to propose the next view; the deterministic rule
+     must yield exactly one new sequencer, and sends issued from both
+     members inside the race window must all survive *)
+  let h = make_harness ~members:[ 0; 1; 2 ] () in
+  Total_order.broadcast h.group ~from:0 "before";
+  Sim.run ~until:1.0 h.sim;
+  Total_order.crash h.group 0;
+  (* suspicion fires near t = 3.0 for both survivors; fire broadcasts
+     from each of them straddling that instant *)
+  List.iter
+    (fun (delay, from, tag) ->
+      ignore
+        (Sim.schedule h.sim ~delay (fun () ->
+             Total_order.broadcast h.group ~from (Printf.sprintf "race-%s" tag))))
+    [ (1.9, 1, "a"); (1.95, 2, "b"); (2.05, 1, "c"); (2.1, 2, "d") ];
+  Sim.run ~until:120.0 h.sim;
+  let s1 = Total_order.sequencer_of h.group 1 and s2 = Total_order.sequencer_of h.group 2 in
+  check int_t "exactly one winner, agreed by both" s1 s2;
+  check int_t "winner is the deterministic candidate" 1 s1;
+  check int_t "views agree" (Total_order.view_of h.group 1) (Total_order.view_of h.group 2);
+  let d1 = deliveries h 1 and d2 = deliveries h 2 in
+  check bool_t "survivors agree on the order" true (d1 = d2);
+  check int_t "no race message lost" 5 (List.length d1);
+  List.iteri (fun i (seq, _) -> check int_t "slots stay consecutive" i seq) d1
 
 let test_crashed_member_stops () =
   let h = make_harness () in
@@ -241,7 +317,11 @@ let prop_chaos =
 let () =
   Alcotest.run "secrep_broadcast"
     [
-      ("election", [ Alcotest.test_case "rules" `Quick test_election_rules ]);
+      ( "election",
+        [
+          Alcotest.test_case "rules" `Quick test_election_rules;
+          Alcotest.test_case "cascading suspicion" `Quick test_election_cascading_suspicion;
+        ] );
       ( "total_order",
         [
           Alcotest.test_case "basic delivery" `Quick test_basic_delivery;
@@ -250,6 +330,9 @@ let () =
           Alcotest.test_case "sequencer crash + view change" `Quick
             test_sequencer_crash_view_change;
           Alcotest.test_case "double crash" `Quick test_double_crash;
+          Alcotest.test_case "crash mid-view-change" `Quick test_crash_mid_view_change;
+          Alcotest.test_case "simultaneous candidate timeout" `Quick
+            test_simultaneous_candidate_timeout;
           Alcotest.test_case "crashed member stops" `Quick test_crashed_member_stops;
           Alcotest.test_case "partition heal" `Quick test_partition_heal;
           Alcotest.test_case "delivered count" `Quick test_delivered_count;

@@ -269,6 +269,7 @@ let test_harness_chaos_scenario_invariants () =
   let scenario =
     {
       Scenario.sys_seed = 4242;
+      n_shards = 1;
       n_masters = 1;
       slaves_per_master = 3;
       n_clients = 2;

@@ -152,6 +152,7 @@ let test_fuzz_campaign_deterministic () =
 let attack_scenario ?(pledge_batch = 1) ~sys_seed ~mode () =
   {
     Scenario.sys_seed;
+    n_shards = 1;
     n_masters = 1;
     slaves_per_master = 1;
     n_clients = 2;

@@ -589,6 +589,8 @@ let sample_events =
     Event.Audit_overload { backlog = 100000 };
     Event.Alert_raised { rule = "staleness"; value = 6.2; threshold = 5.0 };
     Event.Alert_cleared { rule = "staleness"; duration = 12.5 };
+    Event.Shard_assigned { shard = 2; host = 9; slot = 1 };
+    Event.Shard_rebalanced { shard = 2; slot = 1; from_host = 9; to_host = 4; reason = "crash" };
   ]
 
 let test_event_fields_roundtrip () =
@@ -836,6 +838,47 @@ let test_export_alert_golden () =
   | Ok r -> check bool_t "hostile rule round-trips" true (r.Trace.event = hostile)
   | Error msg -> Alcotest.fail msg
 
+let test_export_shard_golden () =
+  (* Placement wire format: pinned like the alert goldens so shard
+     dashboards can grep these lines across versions. *)
+  let assigned = Event.Shard_assigned { shard = 2; host = 9; slot = 1 } in
+  check Alcotest.string "shard_assigned line"
+    {|{"ts":0.0,"source":"deployment","kind":"shard_assigned","shard":2,"host":9,"slot":1}|}
+    (Export.event_line ~time:0.0 ~source:"deployment" assigned);
+  let rebalanced =
+    Event.Shard_rebalanced { shard = 2; slot = 1; from_host = 9; to_host = 4; reason = "crash" }
+  in
+  check Alcotest.string "shard_rebalanced line"
+    {|{"ts":42.500000000,"source":"deployment","kind":"shard_rebalanced","shard":2,"slot":1,"from_host":9,"to_host":4,"reason":"crash"}|}
+    (Export.event_line ~time:42.5 ~source:"deployment" rebalanced);
+  (* round-trip through the line parser, including a hostile reason *)
+  List.iter
+    (fun e ->
+      match Export.record_of_line (Export.event_line ~time:3.0 ~source:"deployment" e) with
+      | Ok r -> check bool_t (Event.kind e ^ " line round-trips") true (r.Trace.event = e)
+      | Error msg -> Alcotest.fail msg)
+    [
+      assigned;
+      rebalanced;
+      Event.Shard_rebalanced
+        { shard = 0; slot = 0; from_host = 1; to_host = 2; reason = {|ex"clu\sion|} };
+    ];
+  (* the ?extra tagging path: foreign events gain a shard key, events
+     that already carry their shard don't get a duplicate *)
+  let tagged =
+    Export.event_line ~time:1.0 ~source:"slave-0"
+      ~extra:[ ("shard", Export.Json.Int 3) ]
+      (Event.Keepalive_sent { master = 0; version = 7 })
+  in
+  check Alcotest.string "extra shard tag appended"
+    {|{"ts":1.0,"source":"slave-0","kind":"keepalive_sent","master":0,"version":7,"shard":3}|}
+    tagged;
+  match Export.record_of_line tagged with
+  | Ok r ->
+    check bool_t "tagged line still parses as its event" true
+      (r.Trace.event = Event.Keepalive_sent { master = 0; version = 7 })
+  | Error msg -> Alcotest.fail msg
+
 let test_export_alert_all_formats () =
   (* Alert events survive every --trace-format: jsonl round-trips and
      chrome renders them as instants on the "slo" thread. *)
@@ -984,6 +1027,7 @@ let () =
           Alcotest.test_case "prometheus text" `Quick test_export_prometheus;
           Alcotest.test_case "json parser" `Quick test_export_json_parser;
           Alcotest.test_case "alert golden lines" `Quick test_export_alert_golden;
+          Alcotest.test_case "shard golden lines" `Quick test_export_shard_golden;
           Alcotest.test_case "alerts in every format" `Quick test_export_alert_all_formats;
         ] );
     ]
