@@ -25,6 +25,8 @@ let experiments =
      Secrep_experiments.Exp11_audit.run);
     ("e12", "sharded content plane: throughput + detection vs shard count",
      Secrep_experiments.Exp12_shard.run);
+    ("e13", "strategic adversaries: uniform vs suspicion-weighted auditing",
+     Secrep_experiments.Exp13_adversary.run);
     ("micro", "primitive micro-benchmarks (bechamel)", Secrep_experiments.Micro.run);
   ]
 

@@ -107,7 +107,7 @@ let tests =
              Secrep_core.Pledge.make ~slave_key ~slave_id:0
                ~query:(Store.Query.point_read "k")
                ~result_digest:(Store.Canonical.result_digest result)
-               ~keepalive
+               ~keepalive ()
            in
            Secrep_core.Pledge.verify
              ~slave_public:(Crypto.Sig_scheme.public_of slave_key)

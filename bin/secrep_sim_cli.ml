@@ -26,14 +26,49 @@ module Catalog = Secrep_workload.Catalog
 module Mix = Secrep_workload.Mix
 module Driver = Secrep_workload.Driver
 
-let lie_mode_of_string = function
+let strip_prefix ~prefix s =
+  let n = String.length prefix in
+  if String.length s > n && String.sub s 0 n = prefix then
+    Some (String.sub s n (String.length s - n))
+  else None
+
+let lie_mode_of_string s =
+  match s with
   | "corrupt" -> Ok Fault.Corrupt_result
   | "stale" -> Ok Fault.Stale_state
   | "bad-signature" -> Ok Fault.Bad_signature
   | "omit" -> Ok Fault.Omit_result
-  | s when String.length s > 8 && String.sub s 0 8 = "collude:" ->
-    Ok (Fault.Collude (String.sub s 8 (String.length s - 8)))
-  | s -> Error (Printf.sprintf "unknown lie mode %S" s)
+  | "replay" | "replay-pledge" -> Ok Fault.Replay_pledge
+  | s -> (
+    match strip_prefix ~prefix:"collude:" s with
+    | Some tag -> Ok (Fault.Collude tag)
+    | None -> (
+      match strip_prefix ~prefix:"equivocate:" s with
+      | Some clique -> (
+        let parts = String.split_on_char ',' clique in
+        match
+          List.fold_right
+            (fun part acc ->
+              match (acc, int_of_string_opt (String.trim part)) with
+              | Some ids, Some id -> Some (id :: ids)
+              | _ -> None)
+            parts (Some [])
+        with
+        | Some (_ :: _ as clique) -> Ok (Fault.Equivocate { clique })
+        | _ -> Error (Printf.sprintf "equivocate clique %S is not a comma list of client ids" clique))
+      | None -> (
+        match strip_prefix ~prefix:"adaptive:" s with
+        | Some threshold -> (
+          match float_of_string_opt threshold with
+          | Some threshold when threshold > 0.0 -> Ok (Fault.Adaptive { threshold })
+          | _ -> Error (Printf.sprintf "adaptive threshold %S is not a positive number" threshold))
+        | None -> (
+          match strip_prefix ~prefix:"flaky-omit:" s with
+          | Some burst -> (
+            match int_of_string_opt burst with
+            | Some burst when burst >= 1 -> Ok (Fault.Flaky_omit { burst })
+            | _ -> Error (Printf.sprintf "flaky-omit burst %S is not a positive int" burst))
+          | None -> Error (Printf.sprintf "unknown lie mode %S" s)))))
 
 (* "-" means stdout, anything else is a file path. *)
 let write_out path content =
@@ -125,9 +160,9 @@ let monitoring_args =
 
 let run_simulation ~masters ~slaves_per_master ~clients ~items ~duration ~read_rate
     ~write_rate ~double_check_p ~max_latency ~keepalive ~audit ~pledge_batch
-    ~pledge_batch_window ~audit_dedup ~malicious ~lie_prob ~lie_mode ~lie_from ~seed ~csv
-    ~trace_out ~trace_format ~metrics_out ~slo ~slo_out ~lineage_out ~trace_capacity
-    ~span_capacity =
+    ~pledge_batch_window ~audit_dedup ~read_nonces ~audit_adaptive ~malicious ~lie_prob
+    ~lie_mode ~lie_from ~seed ~csv ~trace_out ~trace_format ~metrics_out ~slo ~slo_out
+    ~lineage_out ~trace_capacity ~span_capacity =
   (* Reject a bad format before spending time on the simulation. *)
   if trace_format <> "jsonl" && trace_format <> "chrome" then begin
     Printf.eprintf "unknown trace format %S (expected jsonl or chrome)\n" trace_format;
@@ -144,6 +179,8 @@ let run_simulation ~masters ~slaves_per_master ~clients ~items ~duration ~read_r
         pledge_batch_size = pledge_batch;
         pledge_batch_window;
         audit_dedup;
+        read_nonces;
+        audit_adaptive;
       }
   in
   let system =
@@ -200,6 +237,9 @@ let run_simulation ~masters ~slaves_per_master ~clients ~items ~duration ~read_r
     if pledge_batch > 1 || audit_dedup then
       Printf.printf "  batching: pledge_batch=%d window=%.2gs dedup=%b\n" pledge_batch
         pledge_batch_window audit_dedup;
+    if read_nonces || audit_adaptive then
+      Printf.printf "  hardening: read_nonces=%b audit_adaptive=%b\n" read_nonces
+        audit_adaptive;
     (match malicious with
     | Some slave ->
       Printf.printf "  attack: slave %d, mode %s, prob %.2g, from t=%.2gs\n" slave lie_mode
@@ -222,6 +262,11 @@ let run_simulation ~masters ~slaves_per_master ~clients ~items ~duration ~read_r
       Printf.printf "  audit dedup      %d distinct re-execution(s), %d memo hit(s)\n"
         (Auditor.distinct_reexecs auditor)
         (Auditor.dedup_hits auditor);
+    if read_nonces then
+      Printf.printf "  replay defense   %d nonce rejection(s)\n"
+        (Stats.get stats "client.nonce_rejections");
+    if audit_adaptive then
+      Printf.printf "  quarantines      %d\n" (Stats.get stats "auditor.quarantines");
     Printf.printf "  exclusions       [%s]\n"
       (String.concat "; "
          (List.map
@@ -508,10 +553,42 @@ let run_cmd =
       value
       & opt string "corrupt"
       & info [ "lie-mode" ]
-          ~doc:"Attack: corrupt | stale | bad-signature | omit | collude:TAG.")
+          ~doc:
+            "Attack: corrupt | stale | bad-signature | omit | collude:TAG | replay | \
+             equivocate:CLIENT,... | adaptive:THRESHOLD | flaky-omit:BURST.")
+  in
+  let adversary =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "adversary" ] ~docv:"MODE"
+          ~doc:
+            "Shorthand for a strategic adversary: sets --lie-mode to $(docv) and, when \
+             --malicious is absent, makes slave 0 malicious.  Same mode grammar as \
+             --lie-mode.")
   in
   let lie_from =
     Arg.(value & opt float 0.0 & info [ "lie-from" ] ~doc:"Attack start time (sim seconds).")
+  in
+  let read_nonces =
+    Arg.(
+      value
+      & flag
+      & info [ "read-nonces" ]
+          ~doc:
+            "Bind each pledge to its read's request id so replayed pledges are rejected \
+             (replay defense).  Off by default for wire compatibility.")
+  in
+  let audit_adaptive =
+    Arg.(
+      value
+      & flag
+      & info [ "audit-adaptive" ]
+          ~doc:
+            "Suspicion-weighted audit sampling: slaves that accumulate suspicion (late \
+             pledges, nonce rejections, double-check mismatches) are audited more and \
+             can be quarantined on probation.  Exclusion still requires cryptographic \
+             proof.")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic seed.") in
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Machine-readable one-line output.") in
@@ -547,10 +624,18 @@ let run_cmd =
       const
         (fun masters slaves_per_master shards replication_factor clients items duration
              read_rate write_rate double_check_p max_latency keepalive audit pledge_batch
-             pledge_batch_window audit_dedup malicious lie_prob lie_mode lie_from seed csv
-             trace_out trace_format metrics_out slo slo_out lineage_out trace_capacity
-             span_capacity ->
-          if shards > 1 then
+             pledge_batch_window audit_dedup malicious lie_prob lie_mode adversary lie_from
+             read_nonces audit_adaptive seed csv trace_out trace_format metrics_out slo
+             slo_out lineage_out trace_capacity span_capacity ->
+          let lie_mode = match adversary with Some m -> m | None -> lie_mode in
+          let malicious =
+            match (adversary, malicious) with Some _, None -> Some 0 | _, m -> m
+          in
+          if shards > 1 then begin
+            if read_nonces || audit_adaptive then
+              Printf.eprintf
+                "note: --read-nonces/--audit-adaptive apply to single-system runs only; \
+                 ignored with --shards > 1\n";
             run_sharded_simulation ~shards ~masters
               ~replication_factor:
                 (match replication_factor with
@@ -559,6 +644,7 @@ let run_cmd =
               ~clients ~items ~duration ~read_rate ~write_rate ~double_check_p ~max_latency
               ~keepalive ~audit ~malicious ~lie_prob ~lie_mode ~lie_from ~seed ~csv
               ~trace_out ~trace_format ~slo ~slo_out
+          end
           else
             let slaves_per_master =
               match replication_factor with
@@ -567,14 +653,14 @@ let run_cmd =
             in
             run_simulation ~masters ~slaves_per_master ~clients ~items ~duration ~read_rate
               ~write_rate ~double_check_p ~max_latency ~keepalive ~audit ~pledge_batch
-              ~pledge_batch_window ~audit_dedup ~malicious ~lie_prob ~lie_mode ~lie_from
-              ~seed ~csv ~trace_out ~trace_format ~metrics_out ~slo ~slo_out ~lineage_out
-              ~trace_capacity ~span_capacity)
+              ~pledge_batch_window ~audit_dedup ~read_nonces ~audit_adaptive ~malicious
+              ~lie_prob ~lie_mode ~lie_from ~seed ~csv ~trace_out ~trace_format
+              ~metrics_out ~slo ~slo_out ~lineage_out ~trace_capacity ~span_capacity)
       $ masters $ slaves $ shards $ replication_factor $ clients $ items $ duration
       $ read_rate $ write_rate $ p $ max_latency $ keepalive $ audit $ pledge_batch
-      $ pledge_batch_window $ audit_dedup $ malicious $ lie_prob $ lie_mode $ lie_from
-      $ seed $ csv $ trace_out $ trace_format $ metrics_out $ slo_flag $ slo_out
-      $ lineage_out $ trace_capacity $ span_capacity)
+      $ pledge_batch_window $ audit_dedup $ malicious $ lie_prob $ lie_mode $ adversary
+      $ lie_from $ read_nonces $ audit_adaptive $ seed $ csv $ trace_out $ trace_format
+      $ metrics_out $ slo_flag $ slo_out $ lineage_out $ trace_capacity $ span_capacity)
   in
   Cmd.v
     (Cmd.info "run"
@@ -830,6 +916,8 @@ let run_chaos ~masters ~slaves_per_master ~clients ~items ~duration ~read_rate ~
           double_check_p = 0.05;
           audit = true;
           pledge_batch = 1;
+          read_nonces = false;
+          audit_adaptive = false;
           net = Scenario.Wan;
           faults = [];
           chaos = [];
@@ -1010,6 +1098,8 @@ let run_chaos_sharded ~shards ~masters ~replication_factor ~clients ~items ~dura
             double_check_p = 0.05;
             audit = true;
             pledge_batch = 1;
+      read_nonces = false;
+      audit_adaptive = false;
             net = Scenario.Wan;
             faults = [];
             chaos = [];
@@ -1181,6 +1271,297 @@ let chaos_cmd =
           bursts, latency spikes — and check the resilience invariants on the event \
           stream.  Scripted (--schedule) or seeded-random; both replay exactly from the \
           same inputs.")
+    term
+
+(* -- attack campaign ----------------------------------------------------
+
+   [campaign] runs one seeded simulation per lie mode — the legacy
+   blunt liars plus the strategic adversaries — with the hardening
+   knobs on, and asserts each attack is neutralized (convicted,
+   quarantined, rejected or suppressed) with zero false accusations
+   anywhere.  CI runs this as the adversary smoke job. *)
+
+let campaign_default_modes =
+  [ "corrupt"; "stale"; "bad-signature"; "omit"; "collude:ring"; "replay";
+    "equivocate:0"; "adaptive:1.5"; "flaky-omit:3" ]
+
+type campaign_row = {
+  c_mode : string;
+  c_launched : int;
+  c_suppressed : int;
+  c_accused_at : float option;
+  c_reads_before : int option;
+  c_detect_latency : float option;
+  c_quarantines : int;
+  c_nonce_rejects : int;
+  c_wrong : int;
+  c_false : int list;  (** accused slaves other than the malicious one *)
+  c_verdict : (unit, string) result;
+}
+
+let campaign_one ~mode ~masters ~slaves_per_master ~clients ~items ~duration ~read_rate
+    ~write_rate ~lie_prob ~read_nonces ~audit_adaptive ~seed =
+  match lie_mode_of_string mode with
+  | Error msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 2
+  | Ok fault_mode ->
+    let max_latency = 5.0 in
+    let config =
+      Config.validate_exn
+        {
+          Config.default with
+          Config.max_latency;
+          keepalive_period = 1.0;
+          double_check_probability = 0.05;
+          audit_enabled = true;
+          read_nonces;
+          audit_adaptive;
+        }
+    in
+    let system =
+      System.create ~n_masters:masters ~slaves_per_master ~n_clients:clients ~config
+        ~seed:(Int64.of_int seed) ()
+    in
+    (* Capture the live stream: the trace ring may wrap on long runs,
+       subscribers see everything. *)
+    let lineage = Lineage.create () in
+    let events_rev = ref [] in
+    Trace.on_emit (System.trace system) (fun r ->
+        Lineage.observe lineage r;
+        events_rev := r :: !events_rev);
+    let g = Prng.create ~seed:(Int64.of_int (seed + 1)) in
+    let content = Catalog.product_catalog g ~n:items in
+    System.load_content system content;
+    System.set_slave_behavior system ~slave:0
+      (Fault.Malicious { probability = lie_prob; mode = fault_mode; from_time = 0.0 });
+    let keys = Array.of_list (List.map fst content) in
+    let mix = Mix.create ~rng:(Prng.split g) ~keys () in
+    let driver = Driver.create system ~mix ~rng:(Prng.split g) () in
+    Driver.run_reads driver ~rate:read_rate ~duration;
+    if write_rate > 0.0 then Driver.run_writes driver ~rate:write_rate ~duration ~writer:0;
+    System.run_for system (duration +. (4.0 *. max_latency) +. 60.0);
+    let stats = System.stats system in
+    let s = Driver.summary driver in
+    let launched = ref 0 and suppressed = ref 0 and quarantines = ref 0 in
+    let accusations = ref [] in
+    List.iter
+      (fun r ->
+        match r.Trace.event with
+        | Event.Attack_launched { slave = 0; _ } -> incr launched
+        | Event.Attack_suppressed { slave = 0; _ } -> incr suppressed
+        | Event.Slave_quarantined { slave = 0; _ } -> incr quarantines
+        | Event.Audit_conviction { slave; _ } | Event.Slave_excluded { slave; _ } ->
+          accusations := (r.Trace.time, slave) :: !accusations
+        | Event.Double_check { slave; outcome = Event.Mismatch; _ } ->
+          accusations := (r.Trace.time, slave) :: !accusations
+        | _ -> ())
+      (List.rev !events_rev);
+    let accused_at =
+      List.fold_left
+        (fun acc (t, sl) ->
+          if sl <> 0 then acc
+          else Some (match acc with None -> t | Some a -> Float.min a t))
+        None !accusations
+    in
+    let false_acc =
+      List.sort_uniq compare
+        (List.filter_map (fun (_, sl) -> if sl <> 0 then Some sl else None) !accusations)
+    in
+    Lineage.finalize lineage;
+    let row0 =
+      List.find_opt
+        (fun (r : Lineage.slave_row) -> r.Lineage.slave = 0)
+        (Lineage.slave_rows lineage)
+    in
+    let get = Stats.get stats in
+    let verdict =
+      let family =
+        match String.index_opt mode ':' with
+        | Some i -> String.sub mode 0 i
+        | None -> mode
+      in
+      match family with
+      | "corrupt" | "equivocate" | "collude" ->
+        if accused_at <> None then Ok ()
+        else Error "expected an accusation (conviction / exclusion / DC mismatch)"
+      | "stale" ->
+        if get "client.stale_rejections" > 0 || accused_at <> None then Ok ()
+        else Error "expected the freshness check to reject stale pledges"
+      | "bad-signature" ->
+        if get "client.pledge_rejected" > 0 then Ok ()
+        else Error "expected pledge signature rejections"
+      | "omit" | "flaky-omit" ->
+        if get "client.read_timeouts" > 0 then Ok ()
+        else Error "expected omission to surface as read timeouts"
+      | "replay" | "replay-pledge" ->
+        if not read_nonces then Ok () (* defense off: nothing to assert *)
+        else if get "client.nonce_rejections" = 0 then
+          Error "expected the nonce check to reject replayed pledges"
+        else if audit_adaptive && !quarantines = 0 then
+          Error "expected the adaptive auditor to quarantine the replaying slave"
+        else Ok ()
+      | "adaptive" ->
+        if !launched = 0 || accused_at <> None || !quarantines > 0 then Ok ()
+        else Error "expected the adaptive liar to be suppressed, quarantined or convicted"
+      | _ ->
+        if accused_at <> None then Ok ()
+        else Error "expected an accusation of the malicious slave"
+    in
+    {
+      c_mode = mode;
+      c_launched = !launched;
+      c_suppressed = !suppressed;
+      c_accused_at = accused_at;
+      c_reads_before = Option.bind row0 (fun r -> r.Lineage.reads_before_detection);
+      c_detect_latency = Option.bind row0 (fun r -> r.Lineage.detection_latency);
+      c_quarantines = !quarantines;
+      c_nonce_rejects = get "client.nonce_rejections";
+      c_wrong = s.Driver.accepted_wrong;
+      c_false = false_acc;
+      c_verdict = verdict;
+    }
+
+let json_of_campaign_row row =
+  let open Export.Json in
+  let opt_num = function Some x -> Num x | None -> Null in
+  let opt_int = function Some x -> Int x | None -> Null in
+  Obj
+    [
+      ("mode", Str row.c_mode);
+      ("launched", Int row.c_launched);
+      ("suppressed", Int row.c_suppressed);
+      ("accused_at", opt_num row.c_accused_at);
+      ("reads_before_detection", opt_int row.c_reads_before);
+      ("detection_latency", opt_num row.c_detect_latency);
+      ("quarantines", Int row.c_quarantines);
+      ("nonce_rejections", Int row.c_nonce_rejects);
+      ("wrong_accepts", Int row.c_wrong);
+      ("false_accusations", Arr (List.map (fun s -> Int s) row.c_false));
+      ("ok", Bool (row.c_verdict = Ok ()));
+      ("why", match row.c_verdict with Ok () -> Null | Error m -> Str m);
+    ]
+
+let run_campaign ~masters ~slaves_per_master ~clients ~items ~duration ~read_rate
+    ~write_rate ~lie_prob ~read_nonces ~audit_adaptive ~seed ~modes ~json_out =
+  let modes = if modes = [] then campaign_default_modes else modes in
+  (* Reject an unknown mode before spending time on any simulation. *)
+  List.iter
+    (fun m ->
+      match lie_mode_of_string m with
+      | Ok _ -> ()
+      | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2)
+    modes;
+  Printf.printf "attack campaign: %d mode(s), seed %d, nonces=%b adaptive=%b\n"
+    (List.length modes) seed read_nonces audit_adaptive;
+  let rows =
+    List.mapi
+      (fun i mode ->
+        let row =
+          campaign_one ~mode ~masters ~slaves_per_master ~clients ~items ~duration
+            ~read_rate ~write_rate ~lie_prob ~read_nonces ~audit_adaptive
+            ~seed:(seed + (i * 7919))
+        in
+        Printf.printf "  %-16s launched %5d  suppressed %5d  accused-at %9s  \
+                       reads-before %5s  quarantines %3d  %s\n"
+          row.c_mode row.c_launched row.c_suppressed
+          (match row.c_accused_at with Some t -> Printf.sprintf "%.1fs" t | None -> "-")
+          (match row.c_reads_before with Some n -> string_of_int n | None -> "-")
+          row.c_quarantines
+          (match row.c_verdict with
+          | Ok () -> "PASS"
+          | Error why -> "FAIL: " ^ why);
+        row)
+      modes
+  in
+  (match json_out with
+  | None -> ()
+  | Some path ->
+    write_out path
+      (Export.Json.to_string (Export.Json.Arr (List.map json_of_campaign_row rows)) ^ "\n"));
+  let failed = List.filter (fun r -> r.c_verdict <> Ok ()) rows in
+  let falsely_accused = List.concat_map (fun r -> r.c_false) rows in
+  if falsely_accused <> [] then
+    Printf.printf "campaign: FALSE ACCUSATION of honest slave(s) [%s]\n"
+      (String.concat "; " (List.map string_of_int (List.sort_uniq compare falsely_accused)));
+  if failed = [] && falsely_accused = [] then
+    Printf.printf "campaign: PASS (%d/%d attack modes neutralized, zero false accusations)\n"
+      (List.length rows) (List.length rows)
+  else begin
+    Printf.printf "campaign: FAIL (%d/%d attack modes neutralized)\n"
+      (List.length rows - List.length failed)
+      (List.length rows);
+    exit 1
+  end
+
+let campaign_cmd =
+  let open Cmdliner in
+  let masters = Arg.(value & opt int 2 & info [ "masters" ] ~doc:"Number of master servers.") in
+  let slaves =
+    Arg.(value & opt int 3 & info [ "slaves-per-master" ] ~doc:"Slaves per master.")
+  in
+  let clients = Arg.(value & opt int 8 & info [ "clients" ] ~doc:"Number of clients.") in
+  let items = Arg.(value & opt int 100 & info [ "items" ] ~doc:"Documents in the content.") in
+  let duration =
+    Arg.(value & opt float 120.0 & info [ "duration" ] ~doc:"Workload duration per mode (sim seconds).")
+  in
+  let read_rate = Arg.(value & opt float 10.0 & info [ "read-rate" ] ~doc:"Reads per second.") in
+  let write_rate =
+    Arg.(value & opt float 0.05 & info [ "write-rate" ] ~doc:"Writes per second (0 = none).")
+  in
+  let lie_prob =
+    Arg.(value & opt float 1.0 & info [ "lie-prob" ] ~doc:"Probability the slave lies per read.")
+  in
+  let read_nonces =
+    Arg.(
+      value
+      & opt bool true
+      & info [ "read-nonces" ] ~doc:"Run with the pledge replay defense on (default true).")
+  in
+  let audit_adaptive =
+    Arg.(
+      value
+      & opt bool true
+      & info [ "audit-adaptive" ]
+          ~doc:"Run with suspicion-weighted audit sampling on (default true).")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic seed; mode i runs at seed + 7919i.") in
+  let modes =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            (Printf.sprintf
+               "Attack mode to run (same grammar as run --lie-mode).  Repeatable; \
+                default: %s."
+               (String.concat ", " campaign_default_modes)))
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json-out" ] ~docv:"FILE"
+          ~doc:"Write one JSON record per attack mode to $(docv) ('-' = stdout).")
+  in
+  let term =
+    Term.(
+      const
+        (fun masters slaves_per_master clients items duration read_rate write_rate lie_prob
+             read_nonces audit_adaptive seed modes json_out ->
+          run_campaign ~masters ~slaves_per_master ~clients ~items ~duration ~read_rate
+            ~write_rate ~lie_prob ~read_nonces ~audit_adaptive ~seed ~modes ~json_out)
+      $ masters $ slaves $ clients $ items $ duration $ read_rate $ write_rate $ lie_prob
+      $ read_nonces $ audit_adaptive $ seed $ modes $ json_out)
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Attack campaign: one seeded run per lie mode with the hardening knobs on, \
+          asserting every attack is neutralized — convicted, quarantined, rejected or \
+          suppressed — with zero false accusations.  Non-zero exit on any escape.")
     term
 
 (* -- trace replay ------------------------------------------------------- *)
@@ -1389,4 +1770,7 @@ let () =
         "Simulator for 'Secure Data Replication over Untrusted Hosts' (Popescu, Crispo, \
          Tanenbaum; HotOS 2003)."
   in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; fuzz_cmd; chaos_cmd; trace_cmd; monitor_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; fuzz_cmd; chaos_cmd; campaign_cmd; trace_cmd; monitor_cmd ]))

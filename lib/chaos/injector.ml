@@ -28,6 +28,12 @@ let fire system entry =
   | Schedule.Loss_normal -> System.set_loss system None
   | Schedule.Latency_spike f -> System.set_latency_factor system f
   | Schedule.Latency_normal -> System.set_latency_factor system 1.0
+  | Schedule.Duplicate_burst p -> System.set_duplicate system p
+  | Schedule.Duplicate_normal -> System.set_duplicate system 0.0
+  | Schedule.Reorder_burst n -> System.set_reorder system ~burst:n ~window:0.05
+  | Schedule.Reorder_normal -> System.set_reorder system ~burst:0 ~window:0.0
+  | Schedule.Bitflip_burst p -> System.set_bitflip system p
+  | Schedule.Bitflip_normal -> System.set_bitflip system 0.0
 
 let apply system schedule =
   (match

@@ -16,6 +16,12 @@ type action =
   | Loss_normal
   | Latency_spike of float
   | Latency_normal
+  | Duplicate_burst of float
+  | Duplicate_normal
+  | Reorder_burst of int
+  | Reorder_normal
+  | Bitflip_burst of float
+  | Bitflip_normal
 
 type entry = { time : float; action : action }
 type t = entry list
@@ -38,6 +44,12 @@ let describe = function
   | Loss_normal -> "loss normal"
   | Latency_spike f -> Printf.sprintf "latency x%g" f
   | Latency_normal -> "latency normal"
+  | Duplicate_burst p -> Printf.sprintf "duplicate %g" p
+  | Duplicate_normal -> "duplicate normal"
+  | Reorder_burst n -> Printf.sprintf "reorder %d" n
+  | Reorder_normal -> "reorder normal"
+  | Bitflip_burst p -> Printf.sprintf "bitflip %g" p
+  | Bitflip_normal -> "bitflip normal"
 
 let to_string t =
   sort t
@@ -98,6 +110,18 @@ let parse_action ~line tokens =
   | [ "latency"; f ] when String.length f > 1 && f.[0] = 'x' ->
     let* f = float_of ~line "latency factor" (String.sub f 1 (String.length f - 1)) in
     Ok (Latency_spike f)
+  | [ "duplicate"; "normal" ] -> Ok Duplicate_normal
+  | [ "duplicate"; p ] ->
+    let* p = float_of ~line "duplicate probability" p in
+    Ok (Duplicate_burst p)
+  | [ "reorder"; "normal" ] -> Ok Reorder_normal
+  | [ "reorder"; n ] ->
+    let* n = int_of ~line "reorder burst" n in
+    Ok (Reorder_burst n)
+  | [ "bitflip"; "normal" ] -> Ok Bitflip_normal
+  | [ "bitflip"; p ] ->
+    let* p = float_of ~line "bitflip probability" p in
+    Ok (Bitflip_burst p)
   | _ ->
     Error
       (Printf.sprintf "line %d: unknown action %S" line (String.concat " " tokens))
@@ -152,12 +176,20 @@ let validate ?n_masters ?n_slaves ?n_clients t =
         check_id "slave" n_slaves i
       | Cut_master i | Heal_master i | Crash_master i -> check_id "master" n_masters i
       | Cut_client i | Heal_client i -> check_id "client" n_clients i
-      | Cut_auditor | Heal_auditor | Loss_normal | Latency_normal -> Ok ()
+      | Cut_auditor | Heal_auditor | Loss_normal | Latency_normal | Duplicate_normal
+      | Reorder_normal | Bitflip_normal ->
+        Ok ()
       | Loss_burst p ->
         if p < 0.0 || p >= 1.0 then err "loss %g must be in [0, 1)" p else Ok ()
       | Latency_spike f ->
         if f <= 0.0 || Float.is_nan f then err "latency factor %g must be positive" f
-        else Ok ())
+        else Ok ()
+      | Duplicate_burst p ->
+        if p < 0.0 || p >= 1.0 then err "duplicate %g must be in [0, 1)" p else Ok ()
+      | Reorder_burst n ->
+        if n < 2 then err "reorder burst %d must be >= 2" n else Ok ()
+      | Bitflip_burst p ->
+        if p < 0.0 || p >= 1.0 then err "bitflip %g must be in [0, 1)" p else Ok ())
     (Ok ()) t
 
 (* -- generators ------------------------------------------------------- *)
@@ -172,7 +204,7 @@ let rolling_partition ~n_slaves ~start ~interval ~outage =
   |> List.concat |> sort
 
 let random ~rng ~duration ~n_slaves ?(n_masters = 1) ?(n_clients = 0) ?(intensity = 1.0)
-    () =
+    ?(byzantine = false) () =
   if duration <= 0.0 then invalid_arg "Schedule.random: duration must be positive";
   if intensity < 0.0 then invalid_arg "Schedule.random: intensity must be non-negative";
   (* Every window [t, t+w] closes by this horizon so runs end healed. *)
@@ -236,5 +268,24 @@ let random ~rng ~duration ~n_slaves ?(n_masters = 1) ?(n_clients = 0) ?(intensit
     let t0, t1 = window rng in
     push { time = t0; action = Latency_spike (2.0 +. (6.0 *. Prng.float rng)) };
     push { time = t1; action = Latency_normal }
+  end;
+  (* Byzantine delivery faults, opt-in so existing seeded timelines
+     keep their draw sequence. *)
+  if byzantine then begin
+    if Prng.bernoulli rng (Float.min 1.0 (0.4 *. intensity)) then begin
+      let t0, t1 = window rng in
+      push { time = t0; action = Duplicate_burst (0.05 +. (0.25 *. Prng.float rng)) };
+      push { time = t1; action = Duplicate_normal }
+    end;
+    if Prng.bernoulli rng (Float.min 1.0 (0.4 *. intensity)) then begin
+      let t0, t1 = window rng in
+      push { time = t0; action = Reorder_burst (2 + Prng.int rng 3) };
+      push { time = t1; action = Reorder_normal }
+    end;
+    if Prng.bernoulli rng (Float.min 1.0 (0.4 *. intensity)) then begin
+      let t0, t1 = window rng in
+      push { time = t0; action = Bitflip_burst (0.02 +. (0.1 *. Prng.float rng)) };
+      push { time = t1; action = Bitflip_normal }
+    end
   end;
   sort !entries

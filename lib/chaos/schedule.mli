@@ -24,6 +24,17 @@ type action =
   | Loss_normal
   | Latency_spike of float  (** scale every link's latency model *)
   | Latency_normal
+  | Duplicate_burst of float
+      (** Byzantine: deliveries arrive twice with this probability *)
+  | Duplicate_normal
+  | Reorder_burst of int
+      (** Byzantine: links hold [n] (>= 2) messages and release them
+          reversed *)
+  | Reorder_normal
+  | Bitflip_burst of float
+      (** Byzantine: read-reply pledges get one wire bit flipped with
+          this probability; signature checks must reject them *)
+  | Bitflip_normal
 
 type entry = { time : float; action : action }
 
@@ -46,6 +57,12 @@ at 30.0 loss normal
 at 40.0 latency x4
 at 50.0 latency normal
 at 60.0 cut auditor
+at 70.0 duplicate 0.2
+at 75.0 duplicate normal
+at 80.0 reorder 4
+at 85.0 reorder normal
+at 90.0 bitflip 0.1
+at 95.0 bitflip normal
 v} *)
 
 val parse : string -> (t, string) result
@@ -64,6 +81,7 @@ val random :
   ?n_masters:int ->
   ?n_clients:int ->
   ?intensity:float ->
+  ?byzantine:bool ->
   unit ->
   t
 (** A seeded-random timeline of fault windows over [0, duration]:
@@ -71,8 +89,10 @@ val random :
     bursts and latency spikes, plus (with more than one master) at
     most one master partition or crash.  Every window closes by
     [0.9 *. duration] so the run ends healed.  [intensity] (default
-    1.0) scales how many windows are drawn.  Determined entirely by
-    [rng]. *)
+    1.0) scales how many windows are drawn.  [byzantine] (default
+    false) additionally draws duplicate, reorder and bit-flip windows;
+    it is opt-in so existing seeded timelines keep their exact PRNG
+    draw sequence.  Determined entirely by [rng]. *)
 
 val rolling_partition :
   n_slaves:int -> start:float -> interval:float -> outage:float -> t

@@ -86,6 +86,8 @@ let run scenario =
         double_check_probability = s.Scenario.double_check_p;
         audit_enabled = s.Scenario.audit;
         pledge_batch_size = s.Scenario.pledge_batch;
+        read_nonces = s.Scenario.read_nonces;
+        audit_adaptive = s.Scenario.audit_adaptive;
       }
   in
   let system =
@@ -239,6 +241,8 @@ let run_sharded scenario =
           double_check_probability = s.Scenario.double_check_p;
           audit_enabled = s.Scenario.audit;
           pledge_batch_size = s.Scenario.pledge_batch;
+          read_nonces = s.Scenario.read_nonces;
+          audit_adaptive = s.Scenario.audit_adaptive;
         }
     in
     let deployment =

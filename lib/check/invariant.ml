@@ -392,6 +392,235 @@ let recovery_convergence =
         end);
   }
 
+(* -- adversary invariants --------------------------------------------- *)
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+(* Attribute a Pledge_verified event to the attack that provoked it.
+   Retries reuse the read's request id, so (client, slave, request)
+   alone is ambiguous: a rejected lie followed by an honest retry to
+   the same slave produces an OK verification under the same triple.
+   The first verification of the triple inside
+   [launch_time, issue_time + read_timeout) is unambiguous, though:
+   a retry can only be verified inside that window after an earlier
+   rejection of the attacked attempt (which then comes first), because
+   absent a reply the client waits out the full timeout, which ends
+   the window.  A launch with no verification in its window (reply
+   lost to a latency tail) is simply not judged. *)
+let attack_verification events ~issue_times ~read_timeout (slave, client, request, t0) =
+  match Hashtbl.find_opt issue_times (client, request) with
+  | None -> None
+  | Some issued ->
+    let window_end = issued +. read_timeout -. eps in
+    List.find_opt
+      (fun (r : Trace.record) ->
+        r.Trace.time >= t0 -. eps
+        && r.Trace.time < window_end
+        &&
+        match r.Trace.event with
+        | Event.Pledge_verified { client = c; slave = s; request = q; _ } ->
+          c = client && s = slave && q = request
+        | _ -> false)
+      events
+
+let issue_times_of events =
+  let issued = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Trace.record) ->
+      match r.Trace.event with
+      | Event.Read_issued { client; request; _ } ->
+        if not (Hashtbl.mem issued (client, request)) then
+          Hashtbl.add issued (client, request) r.Trace.time
+      | _ -> ())
+    events;
+  issued
+
+let launches_of events ~mode_prefix =
+  List.filter_map
+    (fun (r : Trace.record) ->
+      match r.Trace.event with
+      | Event.Attack_launched { slave; mode; client; request }
+        when starts_with ~prefix:mode_prefix mode ->
+        Some (slave, client, request, r.Trace.time)
+      | _ -> None)
+    events
+
+let replay_rejection =
+  {
+    name = "replay-rejection";
+    doc =
+      "with read nonces on, a replayed pledge delivered in time is rejected, and the \
+       rejection names the nonce mismatch";
+    check =
+      (fun result ->
+        let s = result.Harness.scenario in
+        if not s.Scenario.read_nonces then Ok ()
+        else begin
+          let events = events_of result in
+          let launches = launches_of events ~mode_prefix:"replay-pledge" in
+          if launches = [] then Ok ()
+          else begin
+            let issue_times = issue_times_of events in
+            let read_timeout =
+              Secrep_core.Config.default.Secrep_core.Config.read_timeout_factor
+              *. s.Scenario.max_latency
+            in
+            List.fold_left
+              (fun acc ((slave, client, request, t0) as launch) ->
+                match acc with
+                | Error _ -> acc
+                | Ok () -> (
+                  match
+                    attack_verification events ~issue_times ~read_timeout launch
+                  with
+                  | None -> Ok ()
+                  | Some r -> (
+                    match r.Trace.event with
+                    | Event.Pledge_verified { ok = true; _ } ->
+                      Error
+                        (Printf.sprintf
+                           "slave %d replayed a pledge to client %d (request %d, \
+                            t=%.3f) and the client verified it OK at t=%.3f despite \
+                            read nonces being on"
+                           slave client request t0 r.Trace.time)
+                    | Event.Pledge_verified { ok = false; reason; _ } ->
+                      if starts_with ~prefix:"nonce" reason then Ok ()
+                      else
+                        Error
+                          (Printf.sprintf
+                             "slave %d replayed a pledge to client %d (request %d, \
+                              t=%.3f); it was rejected at t=%.3f but for %S, not the \
+                              nonce mismatch"
+                             slave client request t0 r.Trace.time reason)
+                    | _ -> Ok ())))
+              (Ok ()) launches
+          end
+        end);
+  }
+
+let equivocation_detection =
+  {
+    name = "equivocation-detection";
+    doc =
+      "an equivocating slave whose lie was verified OK is flagged by the end of the \
+       run (audit on, uniform sampling, clean net, no chaos, no audit overload)";
+    check =
+      (fun result ->
+        let s = result.Harness.scenario in
+        let overloaded =
+          List.exists
+            (fun (r : Trace.record) ->
+              match r.Trace.event with Event.Audit_overload _ -> true | _ -> false)
+            (events_of result)
+        in
+        if
+          (not s.Scenario.audit)
+          || s.Scenario.audit_adaptive || Scenario.lossy s || Scenario.has_chaos s
+          || overloaded
+        then Ok ()
+        else begin
+          let events = events_of result in
+          let launches = launches_of events ~mode_prefix:"equivocate" in
+          if launches = [] then Ok ()
+          else begin
+            let issue_times = issue_times_of events in
+            let read_timeout =
+              Secrep_core.Config.default.Secrep_core.Config.read_timeout_factor
+              *. s.Scenario.max_latency
+            in
+            let flagged = accused_slaves result in
+            List.fold_left
+              (fun acc ((slave, client, request, t0) as launch) ->
+                match acc with
+                | Error _ -> acc
+                | Ok () -> (
+                  match
+                    attack_verification events ~issue_times ~read_timeout launch
+                  with
+                  | Some { Trace.event = Event.Pledge_verified { ok = true; _ }; _ }
+                    when not (List.mem slave flagged) ->
+                    Error
+                      (Printf.sprintf
+                         "slave %d equivocated to client %d (request %d, t=%.3f), the \
+                          lie was verified OK, and the slave was never flagged by \
+                          double-check, audit or exclusion"
+                         slave client request t0)
+                  | _ -> Ok ()))
+              (Ok ()) launches
+          end
+        end);
+  }
+
+let adaptive_no_worse =
+  {
+    name = "adaptive-no-worse";
+    doc =
+      "under common random numbers, suspicion-weighted sampling detects no later than \
+       uniform sampling, and with a lone liar catches at least as many lies";
+    check =
+      (fun result ->
+        let module Audit_core = Secrep_core.Audit_core in
+        let module Prng = Secrep_crypto.Prng in
+        let pledges = result.Harness.pledges in
+        if pledges = [] then Ok ()
+        else begin
+          let s = result.Harness.scenario in
+          let rng =
+            Prng.create
+              ~seed:(Int64.add (Int64.of_int s.Scenario.sys_seed) 0x5EC4E9L)
+          in
+          let draws =
+            Array.init (List.length pledges) (fun _ -> Prng.float rng)
+          in
+          let fraction = 0.5 in
+          let run adaptive =
+            Audit_core.run_sampled ~draws ~fraction ~adaptive
+              ~slave_public:result.Harness.slave_public ~reexec:result.Harness.reexec
+              pledges
+          in
+          let uni = run false and ada = run true in
+          if uni.Audit_core.first_caught <> ada.Audit_core.first_caught then
+            Error
+              (Printf.sprintf
+                 "first detection diverged under common random numbers: uniform \
+                  sampling caught at stream index %s, adaptive at %s (they share every \
+                  decision until the first catch)"
+                 (match uni.Audit_core.first_caught with
+                 | Some i -> string_of_int i
+                 | None -> "never")
+                 (match ada.Audit_core.first_caught with
+                 | Some i -> string_of_int i
+                 | None -> "never"))
+          else begin
+            let naive =
+              Audit_core.run_naive ~slave_public:result.Harness.slave_public
+                ~reexec:result.Harness.reexec pledges
+            in
+            let liars =
+              List.sort_uniq compare
+                (List.filter_map
+                   (fun (p, v) ->
+                     if Audit_core.equal_verdict v Audit_core.Caught then
+                       Some p.Secrep_core.Pledge.slave_id
+                     else None)
+                   (List.combine pledges naive))
+            in
+            if List.length liars <= 1 && ada.Audit_core.caught < uni.Audit_core.caught
+            then
+              Error
+                (Printf.sprintf
+                   "with a lone lying slave, adaptive sampling caught %d lying \
+                    pledge(s) but uniform sampling caught %d on the same draws — the \
+                    liar's audit probability should never drop below the uniform \
+                    fraction"
+                   ada.Audit_core.caught uni.Audit_core.caught)
+            else Ok ()
+          end
+        end);
+  }
+
 let differential_audit =
   {
     name = "differential-audit";
@@ -509,6 +738,9 @@ let all =
     availability;
     recovery_convergence;
     differential_audit;
+    replay_rejection;
+    equivocation_detection;
+    adaptive_no_worse;
     alert_coverage;
   ]
 

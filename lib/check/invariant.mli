@@ -60,6 +60,33 @@ val recovery_convergence : checker
     (master cut or crash, re-cut of the same slave, loss burst or
     latency spike), exclusions, and runs ending before the deadline. *)
 
+val replay_rejection : checker
+(** With [read_nonces] on, a replayed pledge that reaches its victim
+    in time is rejected, and rejected {e for the nonce mismatch}.
+    Each [Attack_launched] (mode [replay-pledge]) is matched to the
+    first [Pledge_verified] for its (client, slave, request) triple
+    inside the attacked attempt's timeout window, which is the only
+    unambiguous attribution once retries reuse the request id; a
+    launch whose reply never shows up in the window is not judged. *)
+
+val equivocation_detection : checker
+(** An equivocating slave whose lie was verified OK by the victim is
+    flagged (double-check mismatch, audit conviction or exclusion) by
+    the end of the run.  Requires audit on with uniform sampling, a
+    loss-free network, no chaos and no auditor overload — each of
+    those can legitimately drop the convicting pledge. *)
+
+val adaptive_no_worse : checker
+(** Differential over the recorded pledge stream via
+    {!Secrep_core.Audit_core.run_sampled}: a uniform and a
+    suspicion-weighted sampler share one pre-drawn randomness array
+    (common random numbers), so the comparison is deterministic.
+    Asserts the first detection index coincides (the samplers are
+    identical until the first catch) and, when the stream contains at
+    most one lying slave, that the adaptive sampler catches at least
+    as many lying pledges — the liar's audit probability never drops
+    below the uniform fraction. *)
+
 val alert_coverage : checker
 (** Cross-check between the fuzz invariants and the online monitor:
     replays the run's event stream through an offline

@@ -33,6 +33,8 @@ type t = {
   double_check_p : float;
   audit : bool;
   pledge_batch : int;
+  read_nonces : bool;
+  audit_adaptive : bool;
   net : net;
   faults : fault list;
   chaos : chaos list;
@@ -59,9 +61,19 @@ let normalize s =
       Write { client = imod client n_clients; key = imod key n_items; at = clampf 0.0 60.0 at }
   in
   let normalize_fault f =
+    let mode =
+      match f.mode with
+      | Fault.Equivocate { clique } ->
+        Fault.Equivocate
+          { clique = List.sort_uniq compare (List.map (fun c -> imod c n_clients) clique) }
+      | Fault.Adaptive { threshold } ->
+        Fault.Adaptive { threshold = clampf 0.5 10.0 threshold }
+      | Fault.Flaky_omit { burst } -> Fault.Flaky_omit { burst = clamp 1 8 burst }
+      | m -> m
+    in
     {
       slave = imod f.slave n_slaves;
-      mode = f.mode;
+      mode;
       probability = clampf 0.1 1.0 f.probability;
       from_time = clampf 0.0 30.0 f.from_time;
     }
@@ -140,13 +152,18 @@ let chaos_end = function
 (* -- generation -------------------------------------------------------- *)
 
 let gen_mode : Fault.lie_mode Gen.t =
-  Gen.choose
+  Gen.frequency
     [
-      Fault.Corrupt_result;
-      Fault.Collude "cabal";
-      Fault.Stale_state;
-      Fault.Bad_signature;
-      Fault.Omit_result;
+      (2, Gen.return Fault.Corrupt_result);
+      (2, Gen.return (Fault.Collude "cabal"));
+      (2, Gen.return Fault.Stale_state);
+      (2, Gen.return Fault.Bad_signature);
+      (2, Gen.return Fault.Omit_result);
+      (* Strategic attackers (stateful lie policies). *)
+      (1, Gen.return Fault.Replay_pledge);
+      (1, Gen.map (fun c -> Fault.Equivocate { clique = [ c ] }) (Gen.int_range 0 3));
+      (1, Gen.map (fun threshold -> Fault.Adaptive { threshold }) (Gen.choose [ 1.0; 2.0 ]));
+      (1, Gen.map (fun burst -> Fault.Flaky_omit { burst }) (Gen.int_range 2 5));
     ]
 
 let gen_fault rng =
@@ -197,6 +214,8 @@ let gen rng =
   let double_check_p = Gen.choose [ 0.0; 0.05; 0.3 ] rng in
   let audit = Gen.frequency [ (3, Gen.return true); (1, Gen.return false) ] rng in
   let pledge_batch = Gen.choose [ 1; 2; 3; 4 ] rng in
+  let read_nonces = Gen.frequency [ (1, Gen.return true); (2, Gen.return false) ] rng in
+  let audit_adaptive = Gen.frequency [ (1, Gen.return true); (2, Gen.return false) ] rng in
   let net =
     Gen.frequency
       [
@@ -222,6 +241,8 @@ let gen rng =
       double_check_p;
       audit;
       pledge_batch;
+      read_nonces;
+      audit_adaptive;
       net;
       faults;
       chaos;
@@ -243,7 +264,16 @@ let shrink_op op =
       (Seq.map (fun key -> Write { client; key; at }) (towards_zero key))
 
 let shrink_fault f =
-  Seq.map (fun slave -> { f with slave }) (Shrink.int_towards ~target:0 f.slave)
+  let base = Seq.map (fun slave -> { f with slave }) (Shrink.int_towards ~target:0 f.slave) in
+  (* Strategic modes first shrink to the plain liar: a violation that
+     survives as [Corrupt_result] implicates the base protocol, not the
+     attack policy. *)
+  match f.mode with
+  | Fault.Replay_pledge | Fault.Equivocate _ | Fault.Adaptive _ | Fault.Flaky_omit _ ->
+    Seq.append (Seq.return { f with mode = Fault.Corrupt_result }) base
+  | Fault.Corrupt_result | Fault.Collude _ | Fault.Stale_state | Fault.Bad_signature
+  | Fault.Omit_result ->
+    base
 
 let shrink_chaos = function
   | Slave_cut { slave; from_time; outage } ->
@@ -291,6 +321,8 @@ let shrink s =
                 (Shrink.int_towards ~target:1 s.n_items));
            (if s.double_check_p > 0.0 then [ { s with double_check_p = 0.0 } ] else []);
            (if s.pledge_batch > 1 then [ { s with pledge_batch = 1 } ] else []);
+           (if s.read_nonces then [ { s with read_nonces = false } ] else []);
+           (if s.audit_adaptive then [ { s with audit_adaptive = false } ] else []);
            (match s.net with Lan -> [] | Wan | Lossy _ -> [ { s with net = Lan } ]);
          ])
   in
@@ -314,6 +346,11 @@ let mode_to_string = function
   | Fault.Stale_state -> "stale"
   | Fault.Bad_signature -> "bad-signature"
   | Fault.Omit_result -> "omit"
+  | Fault.Replay_pledge -> "replay"
+  | Fault.Equivocate { clique } ->
+    Printf.sprintf "equivocate:[%s]" (String.concat "," (List.map string_of_int clique))
+  | Fault.Adaptive { threshold } -> Printf.sprintf "adaptive:%.2g" threshold
+  | Fault.Flaky_omit { burst } -> Printf.sprintf "flaky-omit:%d" burst
 
 let pp_op fmt = function
   | Read { client; key; at } -> Format.fprintf fmt "read(c%d, k%d, t=%.2f)" client key at
@@ -341,12 +378,13 @@ let pp fmt s =
   Format.fprintf fmt
     "@[<v>scenario:@,\
     \  sys_seed=%d  %d shard(s), %d master(s) x %d slave(s), %d client(s), %d item(s)@,\
-    \  max_latency=%.2g keepalive=%.2g double_check_p=%.2g audit=%b batch=%d net=%s@,\
+    \  max_latency=%.2g keepalive=%.2g double_check_p=%.2g audit=%b batch=%d nonces=%b adaptive=%b net=%s@,\
     \  faults: %s@,\
     \  chaos: %s@,\
     \  ops (%d):@,%a@]"
     s.sys_seed s.n_shards s.n_masters s.slaves_per_master s.n_clients s.n_items s.max_latency
-    s.keepalive_period s.double_check_p s.audit s.pledge_batch (net_to_string s.net)
+    s.keepalive_period s.double_check_p s.audit s.pledge_batch s.read_nonces
+    s.audit_adaptive (net_to_string s.net)
     (if s.faults = [] then "none"
      else String.concat "; " (List.map (Format.asprintf "%a" pp_fault) s.faults))
     (if s.chaos = [] then "none"

@@ -60,6 +60,12 @@ type t = {
   pledge_batch : int;
       (** [Config.pledge_batch_size]: 1 = classic per-pledge signing,
           >1 = Merkle-batched pledges (clamped to [1,8]) *)
+  read_nonces : bool;
+      (** [Config.read_nonces]: clients bind pledges to a per-read
+          nonce and reject replays *)
+  audit_adaptive : bool;
+      (** [Config.audit_adaptive]: suspicion-weighted audit sampling
+          with quarantine *)
   net : net;
   faults : fault list;
   chaos : chaos list;

@@ -106,3 +106,69 @@ let run_dedup ~slave_public ~reexec pledges =
       dedup_hits = Audit_index.hits idx;
       root_verifications = !root_verifications;
     } )
+
+type sampled = {
+  audited : int;
+  caught : int;
+  first_caught : int option;
+  caught_by_slave : (int * int) list;
+}
+
+let run_sampled ~draws ~fraction ~adaptive ?(floor = 0.25) ~slave_public ~reexec
+    pledges =
+  if List.length pledges > Array.length draws then
+    invalid_arg "Audit_core.run_sampled: fewer draws than pledges";
+  (* Offline suspicion: bumped by the conviction amount on every Caught
+     verdict, never decayed.  Decay is a liveness refinement; the
+     no-worse comparison only needs the ordering of scores, which decay
+     preserves between catches. *)
+  let susp : (int, float) Hashtbl.t = Hashtbl.create 8 in
+  let probability slave =
+    let s =
+      match Hashtbl.find_opt susp slave with
+      | Some s -> s
+      | None ->
+        Hashtbl.replace susp slave 0.0;
+        0.0
+    in
+    if not adaptive then fraction
+    else begin
+      let sum = Hashtbl.fold (fun _ v acc -> acc +. v) susp 0.0 in
+      let mean = sum /. float_of_int (Hashtbl.length susp) in
+      Float.min 1.0
+        (Float.max (floor *. fraction) (fraction *. (1.0 +. s) /. (1.0 +. mean)))
+    end
+  in
+  let audited = ref 0 in
+  let caught = ref 0 in
+  let first_caught = ref None in
+  let caught_by_slave : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iteri
+    (fun i (pledge : Pledge.t) ->
+      let slave = pledge.Pledge.slave_id in
+      let p = probability slave in
+      if draws.(i) < p then begin
+        incr audited;
+        let signature_ok =
+          match slave_public slave with
+          | Some public -> Pledge.verify_signature ~slave_public:public pledge
+          | None -> false
+        in
+        match judge ~reexec pledge ~signature_ok with
+        | Caught ->
+          incr caught;
+          if !first_caught = None then first_caught := Some i;
+          Hashtbl.replace caught_by_slave slave
+            (1 + Option.value ~default:0 (Hashtbl.find_opt caught_by_slave slave));
+          let s = Option.value ~default:0.0 (Hashtbl.find_opt susp slave) in
+          Hashtbl.replace susp slave (s +. 2.0)
+        | Ok_pledge | Bad_signature -> ()
+      end)
+    pledges;
+  {
+    audited = !audited;
+    caught = !caught;
+    first_caught = !first_caught;
+    caught_by_slave =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) caught_by_slave []);
+  }

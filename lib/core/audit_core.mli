@@ -33,3 +33,33 @@ val run_dedup :
 (** Same verdict contract as {!run_naive}, computed through the dedup
     index and memoized root verification; also reports how much work
     the memoization saved. *)
+
+type sampled = {
+  audited : int;  (** pledges the sampler chose to audit *)
+  caught : int;  (** [Caught] verdicts among audited pledges *)
+  first_caught : int option;  (** stream index of the first catch *)
+  caught_by_slave : (int * int) list;  (** sorted [(slave, catches)] *)
+}
+
+val run_sampled :
+  draws:float array ->
+  fraction:float ->
+  adaptive:bool ->
+  ?floor:float ->
+  slave_public:(int -> Secrep_crypto.Sig_scheme.public option) ->
+  reexec:(version:int -> Secrep_store.Query.t -> string option) ->
+  Pledge.t list ->
+  sampled
+(** Offline sampled auditing over a recorded stream, for the
+    adaptive-no-worse differential.  Pledge [i] is audited iff
+    [draws.(i) < p_i]; supplying the same [draws] to a uniform and an
+    adaptive run gives common random numbers, so the comparison is
+    deterministic per seed.  With [adaptive = false], [p_i] is always
+    [fraction]; with [adaptive = true], [p_i] is the live auditor's
+    suspicion-weighted probability
+    [clamp (fraction * (1+s_i) / (1+mean_s), floor*fraction, 1.0)],
+    where suspicion is bumped by the conviction amount on each [Caught]
+    verdict (no decay offline).  Until the first catch both samplers
+    behave identically, so the first detection index coincides; after
+    it, a lone liar's probability can only sit at or above [fraction].
+    Raises [Invalid_argument] if [draws] is shorter than the stream. *)

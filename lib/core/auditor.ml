@@ -18,6 +18,18 @@ module Sig_scheme = Secrep_crypto.Sig_scheme
 
 type audit_verdict = Pledge_ok | Slave_caught | Bad_pledge_signature
 
+(* Per-slave suspicion: an exponentially-decayed accumulator of weak
+   signals (late pledges, nonce rejects, double-check mismatches,
+   convictions).  [score] is the value as of [score_at]; readers decay
+   it lazily.  None of this is proof — it only biases where the audit
+   budget goes, and (past the threshold) triggers probation. *)
+type suspicion = {
+  mutable score : float;
+  mutable score_at : float;
+  mutable quarantined_until : float;
+  mutable quarantine_count : int;
+}
+
 type t = {
   sim : Sim.t;
   config : Config.t;
@@ -44,6 +56,8 @@ type t = {
   mutable overload_drops : int;
   backlog_series : Timeseries.t;
   mutable backlog : int;
+  suspicion : (int, suspicion) Hashtbl.t; (* slave id -> record *)
+  mutable quarantines : int;
 }
 
 let emit t event =
@@ -82,6 +96,8 @@ let create sim ~config ~stats ~rng ~slave_public ~report ?trace:trace_buf ?spans
       overload_drops = 0;
       backlog_series = Timeseries.create ~name:"auditor.backlog" ();
       backlog = 0;
+      suspicion = Hashtbl.create 16;
+      quarantines = 0;
     }
   in
   t
@@ -100,6 +116,79 @@ let distinct_reexecs t = match t.dedup with Some d -> Audit_index.distinct d | N
 
 let note_backlog t =
   Timeseries.record t.backlog_series ~time:(Sim.now t.sim) (float_of_int t.backlog)
+
+(* -- suspicion scores (adaptive auditing) ---------------------------- *)
+
+let suspicion_for t ~slave =
+  match Hashtbl.find_opt t.suspicion slave with
+  | Some s -> s
+  | None ->
+    let s =
+      { score = 0.0; score_at = Sim.now t.sim; quarantined_until = 0.0;
+        quarantine_count = 0 }
+    in
+    Hashtbl.add t.suspicion slave s;
+    s
+
+let decayed_score t (s : suspicion) =
+  let now = Sim.now t.sim in
+  if s.score = 0.0 then 0.0
+  else s.score *. exp (-.(now -. s.score_at) /. t.config.Config.suspicion_tau)
+
+let suspicion_score t ~slave =
+  match Hashtbl.find_opt t.suspicion slave with
+  | Some s -> decayed_score t s
+  | None -> 0.0
+
+let is_quarantined t ~slave =
+  match Hashtbl.find_opt t.suspicion slave with
+  | Some s -> Sim.now t.sim < s.quarantined_until
+  | None -> false
+
+let quarantines t = t.quarantines
+
+let note_suspicion t ~slave ~amount =
+  let s = suspicion_for t ~slave in
+  let now = Sim.now t.sim in
+  s.score <- decayed_score t s +. amount;
+  s.score_at <- now;
+  Stats.incr t.stats "auditor.suspicion_bumps";
+  (* Probation only exists in the adaptive regime: with the flag off
+     the score is tracked (cheap, invisible) but never acted on, so the
+     seed event stream is untouched. *)
+  if
+    t.config.Config.audit_adaptive
+    && s.score >= t.config.Config.quarantine_threshold
+    && now >= s.quarantined_until
+  then begin
+    s.quarantined_until <- now +. t.config.Config.quarantine_duration;
+    s.quarantine_count <- s.quarantine_count + 1;
+    t.quarantines <- t.quarantines + 1;
+    Stats.incr t.stats "auditor.quarantines";
+    emit t
+      (Event.Slave_quarantined
+         { slave; score = s.score; until = s.quarantined_until })
+  end
+
+(* Suspicion-weighted sampling probability for one pledge, normalized
+   against the mean score over all tracked slaves so the expected audit
+   volume stays near the uniform budget ([audit_fraction]).  Quarantined
+   slaves are audited at 100% (probation); everyone else is clamped to
+   no less than [suspicion_floor *. audit_fraction] so an attacker that
+   keeps its own score clean is still sampled. *)
+let adaptive_probability t ~slave =
+  if is_quarantined t ~slave then 1.0
+  else begin
+    let base = t.config.Config.audit_fraction in
+    let total, n =
+      Hashtbl.fold (fun _ s (tot, n) -> (tot +. decayed_score t s, n + 1))
+        t.suspicion (0.0, 0)
+    in
+    let mean = if n = 0 then 0.0 else total /. float_of_int n in
+    let mine = suspicion_score t ~slave in
+    let p = base *. (1.0 +. mine) /. (1.0 +. mean) in
+    Float.min 1.0 (Float.max (t.config.Config.suspicion_floor *. base) p)
+  end
 
 let queue_for t version =
   match Hashtbl.find_opt t.pending version with
@@ -164,6 +253,7 @@ and audit_one t pledge =
         | Slave_caught ->
           t.caught <- t.caught + 1;
           Stats.incr t.stats "auditor.caught";
+          note_suspicion t ~slave:pledge.Pledge.slave_id ~amount:2.0;
           emit t
             (Event.Audit_conviction
                { slave = pledge.Pledge.slave_id; version = Pledge.version pledge });
@@ -267,11 +357,20 @@ let submit_pledge t pledge =
   let version = Pledge.version pledge in
   if version < audit_version t then begin
     t.late <- t.late + 1;
-    Stats.incr t.stats "auditor.late_pledges"
+    Stats.incr t.stats "auditor.late_pledges";
+    (* Conforming clients cannot be late (the lag slack guarantees it),
+       so a late pledge is a weak signal that somebody is replaying or
+       stalling — worth a suspicion bump, never a conviction. *)
+    note_suspicion t ~slave:pledge.Pledge.slave_id ~amount:0.5
   end
   else if
-    t.config.Config.audit_fraction < 1.0
-    && not (Prng.bernoulli t.rng t.config.Config.audit_fraction)
+    (if t.config.Config.audit_adaptive then begin
+       let p = adaptive_probability t ~slave:pledge.Pledge.slave_id in
+       p < 1.0 && not (Prng.bernoulli t.rng p)
+     end
+     else
+       t.config.Config.audit_fraction < 1.0
+       && not (Prng.bernoulli t.rng t.config.Config.audit_fraction))
   then Stats.incr t.stats "auditor.sampled_out"
   else if t.backlog >= t.config.Config.auditor_queue_capacity then begin
     (* Bounded intake: during outages it is better to shed load (and

@@ -8,9 +8,13 @@ type t = {
   signature : string;
 }
 
+(* The signature must bind the full key material, not a short key id:
+   an id alone would let an attacker rewrite the key bytes inside a
+   certificate without invalidating it (found by wire mutation
+   fuzzing — HMAC key ids do not depend on the secret). *)
 let payload ~content_id ~master_id ~address ~master_public =
   Printf.sprintf "cert|%s|%d|%s|%s" content_id master_id address
-    (Sig_scheme.key_id master_public)
+    (Sig_scheme.encode_public master_public)
 
 let issue content ~master_id ~address master_public =
   let content_id = Content_key.content_id content in

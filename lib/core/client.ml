@@ -44,6 +44,8 @@ type env = {
   send_write : op:Secrep_store.Oplog.op -> reply:(Master.write_ack -> unit) -> unit;
   forward_pledge : Pledge.t -> unit;
   report_proof : Pledge.t -> unit;
+  note_nonce_reject : slave:int -> unit;
+  note_stale_reject : slave:int -> unit;
   reconnect : avoid:int list -> unit;
 }
 
@@ -389,11 +391,18 @@ let rec single_attempt t ~query ~request ~dc_probability ~start ~retries ~caught
           | Some { Slave.result; pledge } -> begin
             verify_span t;
             match
-              Pledge.verify ~slave_public ~master_public ~result ~now:(t.env.now ())
+              Pledge.verify
+                ?expected_nonce:
+                  (if t.config.Config.read_nonces then Some request else None)
+                ~slave_public ~master_public ~result ~now:(t.env.now ())
                 ~max_latency:t.max_latency pledge
             with
             | Error reason ->
               Stats.incr t.stats "client.pledge_rejected";
+              if String.length reason >= 5 && String.sub reason 0 5 = "nonce" then begin
+                Stats.incr t.stats "client.nonce_rejections";
+                t.env.note_nonce_reject ~slave:pledge.Pledge.slave_id
+              end;
               emit t
                 (Event.Pledge_verified
                    {
@@ -407,6 +416,7 @@ let rec single_attempt t ~query ~request ~dc_probability ~start ~retries ~caught
               if String.length reason >= 5 && String.sub reason 0 5 = "stale" then begin
                 t.stale_rejections <- t.stale_rejections + 1;
                 Stats.incr t.stats "client.stale_rejections";
+                t.env.note_stale_reject ~slave:pledge.Pledge.slave_id;
                 (* Freshness can recover without switching slaves. *)
                 retry ~reconnect:false ~caught
               end
@@ -532,7 +542,10 @@ let rec quorum_attempt t ~query ~request ~k ~dc_probability ~start ~retries ~cau
                   | Some slave_public -> begin
                     verify_span t;
                     match
-                      Pledge.verify ~slave_public ~master_public ~result
+                      Pledge.verify
+                        ?expected_nonce:
+                          (if t.config.Config.read_nonces then Some request else None)
+                        ~slave_public ~master_public ~result
                         ~now:(t.env.now ()) ~max_latency:t.max_latency pledge
                     with
                     | Ok () ->
@@ -558,6 +571,13 @@ let rec quorum_attempt t ~query ~request ~k ~dc_probability ~start ~retries ~cau
                              ok = false;
                              reason;
                            });
+                      if String.length reason >= 5 && String.sub reason 0 5 = "nonce"
+                      then begin
+                        Stats.incr t.stats "client.nonce_rejections";
+                        t.env.note_nonce_reject ~slave:slave_id
+                      end
+                      else if String.length reason >= 5 && String.sub reason 0 5 = "stale"
+                      then t.env.note_stale_reject ~slave:slave_id;
                       None
                   end
                 end)

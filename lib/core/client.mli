@@ -66,6 +66,15 @@ type env = {
     op:Secrep_store.Oplog.op -> reply:(Master.write_ack -> unit) -> unit;
   forward_pledge : Pledge.t -> unit;
   report_proof : Pledge.t -> unit;
+  note_nonce_reject : slave:int -> unit;
+      (** A pledge bound to the wrong read nonce was rejected (replay
+          suspicion, not cryptographic proof) — the system bumps the
+          auditors' suspicion score for [slave]. *)
+  note_stale_reject : slave:int -> unit;
+      (** A pledge failed the §3.1 freshness check at read time.  The
+          client refuses it, so the auditor never sees it in the pledge
+          stream; this side channel is the only way the weak signal
+          (replayed or frozen replica) reaches the adaptive sampler. *)
   reconnect : avoid:int list -> unit;
       (** Redo the setup phase (new slave, possibly new master).
           [avoid] lists slave ids the client's circuit breakers have

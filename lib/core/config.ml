@@ -27,6 +27,12 @@ type t = {
   pledge_batch_size : int;
   pledge_batch_window : float;
   audit_dedup : bool;
+  read_nonces : bool;
+  audit_adaptive : bool;
+  suspicion_tau : float;
+  suspicion_floor : float;
+  quarantine_threshold : float;
+  quarantine_duration : float;
 }
 
 let default =
@@ -65,6 +71,16 @@ let default =
     pledge_batch_size = 1;
     pledge_batch_window = 0.05;
     audit_dedup = false;
+    (* Replay-nonces and suspicion-weighted auditing both default off:
+       pledges keep their legacy payload/encoding and the auditor keeps
+       uniform sampling, reproducing the seed protocol bit-for-bit.
+       E13 turns them on to measure the hardening. *)
+    read_nonces = false;
+    audit_adaptive = false;
+    suspicion_tau = 30.0;
+    suspicion_floor = 0.25;
+    quarantine_threshold = 3.0;
+    quarantine_duration = 30.0;
   }
 
 let validate t =
@@ -103,6 +119,11 @@ let validate t =
   else if t.pledge_batch_window >= t.max_latency then
     err "pledge_batch_window (%g) must be below max_latency (%g) or batched pledges go stale"
       t.pledge_batch_window t.max_latency
+  else if t.suspicion_tau <= 0.0 then err "suspicion_tau must be positive"
+  else if t.suspicion_floor < 0.0 || t.suspicion_floor > 1.0 then
+    err "suspicion_floor must be in [0,1]"
+  else if t.quarantine_threshold <= 0.0 then err "quarantine_threshold must be positive"
+  else if t.quarantine_duration < 0.0 then err "quarantine_duration must be non-negative"
   else Ok ()
 
 let validate_exn t =

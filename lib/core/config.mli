@@ -82,6 +82,31 @@ type t = {
       (** Re-execute each distinct (version, query) once and settle
           repeat pledges against the memoized digest (off by default;
           the auditor then behaves exactly as before). *)
+  read_nonces : bool;
+      (** Clients mint a per-read nonce (the read's lineage request id)
+          that slaves must echo inside the signed pledge payload;
+          clients reject pledges bound to a different nonce, closing
+          the replay attack.  Off by default: pledges then carry nonce
+          0 and keep the legacy payload and wire encoding. *)
+  audit_adaptive : bool;
+      (** Suspicion-weighted audit sampling: the auditor reweights
+          [audit_fraction] per slave by its decayed suspicion score
+          (double-check disagreements, late pledges, nonce rejects)
+          while keeping the expected budget, and quarantines slaves
+          above [quarantine_threshold] (probation: 100% audit).  Off by
+          default — uniform sampling, bit-identical to the seed. *)
+  suspicion_tau : float;
+      (** E-folding time (seconds) of the suspicion EWMA decay. *)
+  suspicion_floor : float;
+      (** Lower clamp on the adaptive sampling multiplier, so a slave
+          that has never misbehaved is still audited at
+          [suspicion_floor *. audit_fraction] — no one escapes the
+          audit entirely. *)
+  quarantine_threshold : float;
+      (** Suspicion score at which a slave enters quarantine. *)
+  quarantine_duration : float;
+      (** Seconds a quarantined slave stays on probation (audited at
+          100%) before its score is re-evaluated. *)
 }
 
 val default : t

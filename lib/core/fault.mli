@@ -3,7 +3,11 @@
     The paper's threat model (§2, §3.3) is a slave that returns wrong
     answers while remaining protocol-conformant enough to be believed;
     these modes cover the attacks the protocol must catch, plus
-    cruder ones the client rejects immediately. *)
+    cruder ones the client rejects immediately.  The strategic modes
+    ([Replay_pledge], [Equivocate], [Adaptive], [Flaky_omit]) are
+    stateful: the slave threads a {!state} record through
+    {!decide} so attacks can correlate across reads and react to
+    audit pressure. *)
 
 type lie_mode =
   | Corrupt_result
@@ -25,6 +29,23 @@ type lie_mode =
   | Omit_result
       (** Drop the request on the floor (availability attack); clients
           time out and retry elsewhere. *)
+  | Replay_pledge
+      (** Resend a previously signed, still-fresh pledge (and its
+          result) for a *different* read — undetectable without a
+          per-read nonce binding the pledge to the request. *)
+  | Equivocate of { clique : int list }
+      (** Serve the configured clique of client ids honestly and lie
+          to everyone else, so the clique's double-checks and quorum
+          reads never disagree. *)
+  | Adaptive of { threshold : float }
+      (** Lie only while the slave's own estimate of audit pressure
+          (a decayed EWMA bumped by visible exclusions and repeated
+          queries) stays below [threshold]; go quiet for a cooldown
+          after a near-miss. *)
+  | Flaky_omit of { burst : int }
+      (** Correlated omission: once an omission starts, drop [burst]
+          consecutive reads before re-rolling — models a host that
+          "goes dark" in bursts rather than i.i.d. drops. *)
 
 type behavior =
   | Honest
@@ -32,8 +53,44 @@ type behavior =
       (** Lie on each read with [probability], starting at simulated
           time [from_time]. *)
 
+type state
+(** Per-slave attack state for the strategic modes: audit-pressure
+    EWMA, post-near-miss quiet window, remaining omission burst. *)
+
+val initial_state : ?pressure_tau:float -> unit -> state
+(** Fresh state; [pressure_tau] (default 30 s) is the e-folding time
+    of the audit-pressure estimate. *)
+
+val pressure : state -> now:float -> float
+(** Current decayed audit-pressure estimate. *)
+
+val bump_pressure : state -> now:float -> amount:float -> unit
+(** Record an audit-pressure signal (e.g. a peer slave was excluded,
+    or the same client re-asked a recently answered query). *)
+
+val note_near_miss : state -> now:float -> cooldown:float -> unit
+(** An [Adaptive] attacker saw evidence it was nearly caught; stay
+    honest until [now + cooldown]. *)
+
+type decision =
+  | Act of lie_mode  (** Lie on this read using [lie_mode]. *)
+  | Suppress of string
+      (** A strategic mode chose *not* to attack (reason given) —
+          e.g. the client is in the clique, or audit pressure is too
+          high.  Distinct from [Pass] so traces can show restraint. *)
+  | Pass  (** Behave honestly; nothing noteworthy. *)
+
+val decide :
+  behavior -> now:float -> client:int -> state -> Secrep_crypto.Prng.t -> decision
+(** Stateful attack decision for one read from [client].  For the
+    legacy memoryless modes this performs exactly the same single
+    Bernoulli draw as {!lies}. *)
+
 val lies : behavior -> now:float -> Secrep_crypto.Prng.t -> lie_mode option
 (** Roll the dice: [Some mode] when this read should be answered
-    dishonestly. *)
+    dishonestly.  Memoryless legacy entry point; {!decide} supersedes
+    it for the strategic modes. *)
+
+val mode_name : lie_mode -> string
 
 val describe : behavior -> string

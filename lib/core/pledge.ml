@@ -11,30 +11,43 @@ type t = {
   query : Query.t;
   result_digest : string;
   keepalive : Keepalive.t;
+  nonce : int;
   signature : string;
   mode : sig_mode;
 }
 
-let payload ~slave_id ~query ~result_digest ~keepalive =
-  Printf.sprintf "pledge|%d|%s|%s|%s" slave_id
-    (Hex.encode (Canonical.of_query query))
-    (Hex.encode result_digest)
-    (Keepalive.signed_payload keepalive ^ "~" ^ Hex.encode keepalive.Keepalive.signature)
+(* Nonce 0 means "no nonce" and keeps the legacy payload bytes, so
+   signatures made before the replay hardening (and every run with
+   [Config.read_nonces] off) verify unchanged.  A real nonce gets its
+   own domain-separated prefix: a replayed pledge then signs a stale
+   nonce and can never collide with the payload the client expects. *)
+let payload ?(nonce = 0) ~slave_id ~query ~result_digest ~keepalive () =
+  let ka =
+    Keepalive.signed_payload keepalive ^ "~" ^ Hex.encode keepalive.Keepalive.signature
+  in
+  if nonce = 0 then
+    Printf.sprintf "pledge|%d|%s|%s|%s" slave_id
+      (Hex.encode (Canonical.of_query query))
+      (Hex.encode result_digest) ka
+  else
+    Printf.sprintf "pledge-n|%d|%d|%s|%s|%s" slave_id nonce
+      (Hex.encode (Canonical.of_query query))
+      (Hex.encode result_digest) ka
 
 (* Domain-separated so a signed batch root can never be confused with a
    directly-signed single pledge (and vice versa). *)
 let batch_payload ~slave_id ~root =
   Printf.sprintf "pledge-batch|%d|%s" slave_id (Hex.encode root)
 
-let make ~slave_key ~slave_id ~query ~result_digest ~keepalive =
+let make ?(nonce = 0) ~slave_key ~slave_id ~query ~result_digest ~keepalive () =
   let signature =
-    Sig_scheme.sign slave_key (payload ~slave_id ~query ~result_digest ~keepalive)
+    Sig_scheme.sign slave_key (payload ~nonce ~slave_id ~query ~result_digest ~keepalive ())
   in
-  { slave_id; query; result_digest; keepalive; signature; mode = Single }
+  { slave_id; query; result_digest; keepalive; nonce; signature; mode = Single }
 
 let signed_payload t =
-  payload ~slave_id:t.slave_id ~query:t.query ~result_digest:t.result_digest
-    ~keepalive:t.keepalive
+  payload ~nonce:t.nonce ~slave_id:t.slave_id ~query:t.query ~result_digest:t.result_digest
+    ~keepalive:t.keepalive ()
 
 let sign_batch ~slave_key ~slave_id ~root =
   Sig_scheme.sign slave_key (batch_payload ~slave_id ~root)
@@ -53,8 +66,12 @@ let verify_signature ~slave_public t =
 
 let version t = t.keepalive.Keepalive.version
 
-let verify ~slave_public ~master_public ~result ~now ~max_latency t =
-  if not (String.equal (Canonical.result_digest result) t.result_digest) then
+let verify ?expected_nonce ~slave_public ~master_public ~result ~now ~max_latency t =
+  if (match expected_nonce with Some n -> t.nonce <> n | None -> false) then
+    Error
+      (Printf.sprintf "nonce mismatch: pledge bound to %d, this read is %d" t.nonce
+         (Option.get expected_nonce))
+  else if not (String.equal (Canonical.result_digest result) t.result_digest) then
     Error "result does not hash to the pledged digest"
   else if not (verify_signature ~slave_public t) then Error "bad slave signature"
   else if not (Keepalive.verify ~master_public t.keepalive) then

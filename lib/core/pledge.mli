@@ -22,6 +22,11 @@ type t = {
   query : Secrep_store.Query.t;
   result_digest : string;  (** SHA-1 of the canonical result *)
   keepalive : Keepalive.t;  (** master-signed version + timestamp *)
+  nonce : int;
+      (** the client-minted read nonce this pledge is bound to (the
+          read's lineage request id); 0 = legacy pledge without a
+          nonce.  Covered by the signature, so a replayed pledge
+          carries its original nonce and fails the client's check. *)
   signature : string;
       (** slave's signature — over the payload ([Single]) or the batch
           root ([Batched]) *)
@@ -29,22 +34,29 @@ type t = {
 }
 
 val make :
+  ?nonce:int ->
   slave_key:Secrep_crypto.Sig_scheme.keypair ->
   slave_id:int ->
   query:Secrep_store.Query.t ->
   result_digest:string ->
   keepalive:Keepalive.t ->
+  unit ->
   t
-(** Individually-signed ([Single]) pledge. *)
+(** Individually-signed ([Single]) pledge.  [nonce] defaults to 0
+    (legacy, un-nonced payload). *)
 
 val payload :
+  ?nonce:int ->
   slave_id:int ->
   query:Secrep_store.Query.t ->
   result_digest:string ->
   keepalive:Keepalive.t ->
+  unit ->
   string
 (** The pledge payload bytes before a pledge exists — what a batching
-    slave hashes into Merkle leaves prior to signing the root. *)
+    slave hashes into Merkle leaves prior to signing the root.  With
+    [nonce = 0] this is byte-identical to the pre-nonce payload;
+    otherwise a domain-separated variant that also covers the nonce. *)
 
 val signed_payload : t -> string
 (** The byte string a [Single] signature covers — also the Merkle leaf
@@ -64,6 +76,7 @@ val verify_signature : slave_public:Secrep_crypto.Sig_scheme.public -> t -> bool
     root. *)
 
 val verify :
+  ?expected_nonce:int ->
   slave_public:Secrep_crypto.Sig_scheme.public ->
   master_public:Secrep_crypto.Sig_scheme.public ->
   result:Secrep_store.Query_result.t ->
@@ -73,6 +86,8 @@ val verify :
   (unit, string) result
 (** The full client-side check of §3.2: result hash matches the
     pledge, slave signature valid, keep-alive master-signed, timestamp
-    fresh. *)
+    fresh.  When [expected_nonce] is given the pledge must be bound to
+    exactly that nonce (replay defense, §2 threat model); the error
+    reason then starts with ["nonce"]. *)
 
 val version : t -> int

@@ -24,6 +24,7 @@ type intent = {
   i_result : Query_result.t;
   i_digest : string;
   i_keepalive : Keepalive.t;
+  i_nonce : int;  (* client nonce echoed into the signed payload (0 = off) *)
   i_lied : bool;
   i_forge : bool;  (* Bad_signature attacker: ship a forged root signature *)
   i_reply : read_reply option -> unit;
@@ -49,6 +50,11 @@ type t = {
   mutable lies_told : int;
   mutable pending : intent list;  (* newest first *)
   mutable batch_gen : int;  (* bumped on every flush; stales window timers *)
+  attack : Fault.state;  (* strategic-mode state: pressure EWMA, bursts *)
+  mutable replay_ammo : (Query_result.t * Pledge.t) option;
+      (* last honestly-signed reply, saved by a Replay_pledge attacker *)
+  mutable last_lie : (int * string * float) option;
+      (* (client, query digest, time) of the last lie — near-miss sensing *)
 }
 
 let create sim ~rng ~id ~config ~master_id ~stats ?trace ?spans () =
@@ -72,6 +78,9 @@ let create sim ~rng ~id ~config ~master_id ~stats ?trace ?spans () =
     lies_told = 0;
     pending = [];
     batch_gen = 0;
+    attack = Fault.initial_state ();
+    replay_ammo = None;
+    last_lie = None;
   }
 
 let source t = Printf.sprintf "slave-%d" t.id
@@ -93,6 +102,11 @@ let set_master t ~master_id = t.master_id <- master_id
 let set_behavior t behavior = t.behavior <- behavior
 let behavior t = t.behavior
 let on_resync_needed t f = t.resync <- Some f
+
+(* Exclusions are public (corrective actions propagate); an [Adaptive]
+   attacker reads them as audit pressure and lies less while hot. *)
+let note_peer_excluded t =
+  Fault.bump_pressure t.attack ~now:(Sim.now t.sim) ~amount:1.0
 
 let dropping_updates t =
   match t.behavior with
@@ -175,7 +189,8 @@ let fabricated_result t ~mode ~query =
     | Fault.Collude tag ->
       Printf.sprintf "collusion-%s-%s" tag
         (Secrep_crypto.Hex.encode (Canonical.query_digest query))
-    | Fault.Corrupt_result | Fault.Stale_state | Fault.Bad_signature | Fault.Omit_result ->
+    | Fault.Corrupt_result | Fault.Stale_state | Fault.Bad_signature | Fault.Omit_result
+    | Fault.Replay_pledge | Fault.Equivocate _ | Fault.Adaptive _ | Fault.Flaky_omit _ ->
       Printf.sprintf "corrupted-%d-%d" t.id t.lies_told
   in
   Query_result.Agg (Secrep_store.Value.String body)
@@ -200,8 +215,8 @@ let flush_batch t =
           let leaves =
             List.map
               (fun i ->
-                Pledge.payload ~slave_id:t.id ~query:i.i_query ~result_digest:i.i_digest
-                  ~keepalive:i.i_keepalive)
+                Pledge.payload ~nonce:i.i_nonce ~slave_id:t.id ~query:i.i_query
+                  ~result_digest:i.i_digest ~keepalive:i.i_keepalive ())
               intents
           in
           let tree = Merkle.build leaves in
@@ -222,6 +237,7 @@ let flush_batch t =
                   query = i.i_query;
                   result_digest = i.i_digest;
                   keepalive = i.i_keepalive;
+                  nonce = i.i_nonce;
                   signature = (if i.i_forge then "forged" else signature);
                   mode = Pledge.Batched { root; proof };
                 }
@@ -253,7 +269,7 @@ let enqueue_intent t intent =
            if t.batch_gen = gen then flush_batch t))
   end
 
-let handle_read t ~client:_ ~request ~query ~reply =
+let handle_read t ~client ~request ~query ~reply =
   let now = Sim.now t.sim in
   if t.excluded then reply None
   else begin
@@ -271,7 +287,87 @@ let handle_read t ~client:_ ~request ~query ~reply =
         Keepalive.is_fresh keepalive ~now ~max_latency:t.config.Config.max_latency
         && keepalive.Keepalive.version = Store.version t.store
       in
-      let lie = Fault.lies t.behavior ~now t.rng in
+      let nonce = if t.config.Config.read_nonces then request else 0 in
+      let qdigest = Secrep_crypto.Hex.encode (Canonical.query_digest query) in
+      (* Near-miss sensing: the client we just lied to re-asking the
+         same query within the freshness window means a verification or
+         double-check went against us.  An [Adaptive] attacker reacts
+         by going quiet. *)
+      (match (t.behavior, t.last_lie) with
+      | Fault.Malicious { mode = Fault.Adaptive _; _ }, Some (c, qd, tl)
+        when c = client && qd = qdigest
+             && now -. tl <= 2.0 *. t.config.Config.max_latency ->
+        Fault.note_near_miss t.attack ~now ~cooldown:(2.0 *. t.config.Config.max_latency);
+        Fault.bump_pressure t.attack ~now ~amount:0.5;
+        t.last_lie <- None
+      | _ -> ());
+      let decision = Fault.decide t.behavior ~now ~client t.attack t.rng in
+      let behavior_mode_name =
+        match t.behavior with
+        | Fault.Malicious { mode; _ } -> Fault.mode_name mode
+        | Fault.Honest -> ""
+      in
+      (match decision with
+      | Fault.Suppress reason ->
+        emit t
+          (Event.Attack_suppressed { slave = t.id; mode = behavior_mode_name; reason })
+      | Fault.Act _ | Fault.Pass -> ());
+      (* Replay fast path: skip execution and signing entirely, resend
+         the saved honest reply.  Its pledge is bound to the old read's
+         nonce (or none), so nonce-checking clients reject it. *)
+      match
+        (match decision with Fault.Act Fault.Replay_pledge -> t.replay_ammo | _ -> None)
+      with
+      | Some (r_result, r_pledge) ->
+        t.reads_served <- t.reads_served + 1;
+        Stats.incr t.stats "slave.reads_served";
+        t.lies_told <- t.lies_told + 1;
+        Stats.incr t.stats "slave.lies_told";
+        emit t
+          (Event.Attack_launched
+             { slave = t.id; mode = behavior_mode_name; client; request });
+        t.last_lie <- Some (client, qdigest, now);
+        reply (Some { result = r_result; pledge = r_pledge })
+      | None ->
+      (* Map the strategic modes onto the concrete lie machinery: the
+         equivocator and the adaptive liar fabricate results like
+         [Corrupt_result]; a flaky burst omits; a replay attacker with
+         no ammo yet plays honest (and stocks up below). *)
+      let lie, strategic =
+        match decision with
+        | Fault.Pass | Fault.Suppress _ -> (None, false)
+        | Fault.Act mode -> (
+          match mode with
+          | Fault.Corrupt_result | Fault.Collude _ | Fault.Stale_state
+          | Fault.Bad_signature | Fault.Omit_result ->
+            (Some mode, false)
+          | Fault.Replay_pledge -> (None, false)
+          | Fault.Equivocate _ | Fault.Adaptive _ -> (Some Fault.Corrupt_result, true)
+          | Fault.Flaky_omit _ -> (Some Fault.Omit_result, true))
+      in
+      if strategic then begin
+        emit t
+          (Event.Attack_launched
+             { slave = t.id; mode = behavior_mode_name; client; request });
+        t.last_lie <- Some (client, qdigest, now)
+      end;
+      let stock_ammo =
+        (* honest read served by a replay attacker: remember the reply *)
+        lie = None
+        &&
+        match t.behavior with
+        | Fault.Malicious { mode = Fault.Replay_pledge; _ } -> true
+        | Fault.Honest | Fault.Malicious _ -> false
+      in
+      let reply =
+        if not stock_ammo then reply
+        else
+          fun r ->
+            (match r with
+            | Some rr -> t.replay_ammo <- Some (rr.result, rr.pledge)
+            | None -> ());
+            reply r
+      in
       if (not honest_available) && lie = None then begin
         Stats.incr t.stats "slave.refused_stale";
         reply None
@@ -309,6 +405,7 @@ let handle_read t ~client:_ ~request ~query ~reply =
                         i_result = result;
                         i_digest = honest_digest;
                         i_keepalive = keepalive;
+                        i_nonce = nonce;
                         i_lied = false;
                         i_forge = false;
                         i_reply = reply;
@@ -318,7 +415,8 @@ let handle_read t ~client:_ ~request ~query ~reply =
                     Stats.incr t.stats "slave.lies_told";
                     let intent =
                       match mode with
-                      | Fault.Omit_result -> assert false
+                      | Fault.Omit_result | Fault.Flaky_omit _ | Fault.Replay_pledge ->
+                        assert false
                       | Fault.Bad_signature ->
                         {
                           i_request = request;
@@ -326,11 +424,13 @@ let handle_read t ~client:_ ~request ~query ~reply =
                           i_result = result;
                           i_digest = honest_digest;
                           i_keepalive = keepalive;
+                          i_nonce = nonce;
                           i_lied = true;
                           i_forge = true;
                           i_reply = reply;
                         }
-                      | Fault.Corrupt_result | Fault.Collude _ ->
+                      | Fault.Corrupt_result | Fault.Collude _ | Fault.Equivocate _
+                      | Fault.Adaptive _ ->
                         let fake = fabricated_result t ~mode ~query in
                         {
                           i_request = request;
@@ -338,6 +438,7 @@ let handle_read t ~client:_ ~request ~query ~reply =
                           i_result = fake;
                           i_digest = Canonical.result_digest fake;
                           i_keepalive = keepalive;
+                          i_nonce = nonce;
                           i_lied = true;
                           i_forge = false;
                           i_reply = reply;
@@ -351,6 +452,7 @@ let handle_read t ~client:_ ~request ~query ~reply =
                           i_result = result;
                           i_digest = honest_digest;
                           i_keepalive = keepalive;
+                          i_nonce = nonce;
                           i_lied = true;
                           i_forge = false;
                           i_reply = reply;
@@ -374,8 +476,8 @@ let handle_read t ~client:_ ~request ~query ~reply =
                 match lie with
                 | None ->
                   let pledge =
-                    Pledge.make ~slave_key:t.key ~slave_id:t.id ~query
-                      ~result_digest:honest_digest ~keepalive
+                    Pledge.make ~nonce ~slave_key:t.key ~slave_id:t.id ~query
+                      ~result_digest:honest_digest ~keepalive ()
                   in
                   Stats.incr t.stats "slave.signatures";
                   emit t
@@ -386,9 +488,9 @@ let handle_read t ~client:_ ~request ~query ~reply =
                   t.lies_told <- t.lies_told + 1;
                   Stats.incr t.stats "slave.lies_told";
                   (match mode with
-                  | Fault.Omit_result -> ()
+                  | Fault.Omit_result | Fault.Flaky_omit _ | Fault.Replay_pledge -> ()
                   | Fault.Bad_signature | Fault.Corrupt_result | Fault.Collude _
-                  | Fault.Stale_state ->
+                  | Fault.Stale_state | Fault.Equivocate _ | Fault.Adaptive _ ->
                     Stats.incr t.stats "slave.signatures";
                     emit t
                       (Event.Pledge_signed
@@ -399,19 +501,21 @@ let handle_read t ~client:_ ~request ~query ~reply =
                            lied = true;
                          }));
                   (match mode with
-                  | Fault.Omit_result -> () (* silence; the client times out *)
+                  | Fault.Omit_result | Fault.Flaky_omit _ | Fault.Replay_pledge ->
+                    () (* silence; the client times out *)
                   | Fault.Bad_signature ->
                     let pledge =
-                      Pledge.make ~slave_key:t.key ~slave_id:t.id ~query
-                        ~result_digest:honest_digest ~keepalive
+                      Pledge.make ~nonce ~slave_key:t.key ~slave_id:t.id ~query
+                        ~result_digest:honest_digest ~keepalive ()
                     in
                     reply
                       (Some { result; pledge = { pledge with Pledge.signature = "forged" } })
-                  | Fault.Corrupt_result | Fault.Collude _ ->
+                  | Fault.Corrupt_result | Fault.Collude _ | Fault.Equivocate _
+                  | Fault.Adaptive _ ->
                     let fake = fabricated_result t ~mode ~query in
                     let pledge =
-                      Pledge.make ~slave_key:t.key ~slave_id:t.id ~query
-                        ~result_digest:(Canonical.result_digest fake) ~keepalive
+                      Pledge.make ~nonce ~slave_key:t.key ~slave_id:t.id ~query
+                        ~result_digest:(Canonical.result_digest fake) ~keepalive ()
                     in
                     reply (Some { result = fake; pledge })
                   | Fault.Stale_state ->
@@ -419,8 +523,8 @@ let handle_read t ~client:_ ~request ~query ~reply =
                        [dropping_updates]); the honest-looking reply over
                        frozen state *is* the lie. *)
                     let pledge =
-                      Pledge.make ~slave_key:t.key ~slave_id:t.id ~query
-                        ~result_digest:honest_digest ~keepalive
+                      Pledge.make ~nonce ~slave_key:t.key ~slave_id:t.id ~query
+                        ~result_digest:honest_digest ~keepalive ()
                     in
                     reply (Some { result; pledge }))
               end)

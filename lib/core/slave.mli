@@ -36,6 +36,11 @@ val set_master : t -> master_id:int -> unit
 val set_behavior : t -> Fault.behavior -> unit
 val behavior : t -> Fault.behavior
 
+val note_peer_excluded : t -> unit
+(** A corrective action against some slave became public.  Honest
+    slaves ignore it; an [Adaptive] attacker counts it as audit
+    pressure and lies less while the heat is on. *)
+
 val receive_update :
   t -> entries:Secrep_store.Oplog.entry list -> keepalive:Keepalive.t -> unit
 (** Applies the contiguous suffix of [entries]; on a version gap the

@@ -79,6 +79,10 @@ type t = {
   crashed_slaves : (int, unit) Hashtbl.t;
   mutable loss_override : float option;
   mutable latency_factor : float;
+  (* Byzantine delivery faults (chaos-schedulable; all default off) *)
+  mutable duplicate_override : float;
+  mutable reorder_override : (int * float) option; (* burst, window *)
+  mutable bitflip : float;
   (* assignment state *)
   client_master : int array;
   client_slave : int array;
@@ -154,6 +158,10 @@ let link t a b =
         ()
     in
     if Hashtbl.mem t.partitioned a || Hashtbl.mem t.partitioned b then Link.set_up l false;
+    if t.duplicate_override > 0.0 then Link.set_duplicate l t.duplicate_override;
+    (match t.reorder_override with
+    | Some (burst, window) -> Link.set_reorder l ~burst ~window
+    | None -> ());
     Hashtbl.add t.links (a, b) l;
     l
 
@@ -211,6 +219,38 @@ let check_result t ~version query ~digest =
   | Some honest -> Some (String.equal honest digest)
 
 let on_pledge_submitted t f = t.pledge_taps <- t.pledge_taps @ [ f ]
+
+(* -- Byzantine payload corruption ------------------------------------- *)
+
+(* Flip one random bit of the encoded pledge in a read reply.  Either
+   the frame no longer parses (dropped, counted) or it parses into a
+   pledge whose signature can no longer verify — asserted here, since a
+   single-bit flip that still verifies would be a signature forgery.
+   The client must then reject the reply, exactly like any other
+   tampering. *)
+let maybe_bitflip t (r : Slave.read_reply option) =
+  match r with
+  | Some { Slave.result; pledge } when t.bitflip > 0.0 && Prng.bernoulli t.rng t.bitflip
+    -> begin
+    let bytes = Bytes.of_string (Wire.encode_pledge pledge) in
+    let bit = Prng.int t.rng (8 * Bytes.length bytes) in
+    let idx = bit / 8 in
+    Bytes.set bytes idx
+      (Char.chr (Char.code (Bytes.get bytes idx) lxor (1 lsl (bit mod 8))));
+    Stats.incr t.stats "system.bitflips_injected";
+    match Wire.decode_pledge (Bytes.to_string bytes) with
+    | Error _ ->
+      Stats.incr t.stats "system.bitflips_unparsable";
+      None
+    | Ok mutated ->
+      let slave_public = Slave.public t.slaves.(pledge.Pledge.slave_id) in
+      assert (
+        (not (Pledge.verify_signature ~slave_public mutated))
+        || String.equal (Wire.encode_pledge mutated) (Wire.encode_pledge pledge));
+      Stats.incr t.stats "system.bitflips_delivered";
+      Some { Slave.result; pledge = mutated }
+  end
+  | r -> r
 
 (* -- exclusion & reassignment ----------------------------------------- *)
 
@@ -273,6 +313,9 @@ and exclude_slave t ~slave_id ~discovery =
     (* §3.5 rollback: every client checks which recently accepted reads
        came from the convict. *)
     Array.iter (fun c -> ignore (Client.on_slave_excluded c ~slave_id)) t.clients;
+    (* The exclusion is public: adaptive attackers read it as audit
+       pressure (honest slaves ignore the signal). *)
+    Array.iter Slave.note_peer_excluded t.slaves;
     Stats.incr t.stats "system.slaves_excluded";
     Stats.add t.stats "system.clients_reassigned" !reassigned;
     Trace.emit t.trace ~time:(Sim.now t.sim) ~source:"system"
@@ -380,6 +423,9 @@ let create ?(n_masters = 3) ?(slaves_per_master = 4) ?(n_clients = 10) ?(n_audit
       crashed_slaves = Hashtbl.create 8;
       loss_override = None;
       latency_factor = 1.0;
+      duplicate_override = 0.0;
+      reorder_override = None;
+      bitflip = 0.0;
       client_master = Array.make n_clients 0;
       client_slave = Array.make n_clients 0;
       slave_master;
@@ -451,12 +497,14 @@ let create ?(n_masters = 3) ?(slaves_per_master = 4) ?(n_clients = 10) ?(n_audit
                         (String.length (Secrep_store.Codec.encode_result result)
                         + Wire.pledge_size pledge)
                     | None -> ());
+                    let r = maybe_bitflip t r in
                     send t (S s_id) (C id) (fun () -> reply r))));
         send_read_to =
           (fun ~slave_id ~request ~query ~reply ->
             let s = t.slaves.(slave_id) in
             send t (C id) (S slave_id) (fun () ->
                 Slave.handle_read s ~client:id ~request ~query ~reply:(fun r ->
+                    let r = maybe_bitflip t r in
                     send t (S slave_id) (C id) (fun () -> reply r))));
         quorum_candidates =
           (fun () ->
@@ -526,6 +574,11 @@ let create ?(n_masters = 3) ?(slaves_per_master = 4) ?(n_clients = 10) ?(n_audit
         report_proof =
           (fun pledge ->
             let s_id = pledge.Pledge.slave_id in
+            (* A double-check disagreement is already strong suspicion,
+               even when the master later rules it inconclusive. *)
+            Array.iter
+              (fun a -> Auditor.note_suspicion a ~slave:s_id ~amount:1.5)
+              t.auditors;
             let m_id = t.slave_master.(s_id) in
             let m = t.masters.(m_id) in
             send t (C id) (M m_id) (fun () ->
@@ -539,6 +592,29 @@ let create ?(n_masters = 3) ?(slaves_per_master = 4) ?(n_clients = 10) ?(n_audit
                   | Master.Pledge_invalid _ -> Stats.incr t.stats "system.invalid_proofs"
                   | Master.Inconclusive _ -> Stats.incr t.stats "system.inconclusive_proofs"
                 end));
+        note_nonce_reject =
+          (fun ~slave ->
+            (* Replay suspicion, not proof: bump the auditors' score so
+               adaptive sampling leans on the slave. *)
+            Stats.incr t.stats "system.nonce_rejects";
+            Array.iter
+              (fun a -> Auditor.note_suspicion a ~slave ~amount:1.0)
+              t.auditors);
+        note_stale_reject =
+          (fun ~slave ->
+            (* A stale pledge at read time is the client-side face of a
+               replayed or frozen reply — a pledge the auditor will
+               never see, because the client refuses to accept or
+               forward it.  Evidence, not proof: feed it to the
+               adaptive sampler only, so probation (never exclusion)
+               acts, and the seed event stream is untouched with the
+               flag off. *)
+            if t.config.Config.audit_adaptive then begin
+              Stats.incr t.stats "system.stale_reject_reports";
+              Array.iter
+                (fun a -> Auditor.note_suspicion a ~slave ~amount:0.5)
+                t.auditors
+            end);
         reconnect =
           (fun ~avoid ->
             let excluding = avoid @ Corrective.currently_excluded t.corrective in
@@ -846,3 +922,32 @@ let set_latency_factor t factor =
        })
 
 let latency_factor t = t.latency_factor
+
+(* -- Byzantine delivery faults ---------------------------------------- *)
+
+let set_duplicate t p =
+  if p < 0.0 || p >= 1.0 then invalid_arg "System.set_duplicate: must be in [0, 1)";
+  t.duplicate_override <- p;
+  Hashtbl.iter (fun _ l -> Link.set_duplicate l p) t.links;
+  log t "system" "byzantine: duplicate probability %.3f" p
+
+let duplicate t = t.duplicate_override
+
+let set_reorder t ~burst ~window =
+  (match burst with
+  | 0 -> ()
+  | b when b >= 2 ->
+    if window <= 0.0 then invalid_arg "System.set_reorder: window must be positive"
+  | _ -> invalid_arg "System.set_reorder: burst must be 0 (off) or >= 2");
+  t.reorder_override <- (if burst = 0 then None else Some (burst, window));
+  Hashtbl.iter (fun _ l -> Link.set_reorder l ~burst ~window) t.links;
+  log t "system" "byzantine: reorder burst %d (window %.3fs)" burst window
+
+let reorder t = t.reorder_override
+
+let set_bitflip t p =
+  if p < 0.0 || p >= 1.0 then invalid_arg "System.set_bitflip: must be in [0, 1)";
+  t.bitflip <- p;
+  log t "system" "byzantine: pledge bit-flip probability %.3f" p
+
+let bitflip t = t.bitflip

@@ -148,6 +148,34 @@ val set_latency_factor : t -> float -> unit
 
 val latency_factor : t -> float
 
+(** {2 Byzantine delivery faults}
+
+    Beyond fail-stop: message duplication, reorder bursts and payload
+    corruption, schedulable from the chaos DSL.  All default off and
+    draw no randomness while off, so fault-free runs stay bit-stable. *)
+
+val set_duplicate : t -> float -> unit
+(** Probability that any mesh delivery arrives twice (applied to every
+    existing and future link).  Raises outside [0, 1). *)
+
+val duplicate : t -> float
+
+val set_reorder : t -> burst:int -> window:float -> unit
+(** Hold up to [burst] (>= 2) messages per link and release them in
+    reversed arrival order; a held message waits at most [window]
+    seconds.  [burst = 0] disables. *)
+
+val reorder : t -> (int * float) option
+
+val set_bitflip : t -> float -> unit
+(** Probability that a read reply's pledge has one random bit flipped
+    in its wire encoding.  Unparsable frames are dropped (counted as
+    [system.bitflips_unparsable]); parsable ones are delivered and
+    must fail the client's signature check — asserted at injection,
+    since a flip that still verified would be a forgery. *)
+
+val bitflip : t -> float
+
 val exclude_slave : t -> slave_id:int -> discovery:Corrective.discovery -> unit
 (** Normally triggered internally by proofs; exposed for tests. *)
 

@@ -27,12 +27,20 @@ let encode_keepalive ka =
 let decode_keepalive s = Reader.run s read_keepalive
 
 (* Mode tag first: 0 = single, 1 = batched (root + inclusion proof
-   follow the common fields).  Proof sides are one byte each: 0 = the
-   sibling hashes in from the left, 1 = from the right. *)
+   follow the common fields); 2 and 3 are their nonce-bearing variants
+   with the nonce varint after the slave id.  Nonce-0 pledges keep the
+   legacy tags so pre-hardening frames stay byte-identical.  Proof
+   sides are one byte each: 0 = the sibling hashes in from the left,
+   1 = from the right. *)
 let encode_pledge (p : Pledge.t) =
   let w = Writer.create () in
-  (match p.mode with Pledge.Single -> Writer.u8 w 0 | Pledge.Batched _ -> Writer.u8 w 1);
+  (match (p.mode, p.nonce) with
+  | Pledge.Single, 0 -> Writer.u8 w 0
+  | Pledge.Batched _, 0 -> Writer.u8 w 1
+  | Pledge.Single, _ -> Writer.u8 w 2
+  | Pledge.Batched _, _ -> Writer.u8 w 3);
   Writer.varint w p.slave_id;
+  if p.nonce <> 0 then Writer.varint w p.nonce;
   Writer.bytes w (Codec.encode_query p.query);
   Writer.bytes w p.result_digest;
   write_keepalive w p.keepalive;
@@ -53,9 +61,17 @@ let encode_pledge (p : Pledge.t) =
 let decode_pledge s =
   Reader.run s (fun r ->
       let tag = Reader.u8 r in
-      if tag <> 0 && tag <> 1 then
+      if tag < 0 || tag > 3 then
         raise (Reader.Malformed (Printf.sprintf "pledge mode tag %d" tag));
       let slave_id = Reader.varint r in
+      let nonce =
+        if tag >= 2 then begin
+          let n = Reader.varint r in
+          if n = 0 then raise (Reader.Malformed "nonced pledge with nonce 0");
+          n
+        end
+        else 0
+      in
       let query_bytes = Reader.bytes r in
       let query =
         match Codec.decode_query query_bytes with
@@ -66,7 +82,7 @@ let decode_pledge s =
       let keepalive = read_keepalive r in
       let signature = Reader.bytes r in
       let mode =
-        if tag = 0 then Pledge.Single
+        if tag = 0 || tag = 2 then Pledge.Single
         else begin
           let root = Reader.bytes r in
           let leaf_index = Reader.varint r in
@@ -90,7 +106,7 @@ let decode_pledge s =
           Pledge.Batched { root; proof = { Merkle.leaf_index; path } }
         end
       in
-      { Pledge.slave_id; query; result_digest; keepalive; signature; mode })
+      { Pledge.slave_id; query; result_digest; keepalive; nonce; signature; mode })
 
 let encode_certificate (c : Certificate.t) =
   let w = Writer.create () in

@@ -15,6 +15,7 @@ type t = {
   summary : Lineage.summary;
   clients : Lineage.client_row list;
   slaves : Lineage.slave_row list;
+  quarantines : Lineage.quarantine list;
   diagnostics : diagnostics;
 }
 
@@ -26,6 +27,7 @@ let build ?trace ?spans ~slo ~lineage () =
     summary = Lineage.summarize lineage;
     clients = Lineage.client_rows lineage;
     slaves = Lineage.slave_rows lineage;
+    quarantines = Lineage.quarantines lineage;
     diagnostics =
       {
         trace_capacity = Option.map Trace.capacity trace;
@@ -75,6 +77,18 @@ let to_json t =
                    ("detection_latency", opt_num s.Lineage.detection_latency);
                  ])
              t.slaves) );
+      ( "quarantines",
+        Json.Arr
+          (List.map
+             (fun (q : Lineage.quarantine) ->
+               Json.Obj
+                 [
+                   ("time", Json.Num q.Lineage.time);
+                   ("slave", Json.Int q.Lineage.slave);
+                   ("score", Json.Num q.Lineage.score);
+                   ("until", Json.Num q.Lineage.until);
+                 ])
+             t.quarantines) );
       ( "diagnostics",
         Json.Obj
           [
@@ -123,6 +137,14 @@ let pp fmt t =
           | Some x -> Printf.sprintf "%.4f" x
           | None -> "-"))
       t.slaves
+  end;
+  if t.quarantines <> [] then begin
+    fprintf fmt "@.quarantines (probation, not accusations):@.";
+    List.iter
+      (fun (q : Lineage.quarantine) ->
+        fprintf fmt "  [%10.4f] slave %d  suspicion %.2f  until %.4f@." q.Lineage.time
+          q.Lineage.slave q.Lineage.score q.Lineage.until)
+      t.quarantines
   end;
   if t.clients <> [] then begin
     fprintf fmt "@.per-client:@.";

@@ -16,6 +16,8 @@ type t = {
   summary : Lineage.summary;
   clients : Lineage.client_row list;
   slaves : Lineage.slave_row list;
+  quarantines : Lineage.quarantine list;
+      (** adaptive-audit probation events (not accusations) *)
   diagnostics : diagnostics;
 }
 

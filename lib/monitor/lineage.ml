@@ -23,15 +23,24 @@ type info = {
   mutable detected_at : float option;
 }
 
+type quarantine = { time : float; slave : int; score : float; until : float }
+
 type t = {
   requests : (int, info) Hashtbl.t;
   mutable order : int list; (* request ids, newest first *)
   mutable accusations : (float * int) list; (* (time, slave), newest first *)
+  mutable quarantine_log : quarantine list; (* newest first *)
   mutable finalized : bool;
 }
 
 let create () =
-  { requests = Hashtbl.create 256; order = []; accusations = []; finalized = false }
+  {
+    requests = Hashtbl.create 256;
+    order = [];
+    accusations = [];
+    quarantine_log = [];
+    finalized = false;
+  }
 
 let find t request = Hashtbl.find_opt t.requests request
 
@@ -101,6 +110,10 @@ let observe t (r : Trace.record) =
     end
     | Event.Audit_conviction { slave; _ } -> accuse t ~time ~slave
     | Event.Slave_excluded { slave; _ } -> accuse t ~time ~slave
+    | Event.Slave_quarantined { slave; score; until } ->
+      (* Probation is reversible and evidence-free, so it is NOT an
+         accusation — it must never count toward detection stats. *)
+      t.quarantine_log <- { time; slave; score; until } :: t.quarantine_log
     | _ -> ()
   end
 
@@ -127,6 +140,7 @@ let finalize t =
 
 let request_ids t = List.rev t.order
 let info t request = find t request
+let quarantines t = List.rev t.quarantine_log
 
 (* -- summaries --------------------------------------------------------- *)
 

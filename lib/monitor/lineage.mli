@@ -53,6 +53,14 @@ val request_ids : t -> int list
 
 val info : t -> int -> info option
 
+type quarantine = { time : float; slave : int; score : float; until : float }
+
+val quarantines : t -> quarantine list
+(** Adaptive-audit probation events, oldest first.  Quarantine is
+    reversible and carries no cryptographic proof, so it is tracked
+    separately from accusations and never counts toward detection
+    statistics. *)
+
 type phase = { phase : string; count : int; mean : float; max : float }
 
 type slave_row = {

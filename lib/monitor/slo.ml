@@ -20,6 +20,7 @@ type config = {
   detection_budget : float;
   audit_deadline : float;
   breaker_rate : int;
+  quarantine_threshold : float;
 }
 
 let config ?window (cfg : Config.t) =
@@ -49,6 +50,7 @@ let config ?window (cfg : Config.t) =
        grace of ml + 1 covers delivery and queued audit work. *)
     audit_deadline = (2.0 *. ml) +. cfg.Config.audit_lag_slack +. 1.0;
     breaker_rate = 3;
+    quarantine_threshold = cfg.Config.quarantine_threshold;
   }
 
 let rule_names =
@@ -62,6 +64,7 @@ let rule_names =
     "auditor-lag";
     "breaker";
     "recovery";
+    "quarantine";
   ]
 
 let rule_for_invariant = function
@@ -288,6 +291,11 @@ let handle t event =
     | None -> ()
   end
   | Event.Breaker_opened _ -> Rolling.record t.breaker_roll ~time:now 1.0
+  | Event.Slave_quarantined { slave; score; until } ->
+    raise_alert t "quarantine" ~value:score ~threshold:cfg.quarantine_threshold
+      ~detail:
+        (Printf.sprintf "slave %d on audit probation until %.3f (suspicion %.2f)" slave
+           until score)
   | _ -> ()
 
 (* State_update_applied above only tracks the global max; per-slave
@@ -393,7 +401,8 @@ let tick t =
    else if (rule t "breaker").active <> None then clear_alert t "breaker");
   (* pulse-only rules decay once quiet *)
   decay_pulse t "write-spacing";
-  decay_pulse t "false-accusation"
+  decay_pulse t "false-accusation";
+  decay_pulse t "quarantine"
 
 let observe t (r : Trace.record) =
   if not t.finalized then begin

@@ -21,6 +21,9 @@
     - ["breaker"] — circuit-breaker opens exceeded the rate threshold.
     - ["recovery"] — a rejoining slave failed to converge within the
       bound.
+    - ["quarantine"] — the adaptive auditor put a slave on probation
+      (pulse; the value is the suspicion score that crossed the
+      threshold).
 
     Standing rules clear when their condition recovers ([Alert_cleared]
     carries the outage duration); pulse rules decay after a quiet
@@ -42,6 +45,7 @@ type config = {
   detection_budget : float;  (** lie -> accusation bound *)
   audit_deadline : float;  (** commit -> audit-advance bound *)
   breaker_rate : int;  (** opens per window before alerting *)
+  quarantine_threshold : float;  (** suspicion score that triggers probation *)
 }
 
 val config : ?window:float -> Secrep_core.Config.t -> config

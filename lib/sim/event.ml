@@ -48,6 +48,9 @@ type t =
       to_host : int;
       reason : string;
     }
+  | Attack_launched of { slave : int; mode : string; client : int; request : int }
+  | Attack_suppressed of { slave : int; mode : string; reason : string }
+  | Slave_quarantined of { slave : int; score : float; until : float }
 
 type field = I of int | F of float | S of string | B of bool
 
@@ -90,6 +93,9 @@ let kind = function
   | Alert_cleared _ -> "alert_cleared"
   | Shard_assigned _ -> "shard_assigned"
   | Shard_rebalanced _ -> "shard_rebalanced"
+  | Attack_launched _ -> "attack_launched"
+  | Attack_suppressed _ -> "attack_suppressed"
+  | Slave_quarantined _ -> "slave_quarantined"
 
 let all_kinds =
   [
@@ -120,6 +126,9 @@ let all_kinds =
     "alert_cleared";
     "shard_assigned";
     "shard_rebalanced";
+    "attack_launched";
+    "attack_suppressed";
+    "slave_quarantined";
   ]
 
 let fields = function
@@ -187,6 +196,12 @@ let fields = function
       ("to_host", I to_host);
       ("reason", S reason);
     ]
+  | Attack_launched { slave; mode; client; request } ->
+    [ ("slave", I slave); ("mode", S mode); ("client", I client); ("request", I request) ]
+  | Attack_suppressed { slave; mode; reason } ->
+    [ ("slave", I slave); ("mode", S mode); ("reason", S reason) ]
+  | Slave_quarantined { slave; score; until } ->
+    [ ("slave", I slave); ("score", F score); ("until", F until) ]
 
 (* -- reconstruction (the JSONL importer) ----------------------------- *)
 
@@ -351,6 +366,22 @@ let of_fields ~kind fs =
     let* to_host = int_field fs "to_host" in
     let* reason = str_field fs "reason" in
     Ok (Shard_rebalanced { shard; slot; from_host; to_host; reason })
+  | "attack_launched" ->
+    let* slave = int_field fs "slave" in
+    let* mode = str_field fs "mode" in
+    let* client = int_field fs "client" in
+    let* request = request_field fs in
+    Ok (Attack_launched { slave; mode; client; request })
+  | "attack_suppressed" ->
+    let* slave = int_field fs "slave" in
+    let* mode = str_field fs "mode" in
+    let* reason = str_field fs "reason" in
+    Ok (Attack_suppressed { slave; mode; reason })
+  | "slave_quarantined" ->
+    let* slave = int_field fs "slave" in
+    let* score = float_field fs "score" in
+    let* until = float_field fs "until" in
+    Ok (Slave_quarantined { slave; score; until })
   | k -> Error (Printf.sprintf "unknown event kind %S" k)
 
 (* -- rendering -------------------------------------------------------- *)

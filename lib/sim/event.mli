@@ -80,6 +80,18 @@ type t =
     }
       (** Re-homing (§3.5): the replica moved to a fresh host after its
           old host died or the slave process was excluded. *)
+  | Attack_launched of { slave : int; mode : string; client : int; request : int }
+      (** A strategic attacker ({e Fault} modes) acted on this read:
+          [mode] is {e Fault.mode_name}, [request] the victim read's
+          lineage id (-1 when the attack is not tied to one read). *)
+  | Attack_suppressed of { slave : int; mode : string; reason : string }
+      (** A strategic attacker chose {e not} to act — e.g. an
+          [Adaptive] liar under audit pressure or an [Equivocate]
+          attacker serving its clique honestly. *)
+  | Slave_quarantined of { slave : int; score : float; until : float }
+      (** The adaptive auditor put [slave] on probation (100% audit)
+          until simulated time [until]; [score] is the suspicion EWMA
+          that crossed the threshold. *)
 
 type field = I of int | F of float | S of string | B of bool
 

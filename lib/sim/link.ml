@@ -11,6 +11,15 @@ type t = {
   mutable bandwidth : float; (* bytes/sec; infinity = unmetered *)
   mutable delivered : int;
   mutable dropped : int;
+  (* Byzantine delivery faults (off by default; the [> 0.0] guards keep
+     the PRNG draw sequence identical to a fault-free link when off). *)
+  mutable duplicate : float; (* probability a delivery arrives twice *)
+  mutable reorder_burst : int; (* >= 2: buffer this many, release reversed *)
+  mutable reorder_window : float; (* max extra holding time for a buffered delivery *)
+  mutable reorder_buf : (int * (unit -> unit)) list; (* newest first *)
+  mutable reorder_seq : int;
+  mutable duplicated : int;
+  mutable reordered : int;
 }
 
 let create sim ~rng ~latency ?(loss = 0.0) ?(name = "link") () =
@@ -27,7 +36,44 @@ let create sim ~rng ~latency ?(loss = 0.0) ?(name = "link") () =
     bandwidth = infinity;
     delivered = 0;
     dropped = 0;
+    duplicate = 0.0;
+    reorder_burst = 0;
+    reorder_window = 0.0;
+    reorder_buf = [];
+    reorder_seq = 0;
+    duplicated = 0;
+    reordered = 0;
   }
+
+(* Release everything held for reordering, newest arrival first — a
+   burst of [reorder_burst] messages comes out exactly reversed. *)
+let flush_reorder t =
+  let buf = t.reorder_buf in
+  t.reorder_buf <- [];
+  if List.length buf > 1 then t.reordered <- t.reordered + List.length buf;
+  List.iter (fun (_, deliver) -> deliver ()) buf
+
+let arrive t deliver =
+  t.delivered <- t.delivered + 1;
+  if t.reorder_burst >= 2 then begin
+    let id = t.reorder_seq in
+    t.reorder_seq <- id + 1;
+    t.reorder_buf <- (id, deliver) :: t.reorder_buf;
+    if List.length t.reorder_buf >= t.reorder_burst then flush_reorder t
+    else
+      (* Deadline so a lull in traffic cannot hold messages forever. *)
+      ignore
+        (Sim.schedule t.sim ~delay:t.reorder_window (fun () ->
+             if List.mem_assoc id t.reorder_buf then flush_reorder t))
+  end
+  else deliver ()
+
+let schedule_delivery t ~delay deliver =
+  let epoch = t.epoch in
+  ignore
+    (Sim.schedule t.sim ~delay (fun () ->
+         if t.up && t.epoch = epoch then arrive t deliver
+         else t.dropped <- t.dropped + 1))
 
 let send_sized t ~bytes_len deliver =
   if (not t.up) || Prng.bernoulli t.rng t.loss then t.dropped <- t.dropped + 1
@@ -36,14 +82,11 @@ let send_sized t ~bytes_len deliver =
       if t.bandwidth = infinity then 0.0 else float_of_int bytes_len /. t.bandwidth
     in
     let delay = Latency.sample t.latency t.rng +. transfer in
-    let epoch = t.epoch in
-    ignore
-      (Sim.schedule t.sim ~delay (fun () ->
-           if t.up && t.epoch = epoch then begin
-             t.delivered <- t.delivered + 1;
-             deliver ()
-           end
-           else t.dropped <- t.dropped + 1))
+    schedule_delivery t ~delay deliver;
+    if t.duplicate > 0.0 && Prng.bernoulli t.rng t.duplicate then begin
+      t.duplicated <- t.duplicated + 1;
+      schedule_delivery t ~delay:(Latency.sample t.latency t.rng +. transfer) deliver
+    end
   end
 
 let send t deliver = send_sized t ~bytes_len:0 deliver
@@ -70,6 +113,25 @@ let set_bandwidth t ~bytes_per_sec =
   if bytes_per_sec <= 0.0 then invalid_arg "Link.set_bandwidth: must be positive";
   t.bandwidth <- bytes_per_sec
 
+let set_duplicate t p =
+  if p < 0.0 || p >= 1.0 then invalid_arg "Link.set_duplicate: must be in [0, 1)";
+  t.duplicate <- p
+
+let duplicate t = t.duplicate
+
+let set_reorder t ~burst ~window =
+  if burst < 0 || burst = 1 then
+    invalid_arg "Link.set_reorder: burst must be 0 (off) or >= 2";
+  if burst >= 2 && window <= 0.0 then
+    invalid_arg "Link.set_reorder: window must be positive";
+  (* Turning reordering off releases anything still held. *)
+  if burst < 2 then flush_reorder t;
+  t.reorder_burst <- burst;
+  t.reorder_window <- window
+
+let reorder_burst t = t.reorder_burst
+let duplicated t = t.duplicated
+let reordered t = t.reordered
 let delivered t = t.delivered
 let dropped t = t.dropped
 let name t = t.name

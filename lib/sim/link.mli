@@ -42,6 +42,30 @@ val latency : t -> Latency.t
 val set_bandwidth : t -> bytes_per_sec:float -> unit
 (** Default: infinite (size charges nothing). *)
 
+val set_duplicate : t -> float -> unit
+(** Byzantine fault: probability that a delivery arrives twice (the
+    copy gets an independently sampled delay).  Default 0; when 0 the
+    link draws no extra randomness, so fault-free runs are bit-stable.
+    Raises [Invalid_argument] outside [0, 1). *)
+
+val duplicate : t -> float
+
+val set_reorder : t -> burst:int -> window:float -> unit
+(** Byzantine fault: hold up to [burst] (>= 2) arrived messages and
+    release them in reversed arrival order; a held message waits at
+    most [window] extra seconds before the buffer is force-flushed.
+    [burst = 0] disables (and flushes anything held).  Raises
+    [Invalid_argument] on [burst = 1] or a non-positive window while
+    enabled. *)
+
+val reorder_burst : t -> int
+
+val duplicated : t -> int
+(** Deliveries that were duplicated by the fault injector. *)
+
+val reordered : t -> int
+(** Messages released out of arrival order by reorder bursts. *)
+
 val delivered : t -> int
 val dropped : t -> int
 val name : t -> string

@@ -114,6 +114,12 @@ let test_random_deterministic_and_self_healing () =
       | Schedule.Loss_normal -> bump `Loss (-1)
       | Schedule.Latency_spike _ -> bump `Latency 1
       | Schedule.Latency_normal -> bump `Latency (-1)
+      | Schedule.Duplicate_burst _ -> bump `Duplicate 1
+      | Schedule.Duplicate_normal -> bump `Duplicate (-1)
+      | Schedule.Reorder_burst _ -> bump `Reorder 1
+      | Schedule.Reorder_normal -> bump `Reorder (-1)
+      | Schedule.Bitflip_burst _ -> bump `Bitflip 1
+      | Schedule.Bitflip_normal -> bump `Bitflip (-1)
       | Schedule.Crash_master _ -> ())
     a;
   Hashtbl.iter (fun _ v -> check int_t "window closed" 0 v) balance
@@ -279,6 +285,8 @@ let test_harness_chaos_scenario_invariants () =
       double_check_p = 0.0;
       audit = true;
       pledge_batch = 1;
+      read_nonces = false;
+      audit_adaptive = false;
       net = Scenario.Lan;
       faults = [];
       chaos =

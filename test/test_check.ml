@@ -162,6 +162,8 @@ let attack_scenario ?(pledge_batch = 1) ~sys_seed ~mode () =
     double_check_p = 0.05;
     audit = true;
     pledge_batch;
+    read_nonces = false;
+    audit_adaptive = false;
     net = Scenario.Lan;
     faults = [ { Scenario.slave = 0; mode; probability = 1.0; from_time = 0.0 } ];
     chaos = [];

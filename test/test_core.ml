@@ -105,6 +105,35 @@ let test_keepalive () =
   check bool_t "stale" false (Keepalive.is_fresh ka ~now:106.0 ~max_latency:5.0);
   check bool_t "age" true (Float.abs (Keepalive.age ka ~now:103.0 -. 3.0) < 1e-9)
 
+(* The §3.1 replay window, as a property over many sampled ages: a
+   keep-alive older than max_latency is rejected no matter how valid
+   its signature is — freshness and authenticity are independent
+   gates, and the boundary itself is inclusive ([age = max_latency] is
+   still fresh, the first instant past it is not).  Integer-valued
+   timestamps keep the float arithmetic exact at the boundary. *)
+let test_keepalive_replay_window () =
+  let g = Prng.create ~seed:44L in
+  let key = Sig_scheme.generate Sig_scheme.Hmac_sim g in
+  let mp = Sig_scheme.public_of key in
+  for _ = 1 to 200 do
+    let t0 = float_of_int (Prng.int g 1000) in
+    let max_latency = float_of_int (1 + Prng.int g 30) in
+    let ka =
+      Keepalive.make ~master_key:key ~content_id:"cid" ~master_id:1
+        ~version:(Prng.int g 100) ~now:t0
+    in
+    check bool_t "age = bound is fresh (inclusive)" true
+      (Keepalive.is_fresh ka ~now:(t0 +. max_latency) ~max_latency);
+    check bool_t "first instant past the bound rejected" false
+      (Keepalive.is_fresh ka ~now:(t0 +. max_latency +. 1e-9) ~max_latency);
+    let replay_now = t0 +. max_latency +. 1.0 +. float_of_int (Prng.int g 1000) in
+    check bool_t "replayed old keep-alive rejected" false
+      (Keepalive.is_fresh ka ~now:replay_now ~max_latency);
+    (* The signature never expires — only the window rejects it. *)
+    check bool_t "replayed keep-alive still validly signed" true
+      (Keepalive.verify ~master_public:mp ka)
+  done
+
 (* ---------------- Pledge ---------------- *)
 
 let pledge_fixture () =
@@ -119,7 +148,7 @@ let pledge_fixture () =
   let pledge =
     Pledge.make ~slave_key ~slave_id:9 ~query
       ~result_digest:(Canonical.result_digest result)
-      ~keepalive
+      ~keepalive ()
   in
   (master_key, slave_key, keepalive, query, result, pledge)
 
@@ -132,6 +161,27 @@ let test_pledge_ok () =
        ~result ~now:12.0 ~max_latency:5.0 pledge
     = Ok ());
   check int_t "version" 3 (Pledge.version pledge)
+
+(* The full pledge chain reports a §3.1 window violation as a "stale"
+   rejection (retriable in place), never as a signature failure. *)
+let test_keepalive_replay_rejected_via_pledge () =
+  let master_key, slave_key, _, _, result, pledge = pledge_fixture () in
+  let sp = Sig_scheme.public_of slave_key and mp = Sig_scheme.public_of master_key in
+  let at now =
+    Pledge.verify ~slave_public:sp ~master_public:mp ~result ~now ~max_latency:5.0 pledge
+  in
+  (* The fixture keep-alive is stamped at t=10, so the window closes at 15. *)
+  check bool_t "at the boundary accepted" true (at 15.0 = Ok ());
+  (match at 15.001 with
+  | Error reason ->
+    check bool_t "past the boundary is a stale rejection" true
+      (String.length reason >= 5 && String.sub reason 0 5 = "stale")
+  | Ok () -> Alcotest.fail "expected stale rejection just past the window");
+  match at 1000.0 with
+  | Error reason ->
+    check bool_t "deep replay is a stale rejection" true
+      (String.length reason >= 5 && String.sub reason 0 5 = "stale")
+  | Ok () -> Alcotest.fail "expected stale rejection for a deep replay"
 
 let test_pledge_failure_branches () =
   let master_key, slave_key, keepalive, query, result, pledge = pledge_fixture () in
@@ -184,7 +234,7 @@ let batched_fixture () =
   let leaves =
     List.map
       (fun (query, _, result_digest) ->
-        Pledge.payload ~slave_id ~query ~result_digest ~keepalive)
+        Pledge.payload ~slave_id ~query ~result_digest ~keepalive ())
       cases
   in
   let tree = Merkle.build leaves in
@@ -198,6 +248,7 @@ let batched_fixture () =
           query;
           result_digest;
           keepalive;
+          nonce = 0;
           signature;
           mode = Pledge.Batched { root; proof = Merkle.prove tree i };
         })
@@ -331,6 +382,140 @@ let test_wire_garbage_rejected () =
       check bool_t "public-key garbage" true
         (match Sig_scheme.decode_public s with Error _ -> true | Ok _ -> false))
     garbage
+
+(* ---------------- Wire: adversarial frames ---------------- *)
+
+(* One valid frame of every message type that crosses a trust
+   boundary, each paired with a "decodes to a fully valid value"
+   predicate.  The predicates are the complete verification chain a
+   receiver runs (signatures, and for batched pledges the Merkle
+   inclusion proof), so any byte an attacker can profitably flip is
+   covered by one of them. *)
+let wire_frame_fixtures () =
+  let master_key, slave_key, _, _, _, pledge = pledge_fixture () in
+  let sp = Sig_scheme.public_of slave_key in
+  let mp = Sig_scheme.public_of master_key in
+  let _, bslave_key, bkeepalive, _, bpledges = batched_fixture () in
+  let bsp = Sig_scheme.public_of bslave_key in
+  let nonced =
+    Pledge.make ~nonce:7 ~slave_key ~slave_id:9 ~query:(Query.point_read "k")
+      ~result_digest:pledge.Pledge.result_digest ~keepalive:pledge.Pledge.keepalive ()
+  in
+  let g = Prng.create ~seed:91L in
+  let content = Content_key.create Sig_scheme.Hmac_sim g in
+  let cert_master = Sig_scheme.generate Sig_scheme.Hmac_sim g in
+  let cert =
+    Certificate.issue content ~master_id:1 ~address:"h:1"
+      (Sig_scheme.public_of cert_master)
+  in
+  ignore bkeepalive;
+  [
+    ( "keepalive",
+      Wire.encode_keepalive pledge.Pledge.keepalive,
+      fun s ->
+        match Wire.decode_keepalive s with
+        | Error _ -> `Rejected
+        | Ok ka -> if Keepalive.verify ~master_public:mp ka then `Valid else `Forged );
+    ( "pledge",
+      Wire.encode_pledge pledge,
+      fun s ->
+        match Wire.decode_pledge s with
+        | Error _ -> `Rejected
+        | Ok p -> if Pledge.verify_signature ~slave_public:sp p then `Valid else `Forged );
+    ( "nonced pledge",
+      Wire.encode_pledge nonced,
+      fun s ->
+        match Wire.decode_pledge s with
+        | Error _ -> `Rejected
+        | Ok p -> if Pledge.verify_signature ~slave_public:sp p then `Valid else `Forged );
+    ( "batched pledge",
+      Wire.encode_pledge (List.nth bpledges 2),
+      fun s ->
+        match Wire.decode_pledge s with
+        | Error _ -> `Rejected
+        | Ok p -> if Pledge.verify_signature ~slave_public:bsp p then `Valid else `Forged
+    );
+    ( "certificate",
+      Wire.encode_certificate cert,
+      fun s ->
+        match Wire.decode_certificate s with
+        | Error _ -> `Rejected
+        | Ok c ->
+          if Certificate.verify ~content_public:(Content_key.public content) c then `Valid
+          else `Forged );
+  ]
+
+let classify name verdict s =
+  match verdict s with
+  | exception e ->
+    Alcotest.fail (Printf.sprintf "%s decoder raised %s" name (Printexc.to_string e))
+  | v -> v
+
+let test_wire_truncation_rejected () =
+  List.iter
+    (fun (name, frame, verdict) ->
+      check bool_t (name ^ " intact frame valid") true (classify name verdict frame = `Valid);
+      for cut = 0 to String.length frame - 1 do
+        check bool_t
+          (Printf.sprintf "%s truncated at %d rejected" name cut)
+          true
+          (classify name verdict (String.sub frame 0 cut) = `Rejected)
+      done)
+    (wire_frame_fixtures ())
+
+let test_wire_oversize_rejected () =
+  List.iter
+    (fun (name, frame, verdict) ->
+      List.iter
+        (fun junk ->
+          check bool_t (name ^ " trailing junk rejected") true
+            (classify name verdict (frame ^ junk) = `Rejected))
+        [ "\x00"; "x"; String.make 64 '\xff'; frame ])
+    (wire_frame_fixtures ())
+
+let test_wire_random_bytes_never_crash () =
+  let g = Prng.create ~seed:92L in
+  let fixtures = wire_frame_fixtures () in
+  for _ = 1 to 100 do
+    let len = Prng.int g 300 in
+    let s = String.init len (fun _ -> Char.chr (Prng.int g 256)) in
+    List.iter
+      (fun (name, _, verdict) ->
+        (* Random bytes may parse by fluke, but can never carry a valid
+           signature. *)
+        check bool_t (name ^ " random frame not valid") true
+          (classify name verdict s <> `Valid))
+      fixtures
+  done
+
+(* The fuzz generator the satellite asks for: take a valid frame and
+   mutate it — flip 1-4 bytes, truncate, or extend.  The decoder must
+   never raise, and no mutant may survive the full verification chain:
+   every byte of every frame is either structural (mutation breaks the
+   parse) or covered by a signature / inclusion proof (mutation breaks
+   verification). *)
+let test_wire_mutation_fuzz () =
+  let g = Prng.create ~seed:93L in
+  let fixtures = Array.of_list (wire_frame_fixtures ()) in
+  for _ = 1 to 200 do
+    let name, frame, verdict = fixtures.(Prng.int g (Array.length fixtures)) in
+    let b = Bytes.of_string frame in
+    let mutant =
+      match Prng.int g 3 with
+      | 0 ->
+        let flips = 1 + Prng.int g 4 in
+        for _ = 1 to flips do
+          let i = Prng.int g (Bytes.length b) in
+          Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 + Prng.int g 255)))
+        done;
+        Bytes.to_string b
+      | 1 -> String.sub frame 0 (Prng.int g (String.length frame))
+      | _ -> frame ^ String.init (1 + Prng.int g 16) (fun _ -> Char.chr (Prng.int g 256))
+    in
+    if not (String.equal mutant frame) then
+      check bool_t (name ^ " mutant never verifies") true
+        (classify name verdict mutant <> `Valid)
+  done
 
 (* ---------------- Greedy detection ---------------- *)
 
@@ -1383,7 +1568,14 @@ let () =
           Alcotest.test_case "certificates" `Quick test_certificate_verify;
           Alcotest.test_case "directory" `Quick test_directory;
         ] );
-      ("keepalive", [ Alcotest.test_case "sign/verify/freshness" `Quick test_keepalive ]);
+      ( "keepalive",
+        [
+          Alcotest.test_case "sign/verify/freshness" `Quick test_keepalive;
+          Alcotest.test_case "replay window boundary (property)" `Quick
+            test_keepalive_replay_window;
+          Alcotest.test_case "replay rejected via pledge chain" `Quick
+            test_keepalive_replay_rejected_via_pledge;
+        ] );
       ( "pledge",
         [
           Alcotest.test_case "verifies" `Quick test_pledge_ok;
@@ -1400,6 +1592,11 @@ let () =
           Alcotest.test_case "certificate roundtrip" `Quick test_wire_certificate_roundtrip;
           Alcotest.test_case "rsa public roundtrip" `Quick test_wire_rsa_public_roundtrip;
           Alcotest.test_case "garbage rejected" `Quick test_wire_garbage_rejected;
+          Alcotest.test_case "truncation rejected" `Quick test_wire_truncation_rejected;
+          Alcotest.test_case "oversize rejected" `Quick test_wire_oversize_rejected;
+          Alcotest.test_case "random bytes never crash" `Quick
+            test_wire_random_bytes_never_crash;
+          Alcotest.test_case "mutation fuzz" `Quick test_wire_mutation_fuzz;
         ] );
       ( "greedy",
         [

@@ -321,6 +321,9 @@ let test_rule_coverage_mapping () =
       ("availability", Some "availability");
       ("recovery-convergence", Some "recovery");
       ("differential-audit", None);
+      ("replay-rejection", None);
+      ("equivocation-detection", None);
+      ("adaptive-no-worse", None);
       ("alert-coverage", None);
     ]
   in

@@ -415,6 +415,8 @@ let sharded_scenario ?(faults = []) ~sys_seed () =
     double_check_p = 0.05;
     audit = true;
     pledge_batch = 1;
+      read_nonces = false;
+      audit_adaptive = false;
     net = Scenario.Lan;
     faults;
     chaos = [];

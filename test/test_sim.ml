@@ -591,6 +591,10 @@ let sample_events =
     Event.Alert_cleared { rule = "staleness"; duration = 12.5 };
     Event.Shard_assigned { shard = 2; host = 9; slot = 1 };
     Event.Shard_rebalanced { shard = 2; slot = 1; from_host = 9; to_host = 4; reason = "crash" };
+    Event.Attack_launched
+      { slave = 7; mode = "replay-pledge"; client = 3; request = 3_000_001 };
+    Event.Attack_suppressed { slave = 7; mode = "adaptive:1"; reason = "audit-pressure" };
+    Event.Slave_quarantined { slave = 7; score = 3.25; until = 42.5 };
   ]
 
 let test_event_fields_roundtrip () =
@@ -879,6 +883,36 @@ let test_export_shard_golden () =
       (r.Trace.event = Event.Keepalive_sent { master = 0; version = 7 })
   | Error msg -> Alcotest.fail msg
 
+let test_export_adversary_golden () =
+  (* Adversary wire format: the CI smoke job and campaign tooling grep
+     these exact lines, so pin them like the alert/shard goldens. *)
+  let launched = Event.Attack_launched { slave = 0; mode = "replay"; client = 4; request = 4000007 } in
+  check Alcotest.string "attack_launched line"
+    {|{"ts":2.500000000,"source":"slave-0","kind":"attack_launched","slave":0,"mode":"replay","client":4,"request":4000007}|}
+    (Export.event_line ~time:2.5 ~source:"slave-0" launched);
+  let suppressed =
+    Event.Attack_suppressed { slave = 0; mode = "equivocate"; reason = "no-clique-peer" }
+  in
+  check Alcotest.string "attack_suppressed line"
+    {|{"ts":3.0,"source":"slave-0","kind":"attack_suppressed","slave":0,"mode":"equivocate","reason":"no-clique-peer"}|}
+    (Export.event_line ~time:3.0 ~source:"slave-0" suppressed);
+  let quarantined = Event.Slave_quarantined { slave = 0; score = 3.25; until = 45.0 } in
+  check Alcotest.string "slave_quarantined line"
+    {|{"ts":9.125000000,"source":"auditor-1","kind":"slave_quarantined","slave":0,"score":3.250000000,"until":45.0}|}
+    (Export.event_line ~time:9.125 ~source:"auditor-1" quarantined);
+  (* round-trip through the line parser, including a hostile reason *)
+  List.iter
+    (fun e ->
+      match Export.record_of_line (Export.event_line ~time:3.0 ~source:"slave-0" e) with
+      | Ok r -> check bool_t (Event.kind e ^ " line round-trips") true (r.Trace.event = e)
+      | Error msg -> Alcotest.fail msg)
+    [
+      launched;
+      suppressed;
+      quarantined;
+      Event.Attack_suppressed { slave = 2; mode = "adaptive"; reason = {|thr"esh\old|} };
+    ]
+
 let test_export_alert_all_formats () =
   (* Alert events survive every --trace-format: jsonl round-trips and
      chrome renders them as instants on the "slo" thread. *)
@@ -1028,6 +1062,7 @@ let () =
           Alcotest.test_case "json parser" `Quick test_export_json_parser;
           Alcotest.test_case "alert golden lines" `Quick test_export_alert_golden;
           Alcotest.test_case "shard golden lines" `Quick test_export_shard_golden;
+          Alcotest.test_case "adversary golden lines" `Quick test_export_adversary_golden;
           Alcotest.test_case "alerts in every format" `Quick test_export_alert_all_formats;
         ] );
     ]
