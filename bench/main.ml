@@ -27,6 +27,8 @@ let experiments =
      Secrep_experiments.Exp12_shard.run);
     ("e13", "strategic adversaries: uniform vs suspicion-weighted auditing",
      Secrep_experiments.Exp13_adversary.run);
+    ("e14", "domain-parallel shard execution: speedup + determinism oracle",
+     Secrep_experiments.Exp14_parallel.run);
     ("micro", "primitive micro-benchmarks (bechamel)", Secrep_experiments.Micro.run);
   ]
 

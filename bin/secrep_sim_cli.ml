@@ -308,9 +308,10 @@ let run_simulation ~masters ~slaves_per_master ~clients ~items ~duration ~read_r
 module Deployment = Secrep_shard.Deployment
 module Cross = Secrep_workload.Cross
 
-let run_sharded_simulation ~shards ~masters ~replication_factor ~clients ~items ~duration
-    ~read_rate ~write_rate ~double_check_p ~max_latency ~keepalive ~audit ~malicious
-    ~lie_prob ~lie_mode ~lie_from ~seed ~csv ~trace_out ~trace_format ~slo ~slo_out =
+let run_sharded_simulation ~shards ~domains ~masters ~replication_factor ~clients ~items
+    ~duration ~read_rate ~write_rate ~double_check_p ~max_latency ~keepalive ~audit
+    ~malicious ~lie_prob ~lie_mode ~lie_from ~seed ~csv ~trace_out ~trace_format ~slo
+    ~slo_out =
   if trace_format <> "jsonl" then begin
     Printf.eprintf "only --trace-format jsonl is supported with --shards > 1\n";
     exit 2
@@ -327,7 +328,8 @@ let run_sharded_simulation ~shards ~masters ~replication_factor ~clients ~items 
   in
   let d =
     Deployment.create ~n_shards:shards ~n_masters:masters ~replication_factor
-      ~n_clients:clients ~config ~seed:(Int64.of_int seed) ~items_per_shard:items ()
+      ~n_clients:clients ~config ~seed:(Int64.of_int seed) ~items_per_shard:items ~domains
+      ()
   in
   let monitors =
     if slo || slo_out <> None then
@@ -376,12 +378,16 @@ let run_sharded_simulation ~shards ~masters ~replication_factor ~clients ~items 
       ~rotate_period:(Float.max 1.0 (duration /. 4.0))
       ()
   in
+  (* Client ids are presampled in arrival order: [arrivals] is
+     time-sorted, so this matches what callback-time draws produced
+     sequentially, and keeps shard callbacks free of shared RNG state
+     (required for the parallel scheduler's determinism contract). *)
   List.iter
     (fun (at, shard) ->
+      let client = Prng.int pick_client clients in
       Deployment.schedule d ~shard ~time:at (fun () ->
           issued.(shard) <- issued.(shard) + 1;
-          Deployment.read d ~shard
-            ~client:(Prng.int pick_client clients)
+          Deployment.read d ~shard ~client
             (Mix.next_query mixes.(shard))
             ~on_done:(on_done shard)))
     (Cross.arrivals cross ~rate:read_rate ~duration);
@@ -480,6 +486,17 @@ let run_cmd =
             "Content items in the deployment.  1 runs the classic single-content system; \
              >1 runs a sharded deployment over a shared host pool with per-shard \
              auditors and a cross-shard Zipf workload.")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "domains" ]
+          ~doc:
+            "Worker domains for a sharded deployment (--shards > 1).  0 or 1 runs the \
+             shards sequentially in lockstep; >1 advances them on a parallel domain \
+             pool.  Both modes produce bit-identical event streams; ignored for \
+             single-system runs.")
   in
   let replication_factor =
     Arg.(
@@ -622,7 +639,8 @@ let run_cmd =
   let term =
     Term.(
       const
-        (fun masters slaves_per_master shards replication_factor clients items duration
+        (fun masters slaves_per_master shards domains replication_factor clients items
+             duration
              read_rate write_rate double_check_p max_latency keepalive audit pledge_batch
              pledge_batch_window audit_dedup malicious lie_prob lie_mode adversary lie_from
              read_nonces audit_adaptive seed csv trace_out trace_format metrics_out slo
@@ -636,7 +654,7 @@ let run_cmd =
               Printf.eprintf
                 "note: --read-nonces/--audit-adaptive apply to single-system runs only; \
                  ignored with --shards > 1\n";
-            run_sharded_simulation ~shards ~masters
+            run_sharded_simulation ~shards ~domains ~masters
               ~replication_factor:
                 (match replication_factor with
                 | Some r -> r
@@ -656,7 +674,8 @@ let run_cmd =
               ~pledge_batch_window ~audit_dedup ~read_nonces ~audit_adaptive ~malicious
               ~lie_prob ~lie_mode ~lie_from ~seed ~csv ~trace_out ~trace_format
               ~metrics_out ~slo ~slo_out ~lineage_out ~trace_capacity ~span_capacity)
-      $ masters $ slaves $ shards $ replication_factor $ clients $ items $ duration
+      $ masters $ slaves $ shards $ domains $ replication_factor $ clients $ items
+      $ duration
       $ read_rate $ write_rate $ p $ max_latency $ keepalive $ audit $ pledge_batch
       $ pledge_batch_window $ audit_dedup $ malicious $ lie_prob $ lie_mode $ adversary
       $ lie_from $ read_nonces $ audit_adaptive $ seed $ csv $ trace_out $ trace_format
@@ -956,9 +975,9 @@ let run_chaos ~masters ~slaves_per_master ~clients ~items ~duration ~read_rate ~
 (* Sharded chaos: host-level windows over the shared pool.  A crashed
    or cut host takes down every co-located replica at once — the
    cross-shard blast radius a per-slave schedule cannot express. *)
-let run_chaos_sharded ~shards ~masters ~replication_factor ~clients ~items ~duration
-    ~read_rate ~write_rate ~max_latency ~keepalive ~intensity ~seed ~invariants ~trace_out
-    ~counterexample_out =
+let run_chaos_sharded ~shards ~domains ~masters ~replication_factor ~clients ~items
+    ~duration ~read_rate ~write_rate ~max_latency ~keepalive ~intensity ~seed ~invariants
+    ~trace_out ~counterexample_out =
   let checkers =
     match
       Invariant.named
@@ -983,7 +1002,8 @@ let run_chaos_sharded ~shards ~masters ~replication_factor ~clients ~items ~dura
   in
   let d =
     Deployment.create ~n_shards:shards ~n_masters:masters ~replication_factor
-      ~n_clients:clients ~config ~seed:(Int64.of_int seed) ~items_per_shard:items ()
+      ~n_clients:clients ~config ~seed:(Int64.of_int seed) ~items_per_shard:items ~domains
+      ()
   in
   let pool = Deployment.pool_size d in
   (* per-shard live capture, exactly like the fuzz harness *)
@@ -1029,12 +1049,14 @@ let run_chaos_sharded ~shards ~masters ~replication_factor ~clients ~items ~dura
   let cross = Cross.create ~rng:(Prng.split g) ~n_shards:shards () in
   let issued = Array.make shards 0 in
   let gave_up = Array.make shards 0 in
+  (* presampled in time-sorted arrival order, as in the run command:
+     shard callbacks must not share RNG state across domains *)
   List.iter
     (fun (at, shard) ->
+      let client = Prng.int pick_client clients in
       Deployment.schedule d ~shard ~time:at (fun () ->
           issued.(shard) <- issued.(shard) + 1;
-          Deployment.read d ~shard
-            ~client:(Prng.int pick_client clients)
+          Deployment.read d ~shard ~client
             (Mix.next_query mixes.(shard))
             ~on_done:(fun r ->
               match r.Secrep_core.Client.outcome with
@@ -1153,6 +1175,16 @@ let chaos_cmd =
              shared pool: each window crashes or cuts a pool host, hitting every \
              co-located replica, and invariants are checked per shard.")
   in
+  let domains =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "domains" ]
+          ~doc:
+            "Worker domains for a sharded chaos run (--shards > 1).  0 or 1 is the \
+             sequential lockstep scheduler; >1 uses the parallel domain pool.  Chaos \
+             injection and event streams are bit-identical either way.")
+  in
   let replication_factor =
     Arg.(
       value
@@ -1235,7 +1267,8 @@ let chaos_cmd =
   let term =
     Term.(
       const
-        (fun masters slaves_per_master shards replication_factor clients items duration
+        (fun masters slaves_per_master shards domains replication_factor clients items
+             duration
              read_rate write_rate max_latency keepalive schedule_file intensity seed
              invariants trace_out trace_format counterexample_out slo slo_out lineage_out
              trace_capacity span_capacity ->
@@ -1246,7 +1279,7 @@ let chaos_cmd =
                  host-level chaos with --shards > 1\n";
               Stdlib.exit 2
             end;
-            run_chaos_sharded ~shards ~masters
+            run_chaos_sharded ~shards ~domains ~masters
               ~replication_factor:
                 (match replication_factor with
                 | Some r -> r
@@ -1259,7 +1292,8 @@ let chaos_cmd =
               ~write_rate ~max_latency ~keepalive ~schedule_file ~intensity ~seed
               ~invariants ~trace_out ~trace_format ~counterexample_out ~slo ~slo_out
               ~lineage_out ~trace_capacity ~span_capacity)
-      $ masters $ slaves $ shards $ replication_factor $ clients $ items $ duration
+      $ masters $ slaves $ shards $ domains $ replication_factor $ clients $ items
+      $ duration
       $ read_rate $ write_rate $ max_latency $ keepalive $ schedule_file $ intensity $ seed
       $ invariants $ trace_out $ trace_format $ counterexample_out $ slo_flag $ slo_out
       $ lineage_out $ trace_capacity $ span_capacity)

@@ -226,7 +226,7 @@ module Deployment = Secrep_shard.Deployment
 let shard_of_key ~n_shards key = key mod n_shards
 let shard_of_fault ~n_shards (f : Scenario.fault) = f.Scenario.slave mod n_shards
 
-let run_sharded scenario =
+let run_sharded ?domains scenario =
   let s = Scenario.normalize scenario in
   let k = s.Scenario.n_shards in
   if k <= 1 then [ run scenario ]
@@ -250,7 +250,7 @@ let run_sharded scenario =
         ~replication_factor:n_slaves ~n_clients:s.Scenario.n_clients ~config
         ~net:(net_profile s.Scenario.net)
         ~seed:(Int64.of_int s.Scenario.sys_seed)
-        ~items_per_shard:s.Scenario.n_items ()
+        ~items_per_shard:s.Scenario.n_items ?domains ()
     in
     let pool = Deployment.pool_size deployment in
     (* Per-shard capture: subscribe each shard's own trace so streams

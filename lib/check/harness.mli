@@ -39,10 +39,14 @@ val run : Scenario.t -> run_result
     the run horizon covers the last heal plus a convergence margin and
     every read's worst-case retry ladder. *)
 
-val run_sharded : Scenario.t -> run_result list
+val run_sharded : ?domains:int -> Scenario.t -> run_result list
 (** Execute the scenario over [n_shards] content items and return one
     result per shard, each carrying the slice of the scenario that
     shard saw (its own faults and ops; chaos windows are global).
+    [domains] selects the deployment scheduler (0/1 sequential, [> 1]
+    the parallel worker pool); every setting must produce byte-identical
+    per-shard streams — the [parallel-determinism] invariant holds the
+    harness to that.
 
     [n_shards = 1] is exactly [[run scenario]] — same code path, same
     stream — so the sharded prop degenerates to the classic one.  With

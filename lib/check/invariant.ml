@@ -664,6 +664,46 @@ let differential_audit =
           compare_at 0 (List.combine naive dedup));
   }
 
+let parallel_determinism =
+  {
+    name = "parallel-determinism";
+    doc =
+      "re-running a sharded scenario on the parallel domain scheduler yields \
+       byte-identical per-shard event streams to the sequential scheduler";
+    check =
+      (fun result ->
+        let s = result.Harness.scenario in
+        if s.Scenario.n_shards <= 1 then Ok ()
+        else begin
+          (* Full differential: both schedulers replay the scenario from
+             scratch, so the comparison covers everything downstream of
+             the scheduler — PRNG draws, chaos fan-out, rebalances,
+             auditor budgets — not just the merge order. *)
+          let digests domains =
+            List.map Harness.events_digest (Harness.run_sharded ~domains s)
+          in
+          let sequential = digests 0 and parallel = digests 2 in
+          let rec walk i = function
+            | [], [] -> Ok ()
+            | d0 :: r0, d2 :: r2 ->
+              if String.equal d0 d2 then walk (i + 1) (r0, r2)
+              else
+                Error
+                  (Printf.sprintf
+                     "shard %d diverged under the parallel scheduler: sequential \
+                      stream digest %s, 2-domain digest %s"
+                     i d0 d2)
+            | l0, l2 ->
+              Error
+                (Printf.sprintf
+                   "scheduler runs disagree on shard count from shard %d: sequential \
+                    has %d more, parallel has %d more"
+                   i (List.length l0) (List.length l2))
+          in
+          walk 0 (sequential, parallel)
+        end);
+  }
+
 let alert_coverage =
   {
     name = "alert-coverage";
@@ -741,6 +781,7 @@ let all =
     replay_rejection;
     equivocation_detection;
     adaptive_no_worse;
+    parallel_determinism;
     alert_coverage;
   ]
 

@@ -87,6 +87,18 @@ val adaptive_no_worse : checker
     as many lying pledges — the liar's audit probability never drops
     below the uniform fraction. *)
 
+val parallel_determinism : checker
+(** Differential oracle for the domain-parallel shard scheduler:
+    re-runs the result's scenario through {!Harness.run_sharded} with
+    [domains = 0] (sequential lockstep) and [domains = 2] (parallel
+    worker pool) and demands byte-identical per-shard event stream
+    digests ({!Harness.events_digest}).  Because both runs replay the
+    scenario from scratch, the comparison covers every source of
+    divergence downstream of the scheduler — PRNG draws, chaos fan-out,
+    rebalance decisions, auditor budgets — not just the merge order.
+    Vacuous for single-shard scenarios (no deployment, nothing to
+    parallelise). *)
+
 val alert_coverage : checker
 (** Cross-check between the fuzz invariants and the online monitor:
     replays the run's event stream through an offline

@@ -13,7 +13,22 @@
     Because the deployment never perturbs a shard's PRNG or event
     schedule, a shard's event stream is bit-identical to a standalone
     single-content run with the same derived seed — the differential
-    sharding tests assert exactly this. *)
+    sharding tests assert exactly this.
+
+    {2 Parallel execution}
+
+    With [domains > 1] each slice of each shard runs on a bounded pool
+    of OCaml domains (shard [i] is pinned to worker [i mod w], so a
+    shard's whole history executes on one domain).  During a slice a
+    shard touches only state it owns — its [System.t], its slot->host
+    map, its outbox — plus read-only shared data: the chaos transition
+    log (appended only between scheduler runs) and the content routing
+    table (frozen after {!create}).  At every slice barrier the
+    coordinator merges the outboxes in [(sim_time, shard, seq)] order
+    — the same total order the sequential scheduler produces — so tap
+    delivery, the deployment trace, and every per-shard stream are
+    byte-identical across [domains] settings.  The
+    [parallel-determinism] invariant and experiment E14 enforce this. *)
 
 type t
 
@@ -33,6 +48,7 @@ val create :
   ?provision_delay:float ->
   ?track_ground_truth:bool ->
   ?trace_capacity:int ->
+  ?domains:int ->
   unit ->
   t
 (** Defaults: 1 master and 3 replicas per shard, 2 clients per shard,
@@ -43,7 +59,9 @@ val create :
     (default true) re-homes replicas off crashed hosts and excluded
     slaves onto fresh pool hosts after [provision_delay] (default two
     keep-alive periods); turn it off for strict differential runs
-    against standalone systems that lack a re-homing operator. *)
+    against standalone systems that lack a re-homing operator.
+    [domains] (default {!Secrep_core.Config.t.parallel_domains}) caps
+    the worker-domain pool; 0 and 1 select the sequential scheduler. *)
 
 (** {2 Seed derivation} — shared with the differential tests so the
     standalone reference systems can be built from identical inputs. *)
@@ -62,9 +80,13 @@ val n_shards : t -> int
 val replication : t -> int
 val pool_size : t -> int
 val now : t -> float
+val domains : t -> int
+(** The configured worker-domain cap (0/1 = sequential). *)
+
 val directory : t -> Secrep_core.Directory.t
 val trace : t -> Secrep_sim.Trace.t
-(** Deployment-level events only (placement, rebalances). *)
+(** Deployment-level events only (placement, rebalances, and — in
+    parallel runs — [Domain_started]/[Shard_merged] window markers). *)
 
 val system : t -> int -> Secrep_core.System.t
 val content_id : t -> int -> string
@@ -73,18 +95,28 @@ val hosts_of_shard : t -> int -> int array
 (** Current slot -> host mapping (a copy). *)
 
 val host_is_alive : t -> int -> bool
+(** Aliveness at the deployment clock [now], read from the chaos
+    transition log (a pure function of the injected crash/recover
+    history, so every shard observes the same view). *)
+
 val shard_of_content : t -> content_id:string -> int option
 val audit_backlog : t -> int
 (** Aggregate backlog across every per-shard auditor. *)
 
 val on_event : t -> (shard:int -> Secrep_sim.Trace.record -> unit) -> unit
 (** Subscribe to the merged live stream: every shard event (tagged with
-    its shard index) plus the deployment's own placement events. *)
+    its shard index) plus the deployment's own placement events.
+    Records arrive in merged [(time, shard, seq)] order, delivered at
+    slice barriers; deployment window markers carry shard [-1]
+    ([Domain_started]) or their subject shard ([Shard_merged]). *)
 
 (** {2 Running} *)
 
 val run_until : t -> float -> unit
-(** Advance every shard in lockstep slices to the target time. *)
+(** Advance every shard in lockstep slices to the target time, on one
+    domain or — when [domains > 1] and the deployment has more than one
+    shard — on the parallel worker pool.  Both paths produce
+    byte-identical shard streams and tap delivery order. *)
 
 val run_for : t -> float -> unit
 
@@ -126,7 +158,10 @@ val schedule : t -> shard:int -> time:float -> (unit -> unit) -> unit
 (** {2 Host-level chaos}
 
     Actions land at exactly [at] in every shard's stream: each one
-    schedules a per-shard thunk on that shard's own simulator. *)
+    schedules a per-shard thunk on that shard's own simulator.  Inject
+    chaos only between scheduler runs (before the [run_until] that
+    covers [at]) — the transition log backing {!host_is_alive} is
+    read-only while the scheduler is running. *)
 
 val crash_host : t -> at:float -> int -> unit
 (** Fail-stop every replica on the host.  With [auto_rebalance], each

@@ -51,6 +51,8 @@ type t =
   | Attack_launched of { slave : int; mode : string; client : int; request : int }
   | Attack_suppressed of { slave : int; mode : string; reason : string }
   | Slave_quarantined of { slave : int; score : float; until : float }
+  | Domain_started of { domain : int; shards : int }
+  | Shard_merged of { shard : int; events : int }
 
 type field = I of int | F of float | S of string | B of bool
 
@@ -96,6 +98,8 @@ let kind = function
   | Attack_launched _ -> "attack_launched"
   | Attack_suppressed _ -> "attack_suppressed"
   | Slave_quarantined _ -> "slave_quarantined"
+  | Domain_started _ -> "domain_started"
+  | Shard_merged _ -> "shard_merged"
 
 let all_kinds =
   [
@@ -129,6 +133,8 @@ let all_kinds =
     "attack_launched";
     "attack_suppressed";
     "slave_quarantined";
+    "domain_started";
+    "shard_merged";
   ]
 
 let fields = function
@@ -202,6 +208,8 @@ let fields = function
     [ ("slave", I slave); ("mode", S mode); ("reason", S reason) ]
   | Slave_quarantined { slave; score; until } ->
     [ ("slave", I slave); ("score", F score); ("until", F until) ]
+  | Domain_started { domain; shards } -> [ ("domain", I domain); ("shards", I shards) ]
+  | Shard_merged { shard; events } -> [ ("shard", I shard); ("events", I events) ]
 
 (* -- reconstruction (the JSONL importer) ----------------------------- *)
 
@@ -382,6 +390,14 @@ let of_fields ~kind fs =
     let* score = float_field fs "score" in
     let* until = float_field fs "until" in
     Ok (Slave_quarantined { slave; score; until })
+  | "domain_started" ->
+    let* domain = int_field fs "domain" in
+    let* shards = int_field fs "shards" in
+    Ok (Domain_started { domain; shards })
+  | "shard_merged" ->
+    let* shard = int_field fs "shard" in
+    let* events = int_field fs "events" in
+    Ok (Shard_merged { shard; events })
   | k -> Error (Printf.sprintf "unknown event kind %S" k)
 
 (* -- rendering -------------------------------------------------------- *)

@@ -92,6 +92,16 @@ type t =
       (** The adaptive auditor put [slave] on probation (100% audit)
           until simulated time [until]; [score] is the suspicion EWMA
           that crossed the threshold. *)
+  | Domain_started of { domain : int; shards : int }
+      (** A sharded deployment's parallel scheduler started worker
+          domain [domain] carrying [shards] shard(s) (source
+          ["deployment"], emitted at the simulated time the parallel
+          window opens).  Only parallel runs emit it, so the
+          determinism digest over shard streams never sees one. *)
+  | Shard_merged of { shard : int; events : int }
+      (** The coordinator merged [events] buffered records of [shard]
+          back into the deployment stream, in [(time, shard, seq)]
+          order, over the parallel window that just closed. *)
 
 type field = I of int | F of float | S of string | B of bool
 

@@ -324,6 +324,7 @@ let test_rule_coverage_mapping () =
       ("replay-rejection", None);
       ("equivocation-detection", None);
       ("adaptive-no-worse", None);
+      ("parallel-determinism", None);
       ("alert-coverage", None);
     ]
   in

@@ -483,6 +483,167 @@ let test_run_sharded_k1_degenerate () =
   | results ->
     Alcotest.fail (Printf.sprintf "expected 1 result, got %d" (List.length results))
 
+(* ---------------- the parallel scheduler ----------------
+
+   The determinism oracle: a deployment advanced by the domain-parallel
+   scheduler must produce byte-identical per-shard streams, tap
+   delivery and rebalance decisions to the sequential lockstep run —
+   the only permitted difference is the [Domain_started]/[Shard_merged]
+   window markers, which exist only in parallel mode. *)
+
+let window_marker line =
+  match Export.record_of_line line with
+  | Ok { Trace.event = Event.Domain_started _ | Event.Shard_merged _; _ } -> true
+  | _ -> false
+
+let parallel_run ~domains ?(liar = false) ?(chaos = false) () =
+  let d =
+    Deployment.create ~n_shards:4 ~n_masters:1 ~replication_factor:2 ~n_clients:2
+      ~config:base_config ~net:System.lan_net ~seed:31L ~items_per_shard:4 ~domains ()
+  in
+  if liar then
+    System.set_slave_behavior (Deployment.system d 0) ~slave:0
+      (Fault.Malicious { probability = 1.0; mode = Fault.Corrupt_result; from_time = 3.0 });
+  let shard_streams = List.init 4 (fun i -> capture (Deployment.system d i)) in
+  let lines = ref [] in
+  Deployment.on_event d (fun ~shard r ->
+      lines := Deployment.tagged_line ~shard r :: !lines);
+  for i = 0 to 3 do
+    drive_deployment d ~shard:i
+  done;
+  if chaos then begin
+    let victim = (Deployment.hosts_of_shard d 0).(0) in
+    Deployment.crash_host d ~at:5.0 victim;
+    Deployment.recover_host d ~at:20.0 victim
+  end;
+  Deployment.run_until d 40.0;
+  (d, List.map (fun s -> digest (s ())) shard_streams, List.rev !lines)
+
+let test_parallel_streams_identical () =
+  let _, seq_digests, seq_lines = parallel_run ~domains:0 () in
+  let d_par, par_digests, par_lines = parallel_run ~domains:3 () in
+  check (Alcotest.list string_t) "per-shard digests bit-identical across schedulers"
+    seq_digests par_digests;
+  (* tap delivery identical modulo the parallel-only window markers *)
+  check bool_t "sequential run emits no window markers" false
+    (List.exists window_marker seq_lines);
+  let par_filtered = List.filter (fun l -> not (window_marker l)) par_lines in
+  check int_t "same tap stream length" (List.length seq_lines)
+    (List.length par_filtered);
+  List.iter2
+    (fun a b -> check string_t "tap streams identical" a b)
+    seq_lines par_filtered;
+  (* the parallel trace records the window bookkeeping *)
+  let trace = Trace.to_list (Deployment.trace d_par) in
+  let started =
+    List.filter
+      (fun r -> match r.Trace.event with Event.Domain_started _ -> true | _ -> false)
+      trace
+  in
+  check int_t "one start marker per worker domain" 3 (List.length started);
+  check int_t "workers cover every shard" 4
+    (List.fold_left
+       (fun acc r ->
+         match r.Trace.event with
+         | Event.Domain_started { shards; _ } -> acc + shards
+         | _ -> acc)
+       0 started);
+  let merged_counts =
+    List.filter_map
+      (fun r ->
+        match r.Trace.event with
+        | Event.Shard_merged { shard; events } -> Some (shard, events)
+        | _ -> None)
+      trace
+  in
+  check (Alcotest.list int_t) "one merge marker per shard" [ 0; 1; 2; 3 ]
+    (List.sort compare (List.map fst merged_counts));
+  check bool_t "every shard merged a non-empty stream" true
+    (List.for_all (fun (_, n) -> n > 0) merged_counts)
+
+let test_parallel_chaos_liar_identical () =
+  (* Adversarial + chaos: exclusion re-homing, crash re-homing and
+     recovery must make identical decisions on every scheduler. *)
+  let d0, seq_digests, _ = parallel_run ~domains:0 ~liar:true ~chaos:true () in
+  let results =
+    List.map (fun w -> parallel_run ~domains:w ~liar:true ~chaos:true ()) [ 2; 4 ]
+  in
+  List.iter
+    (fun (d, digests, _) ->
+      check (Alcotest.list string_t) "digests identical under chaos" seq_digests digests;
+      check
+        (Alcotest.list (Alcotest.pair (Alcotest.pair int_t int_t) (Alcotest.pair int_t string_t)))
+        "identical rebalance decisions"
+        (List.map (fun (a, b, c, s) -> ((a, b), (c, s))) (rebalances d0))
+        (List.map (fun (a, b, c, s) -> ((a, b), (c, s))) (rebalances d)))
+    results
+
+let test_run_sharded_domains_identical () =
+  (* The harness path end to end, faults and chaos included: every
+     [domains] setting yields the same per-shard digests. *)
+  let scenario =
+    {
+      (sharded_scenario ~sys_seed:2718
+         ~faults:
+           [
+             {
+               Scenario.slave = 1;
+               mode = Fault.Corrupt_result;
+               probability = 1.0;
+               from_time = 2.0;
+             };
+           ]
+         ())
+      with
+      Scenario.chaos = [ Scenario.Slave_churn { slave = 0; from_time = 4.0; outage = 6.0 } ];
+    }
+  in
+  let digests domains =
+    List.map Harness.events_digest (Harness.run_sharded ~domains scenario)
+  in
+  let seq = digests 0 in
+  check int_t "one digest per shard" 3 (List.length seq);
+  check (Alcotest.list string_t) "domains=2 identical" seq (digests 2);
+  check (Alcotest.list string_t) "domains=8 (more than shards) identical" seq (digests 8)
+
+(* ---------------- HRW stability property ---------------- *)
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* [after] must be [before] with at most the victim's slots replaced:
+   survivors keep their replicas in the same relative order, and the
+   number of new hosts equals the number of slots the victim held. *)
+let placement_stability_prop (n, r_raw, victim_raw, cseed) =
+  let r = 1 + (r_raw mod (n - 1)) in
+  let victim = victim_raw mod n in
+  let hosts = List.init n (fun h -> h) in
+  let content_id = Printf.sprintf "content-%d" cseed in
+  let before = Placement.assign ~content_id ~hosts ~replicas:r in
+  let after =
+    Placement.assign ~content_id
+      ~hosts:(List.filter (fun h -> h <> victim) hosts)
+      ~replicas:r
+  in
+  let survivors = List.filter (fun h -> h <> victim) before in
+  let rec subsequence xs ys =
+    match (xs, ys) with
+    | [], _ -> true
+    | _, [] -> false
+    | x :: xt, y :: yt -> if x = y then subsequence xt yt else subsequence xs yt
+  in
+  let moved = List.filter (fun h -> not (List.mem h before)) after in
+  List.length after = r
+  && subsequence survivors after
+  && List.length moved = (if List.mem victim before then 1 else 0)
+  && (List.mem victim before || after = before)
+
+let test_placement_stability_prop =
+  qtest "HRW: removing one host moves at most that host's slots"
+    QCheck2.Gen.(
+      quad (int_range 3 16) (int_range 0 100) (int_range 0 100) (int_range 0 10_000))
+    placement_stability_prop
+
 let () =
   Alcotest.run "secrep_shard"
     [
@@ -491,6 +652,7 @@ let () =
           Alcotest.test_case "deterministic rendezvous" `Quick test_placement_deterministic;
           Alcotest.test_case "HRW stability" `Quick test_placement_hrw_stability;
           Alcotest.test_case "spread and errors" `Quick test_placement_spread_and_errors;
+          test_placement_stability_prop;
         ] );
       ( "deployment",
         [
@@ -504,6 +666,15 @@ let () =
           Alcotest.test_case "tagged JSONL" `Quick test_tagged_lines;
           Alcotest.test_case "crash re-homing" `Quick test_crash_rehoming;
           Alcotest.test_case "exclusion re-homing" `Quick test_exclusion_rehoming;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "streams identical across schedulers" `Quick
+            test_parallel_streams_identical;
+          Alcotest.test_case "identical under chaos and liar" `Quick
+            test_parallel_chaos_liar_identical;
+          Alcotest.test_case "harness digests identical per domains" `Quick
+            test_run_sharded_domains_identical;
         ] );
       ( "fuzz_path",
         [

@@ -595,6 +595,8 @@ let sample_events =
       { slave = 7; mode = "replay-pledge"; client = 3; request = 3_000_001 };
     Event.Attack_suppressed { slave = 7; mode = "adaptive:1"; reason = "audit-pressure" };
     Event.Slave_quarantined { slave = 7; score = 3.25; until = 42.5 };
+    Event.Domain_started { domain = 1; shards = 2 };
+    Event.Shard_merged { shard = 2; events = 137 };
   ]
 
 let test_event_fields_roundtrip () =
@@ -650,6 +652,43 @@ let test_span_record_and_errors () =
   Alcotest.check_raises "backwards clock"
     (Invalid_argument "Span.finish: clock went backwards") (fun () ->
       Span.finish sp b ~now:4.0)
+
+let test_span_leaks_under_wrap () =
+  (* Regression: leak diagnostics must not be confused by the finished
+     ring wrapping.  Spans opened AND closed inside the same wrap
+     window fall out of the retained ring, but they are finished — the
+     leak report must count only the genuinely unfinished ones, with
+     exact identities, no matter how many times the ring turned over. *)
+  let sp = Span.create ~capacity:3 () in
+  let leaked_expected = ref [] in
+  (* 5 windows; each opens 4 spans and finishes 3 (one per window
+     leaks), so every window overflows the capacity-3 ring on its own
+     and the churned spans vanish from [finished] entirely. *)
+  for w = 0 to 4 do
+    let t0 = 10.0 *. float_of_int w in
+    let name i = Printf.sprintf "w%d-s%d" w i in
+    let leak = Span.start sp ~now:t0 ~source:"leaky" (name 0) in
+    ignore leak;
+    leaked_expected := (name 0, "leaky", t0) :: !leaked_expected;
+    for i = 1 to 3 do
+      let a = Span.start sp ~now:(t0 +. float_of_int i) ~source:"busy" (name i) in
+      Span.finish sp a ~now:(t0 +. float_of_int i +. 0.5)
+    done
+  done;
+  check int_t "ring pinned at capacity" 3 (Span.size sp);
+  check int_t "every close counted" 15 (Span.total_finished sp);
+  check int_t "active = opens - closes" 5 (Span.active_count sp);
+  let leaks = Span.leaked sp in
+  check int_t "exactly the unfinished spans leak" 5 (List.length leaks);
+  check
+    (Alcotest.list (Alcotest.triple Alcotest.string Alcotest.string float_t))
+    "leak identities, ordered by start" (List.rev !leaked_expected) leaks;
+  (* Closing a survivor after heavy wrap removes it from the report. *)
+  let late = Span.start sp ~now:100.0 ~source:"late" "late" in
+  check int_t "new open visible" 6 (List.length (Span.leaked sp));
+  Span.finish sp late ~now:101.0;
+  check int_t "late close drops out" 5 (List.length (Span.leaked sp));
+  check int_t "still only the originals" 5 (Span.active_count sp)
 
 (* ---------------- Export ---------------- *)
 
@@ -883,6 +922,57 @@ let test_export_shard_golden () =
       (r.Trace.event = Event.Keepalive_sent { master = 0; version = 7 })
   | Error msg -> Alcotest.fail msg
 
+let test_export_parallel_golden () =
+  (* Parallel-scheduler wire format: the CI parallel-smoke gate greps
+     these exact lines, so pin them like the shard goldens. *)
+  let started = Event.Domain_started { domain = 1; shards = 2 } in
+  check Alcotest.string "domain_started line"
+    {|{"ts":0.0,"source":"deployment","kind":"domain_started","domain":1,"shards":2}|}
+    (Export.event_line ~time:0.0 ~source:"deployment" started);
+  let merged = Event.Shard_merged { shard = 3; events = 137 } in
+  check Alcotest.string "shard_merged line"
+    {|{"ts":64.0,"source":"deployment","kind":"shard_merged","shard":3,"events":137}|}
+    (Export.event_line ~time:64.0 ~source:"deployment" merged);
+  List.iter
+    (fun e ->
+      match Export.record_of_line (Export.event_line ~time:3.0 ~source:"deployment" e) with
+      | Ok r -> check bool_t (Event.kind e ^ " line round-trips") true (r.Trace.event = e)
+      | Error msg -> Alcotest.fail msg)
+    [ started; merged ];
+  (* the shard-tagging path used by the deployment's JSONL dump:
+     [Domain_started] carries no shard and gains the tag (here the
+     coordinator's -1 sentinel); [Shard_merged] already names its shard
+     and must not be double-keyed.  A hostile source string must stay
+     escaped alongside the tag. *)
+  let tagged_start =
+    Export.event_line ~time:2.0 ~source:"deployment"
+      ~extra:[ ("shard", Export.Json.Int (-1)) ]
+      started
+  in
+  check Alcotest.string "domain_started gains shard tag"
+    {|{"ts":2.0,"source":"deployment","kind":"domain_started","domain":1,"shards":2,"shard":-1}|}
+    tagged_start;
+  check bool_t "shard_merged already keyed" true
+    (List.mem_assoc "shard" (Event.fields merged));
+  let hostile_src =
+    Export.event_line ~time:2.0 ~source:{|dep"loy\ment
+|}
+      ~extra:[ ("shard", Export.Json.Int 0) ]
+      started
+  in
+  (match Export.record_of_line hostile_src with
+  | Ok r ->
+    check Alcotest.string "hostile source round-trips" {|dep"loy\ment
+|}
+      r.Trace.source;
+    check bool_t "hostile-source event intact" true (r.Trace.event = started)
+  | Error msg -> Alcotest.fail msg);
+  match Export.Json.parse hostile_src with
+  | Ok json ->
+    check bool_t "tag survives hostile source" true
+      (Export.Json.member "shard" json = Some (Export.Json.Int 0))
+  | Error msg -> Alcotest.fail msg
+
 let test_export_adversary_golden () =
   (* Adversary wire format: the CI smoke job and campaign tooling grep
      these exact lines, so pin them like the alert/shard goldens. *)
@@ -1053,6 +1143,7 @@ let () =
           Alcotest.test_case "nesting and durations" `Quick test_span_nesting_and_durations;
           Alcotest.test_case "record and errors" `Quick test_span_record_and_errors;
           Alcotest.test_case "leak reporting" `Quick test_span_leak_reporting;
+          Alcotest.test_case "leaks exact under ring wrap" `Quick test_span_leaks_under_wrap;
         ] );
       ( "export",
         [
@@ -1062,6 +1153,7 @@ let () =
           Alcotest.test_case "json parser" `Quick test_export_json_parser;
           Alcotest.test_case "alert golden lines" `Quick test_export_alert_golden;
           Alcotest.test_case "shard golden lines" `Quick test_export_shard_golden;
+          Alcotest.test_case "parallel golden lines" `Quick test_export_parallel_golden;
           Alcotest.test_case "adversary golden lines" `Quick test_export_adversary_golden;
           Alcotest.test_case "alerts in every format" `Quick test_export_alert_all_formats;
         ] );

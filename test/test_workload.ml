@@ -45,6 +45,44 @@ let test_zipf_sampling () =
   check bool_t "rank-0 frequency near expectation" true
     (Float.abs (float_of_int counts.(0) -. expected) < 0.2 *. expected)
 
+let test_zipf_statistical_sanity () =
+  (* 10k seeded draws from Zipf(1.0): the empirical rank-frequency curve
+     must track the analytic mass within a binomial confidence band and
+     stay monotone non-increasing up to sampling noise.  The PRNG is
+     seeded, so the draw sequence is fixed — the tolerances only leave
+     room for a future PRNG swap, not for flakiness. *)
+  let n_ranks = 20 and draws = 10_000 in
+  let z = Zipf.create ~n:n_ranks ~s:1.0 in
+  let g = Prng.create ~seed:4242L in
+  let counts = Array.make n_ranks 0 in
+  for _ = 1 to draws do
+    let v = Zipf.sample z g in
+    counts.(v) <- counts.(v) + 1
+  done;
+  let freq i = float_of_int counts.(i) /. float_of_int draws in
+  let nf = float_of_int draws in
+  for i = 0 to n_ranks - 1 do
+    let p = Zipf.probability z i in
+    (* 4-sigma binomial band around the analytic mass *)
+    let band = 4.0 *. sqrt (p *. (1.0 -. p) /. nf) in
+    check bool_t
+      (Printf.sprintf "rank %d frequency %.4f within %.4f of analytic %.4f" i (freq i)
+         band p)
+      true
+      (Float.abs (freq i -. p) <= band)
+  done;
+  for i = 0 to n_ranks - 2 do
+    let p_i = Zipf.probability z i and p_j = Zipf.probability z (i + 1) in
+    (* adjacent ranks may invert only within the noise of both counts *)
+    let slack = 4.0 *. sqrt ((p_i +. p_j) /. nf) in
+    check bool_t
+      (Printf.sprintf "ranks %d >= %d up to noise" i (i + 1))
+      true
+      (freq i +. slack >= freq (i + 1))
+  done;
+  (* the heavy head is unmistakable regardless of noise *)
+  check bool_t "rank 0 strictly dominates rank 4" true (counts.(0) > counts.(4))
+
 let test_zipf_uniform_when_s0 () =
   let z = Zipf.create ~n:4 ~s:0.0 in
   for i = 0 to 3 do
@@ -222,6 +260,8 @@ let () =
         [
           Alcotest.test_case "probabilities" `Quick test_zipf_probabilities;
           Alcotest.test_case "sampling" `Quick test_zipf_sampling;
+          Alcotest.test_case "statistical sanity vs analytic mass" `Quick
+            test_zipf_statistical_sanity;
           Alcotest.test_case "uniform when s=0" `Quick test_zipf_uniform_when_s0;
           Alcotest.test_case "validation" `Quick test_zipf_validation;
         ] );
