@@ -29,6 +29,8 @@ let experiments =
      Secrep_experiments.Exp13_adversary.run);
     ("e14", "domain-parallel shard execution: speedup + determinism oracle",
      Secrep_experiments.Exp14_parallel.run);
+    ("e15", "Montgomery crypto kernel: ops/s + bit-identity vs seed baseline",
+     Secrep_experiments.Exp15_crypto.run);
     ("micro", "primitive micro-benchmarks (bechamel)", Secrep_experiments.Micro.run);
   ]
 

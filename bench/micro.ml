@@ -45,6 +45,17 @@ let regex = lazy (Store.Regex.compile "model [0-9]+")
 let bn_a = lazy (Crypto.Bignum.of_hex (String.make 128 '7'))
 let bn_b = lazy (Crypto.Bignum.of_hex (String.make 64 '3'))
 
+let mont_fixture =
+  lazy
+    (let n = (Lazy.force rsa_key).Crypto.Rsa.pub.Crypto.Rsa.n in
+     let ctx =
+       match Crypto.Bignum.Mont.make n with Some c -> c | None -> assert false
+     in
+     let x = Crypto.Bignum.Mont.to_mont ctx (Lazy.force bn_b) in
+     (n, ctx, x))
+
+let modexp_exp = lazy ((Lazy.force rsa_key).Crypto.Rsa.d)
+
 let pledge_fixture =
   lazy
     (let g = Crypto.Prng.create ~seed:14L in
@@ -100,6 +111,26 @@ let tests =
       (Staged.stage (fun () -> Crypto.Bignum.mul (Lazy.force bn_a) (Lazy.force bn_b)));
     Test.make ~name:"bignum/divmod-512/256"
       (Staged.stage (fun () -> Crypto.Bignum.divmod (Lazy.force bn_a) (Lazy.force bn_b)));
+    Test.make ~name:"bignum/mont-mul-512"
+      (Staged.stage (fun () ->
+           let _, ctx, x = Lazy.force mont_fixture in
+           Crypto.Bignum.Mont.mul ctx x x));
+    Test.make ~name:"bignum/modexp-mont-512"
+      (Staged.stage (fun () ->
+           let n, _, _ = Lazy.force mont_fixture in
+           Crypto.Bignum.mod_exp ~base:(Lazy.force bn_b) ~exp:(Lazy.force modexp_exp)
+             ~modulus:n));
+    Test.make ~name:"bignum/modexp-schoolbook-512"
+      (Staged.stage (fun () ->
+           let n, _, _ = Lazy.force mont_fixture in
+           Crypto.Bignum.mod_exp_schoolbook ~base:(Lazy.force bn_b)
+             ~exp:(Lazy.force modexp_exp) ~modulus:n));
+    Test.make ~name:"bignum/to_decimal-512"
+      (Staged.stage (fun () -> Crypto.Bignum.to_decimal (Lazy.force bn_a)));
+    Test.make ~name:"hmac-fresh-schedule/64B"
+      (Staged.stage (fun () ->
+           Crypto.Hmac.mac_with (Crypto.Hmac.schedule ~hash:Crypto.Hmac.Sha256 ~key:"k")
+             data_64));
     Test.make ~name:"pledge/make+verify"
       (Staged.stage (fun () ->
            let slave_key, master_key, keepalive, result = Lazy.force pledge_fixture in

@@ -258,7 +258,7 @@ let divmod (a : t) (b : t) =
 let div a b = fst (divmod a b)
 let rem a b = snd (divmod a b)
 
-let mod_exp ~base:b ~exp ~modulus =
+let mod_exp_schoolbook ~base:b ~exp ~modulus =
   if is_zero modulus then raise Division_by_zero;
   if equal modulus one then zero
   else begin
@@ -270,6 +270,187 @@ let mod_exp ~base:b ~exp ~modulus =
       if test_bit exp i then acc := rem (mul !acc b) modulus
     done;
     !acc
+  end
+
+(* Toggled off only by benches that want the seed-era cost model; reads
+   are safe from any domain, but don't flip it while other domains run. *)
+let use_montgomery = ref true
+
+module Mont = struct
+  (* Montgomery arithmetic over the 26-bit limbs.  For an odd modulus m
+     of k limbs, R = 2^(26k) and values live as residues a*R mod m in
+     padded k-limb arrays.  The word-at-a-time CIOS product interleaves
+     multiplication with the reduction, so the hot loop is a single
+     fused pass with no division anywhere: limb products (52 bits) plus
+     carries stay inside the native int exactly as in [mul]. *)
+
+  type ctx = {
+    m : t;  (** the modulus itself, normalized; odd and > 1 *)
+    limbs : int array;  (** modulus limbs, length [k] *)
+    k : int;
+    m0' : int;  (** -m^-1 mod 2^26 *)
+    r2 : int array;  (** R^2 mod m, padded to [k] limbs *)
+    one_m : int array;  (** R mod m = Montgomery form of 1 *)
+    one_lit : int array;  (** literal 1 padded to [k] limbs, for from_mont *)
+  }
+
+  let modulus ctx = ctx.m
+
+  let pad k (a : t) =
+    let r = Array.make k 0 in
+    Array.blit a 0 r 0 (Array.length a);
+    r
+
+  (* c = mont(a, b) = a * b * R^-1 mod m, all as k-limb arrays, using
+     the coarsely-integrated operand-scanning (CIOS) schedule.  Inputs
+     must be < m; the output is fully reduced. *)
+  let mul_raw ctx (a : int array) (b : int array) : int array =
+    let k = ctx.k and m = ctx.limbs and m0' = ctx.m0' in
+    let t = Array.make (k + 2) 0 in
+    for i = 0 to k - 1 do
+      let ai = a.(i) in
+      let c = ref 0 in
+      for j = 0 to k - 1 do
+        let x = t.(j) + (ai * b.(j)) + !c in
+        t.(j) <- x land mask;
+        c := x lsr limb_bits
+      done;
+      let x = t.(k) + !c in
+      t.(k) <- x land mask;
+      t.(k + 1) <- x lsr limb_bits;
+      (* u makes t divisible by 2^26; add u*m and shift one limb down. *)
+      let u = (t.(0) * m0') land mask in
+      let c = ref ((t.(0) + (u * m.(0))) lsr limb_bits) in
+      for j = 1 to k - 1 do
+        let x = t.(j) + (u * m.(j)) + !c in
+        t.(j - 1) <- x land mask;
+        c := x lsr limb_bits
+      done;
+      let x = t.(k) + !c in
+      t.(k - 1) <- x land mask;
+      t.(k) <- t.(k + 1) + (x lsr limb_bits);
+      t.(k + 1) <- 0
+    done;
+    (* CIOS leaves t < 2m (m < R), so at most one subtraction. *)
+    let ge =
+      t.(k) <> 0
+      ||
+      let rec cmp i = if i < 0 then true else if t.(i) <> m.(i) then t.(i) > m.(i) else cmp (i - 1) in
+      cmp (k - 1)
+    in
+    let r = Array.sub t 0 k in
+    if ge then begin
+      let borrow = ref 0 in
+      for i = 0 to k - 1 do
+        let d = r.(i) - m.(i) - !borrow in
+        if d < 0 then begin
+          r.(i) <- d + base;
+          borrow := 1
+        end
+        else begin
+          r.(i) <- d;
+          borrow := 0
+        end
+      done
+    end;
+    r
+
+  let make (m : t) : ctx option =
+    if Array.length m = 0 || m.(0) land 1 = 0 || equal m one then None
+    else begin
+      let k = Array.length m in
+      (* -m[0]^-1 mod 2^26 by Hensel lifting: each step doubles the
+         bits of precision, 1 -> 32 in five steps. *)
+      let m0 = m.(0) in
+      let inv = ref 1 in
+      for _ = 1 to 5 do
+        let t = (m0 * !inv) land mask in
+        inv := (!inv * ((2 - t) land mask)) land mask
+      done;
+      assert ((m0 * !inv) land mask = 1);
+      let m0' = (base - !inv) land mask in
+      let r2 = pad k (rem (shift_left one (2 * limb_bits * k)) m) in
+      let one_m = pad k (rem (shift_left one (limb_bits * k)) m) in
+      Some { m; limbs = pad k m; k; m0'; r2; one_m; one_lit = pad k one }
+    end
+
+  let to_mont ctx a = normalize (mul_raw ctx (pad ctx.k (rem a ctx.m)) ctx.r2)
+  let from_mont ctx a = normalize (mul_raw ctx (pad ctx.k a) ctx.one_lit)
+  let one ctx = normalize (Array.copy ctx.one_m)
+
+  let mul ctx a b =
+    normalize (mul_raw ctx (pad ctx.k (rem a ctx.m)) (pad ctx.k (rem b ctx.m)))
+
+  (* b^e mod m as a Montgomery residue (k-limb array). *)
+  let exp_raw ctx (b : t) (e : t) : int array =
+    let x = mul_raw ctx (pad ctx.k (rem b ctx.m)) ctx.r2 in
+    let ebits = bit_length e in
+    if ebits = 0 then Array.copy ctx.one_m
+    else if Array.length e = 1 && e.(0) = 65537 then begin
+      (* The RSA verify exponent: 16 squarings and one multiply, no
+         window table to fill. *)
+      let acc = ref x in
+      for _ = 1 to 16 do
+        acc := mul_raw ctx !acc !acc
+      done;
+      mul_raw ctx !acc x
+    end
+    else if ebits <= 8 then begin
+      (* Short exponents don't amortize a window table. *)
+      let acc = ref (Array.copy x) in
+      for i = ebits - 2 downto 0 do
+        acc := mul_raw ctx !acc !acc;
+        if test_bit e i then acc := mul_raw ctx !acc x
+      done;
+      !acc
+    end
+    else begin
+      (* 4-bit sliding windows over the precomputed odd powers
+         x^1, x^3, ..., x^15: one multiply per window instead of one
+         per set bit. *)
+      let x2 = mul_raw ctx x x in
+      let odd = Array.make 8 x in
+      for i = 1 to 7 do
+        odd.(i) <- mul_raw ctx odd.(i - 1) x2
+      done;
+      let acc = ref (Array.copy ctx.one_m) in
+      let i = ref (ebits - 1) in
+      while !i >= 0 do
+        if not (test_bit e !i) then begin
+          acc := mul_raw ctx !acc !acc;
+          decr i
+        end
+        else begin
+          (* Largest window of <= 4 bits ending in a set bit. *)
+          let l = ref (max (!i - 3) 0) in
+          while not (test_bit e !l) do
+            incr l
+          done;
+          let w = ref 0 in
+          for j = !i downto !l do
+            w := (!w lsl 1) lor (if test_bit e j then 1 else 0)
+          done;
+          for _ = !l to !i do
+            acc := mul_raw ctx !acc !acc
+          done;
+          acc := mul_raw ctx !acc odd.((!w - 1) / 2);
+          i := !l - 1
+        end
+      done;
+      !acc
+    end
+
+  let exp_mont ctx ~base:b ~exp:e = normalize (exp_raw ctx b e)
+  let exp ctx ~base:b ~exp:e = normalize (mul_raw ctx (exp_raw ctx b e) ctx.one_lit)
+end
+
+let mod_exp ~base:b ~exp ~modulus =
+  if is_zero modulus then raise Division_by_zero;
+  if (not !use_montgomery) || is_even modulus then mod_exp_schoolbook ~base:b ~exp ~modulus
+  else begin
+    match Mont.make modulus with
+    | Some ctx -> Mont.exp ctx ~base:b ~exp
+    | None -> mod_exp_schoolbook ~base:b ~exp ~modulus (* modulus = 1 *)
   end
 
 let rec gcd a b = if is_zero b then a else gcd b (rem a b)
@@ -312,13 +493,26 @@ let mod_inv a m =
     if t.neg && not (is_zero x) then Some (sub m x) else Some x
   end
 
+(* Radix conversions extract or insert digits directly at their bit
+   offset in the limb array, one pass over the output: the old
+   shift-or-divide per digit made these O(limbs * digits). *)
+
 let of_bytes_be s =
   let len = String.length s in
-  let r = ref zero in
-  for i = 0 to len - 1 do
-    r := add (shift_left !r 8) (of_int (Char.code s.[i]))
+  let r = Array.make (((len * 8) + limb_bits - 1) / limb_bits) 0 in
+  let acc = ref 0 and accbits = ref 0 and limb = ref 0 in
+  for i = len - 1 downto 0 do
+    acc := !acc lor (Char.code s.[i] lsl !accbits);
+    accbits := !accbits + 8;
+    if !accbits >= limb_bits then begin
+      r.(!limb) <- !acc land mask;
+      incr limb;
+      acc := !acc lsr limb_bits;
+      accbits := !accbits - limb_bits
+    end
   done;
-  !r
+  if !accbits > 0 && !limb < Array.length r then r.(!limb) <- !acc;
+  normalize r
 
 let to_bytes_be ?length (a : t) =
   let nbytes = (bit_length a + 7) / 8 in
@@ -330,16 +524,18 @@ let to_bytes_be ?length (a : t) =
       l
   in
   let buf = Bytes.make total '\000' in
-  let rec go v i =
-    if not (is_zero v) then begin
-      assert (i >= 0);
-      let q, r = divmod_small v 256 in
-      let byte = match to_int_opt r with Some b -> b | None -> assert false in
-      Bytes.set buf i (Char.chr byte);
-      go q (i - 1)
-    end
-  in
-  go a (total - 1);
+  let la = Array.length a in
+  for i = 0 to nbytes - 1 do
+    (* i-th byte counting from the least-significant end. *)
+    let off = 8 * i in
+    let limb = off / limb_bits and sh = off mod limb_bits in
+    let v = a.(limb) lsr sh in
+    let v =
+      if sh > limb_bits - 8 && limb + 1 < la then v lor (a.(limb + 1) lsl (limb_bits - sh))
+      else v
+    in
+    Bytes.set buf (total - 1 - i) (Char.chr (v land 0xff))
+  done;
   Bytes.unsafe_to_string buf
 
 let hex_digit c =
@@ -350,55 +546,116 @@ let hex_digit c =
   | _ -> invalid_arg "Bignum.of_hex: bad digit"
 
 let of_hex s =
-  let r = ref zero in
-  String.iter (fun c -> if c <> '_' then r := add (shift_left !r 4) (of_int (hex_digit c))) s;
-  !r
+  let ndigits = ref 0 in
+  String.iter (fun c -> if c <> '_' then incr ndigits) s;
+  let r = Array.make (((!ndigits * 4) + limb_bits - 1) / limb_bits) 0 in
+  let acc = ref 0 and accbits = ref 0 and limb = ref 0 in
+  for i = String.length s - 1 downto 0 do
+    if s.[i] <> '_' then begin
+      acc := !acc lor (hex_digit s.[i] lsl !accbits);
+      accbits := !accbits + 4;
+      if !accbits >= limb_bits then begin
+        r.(!limb) <- !acc land mask;
+        incr limb;
+        acc := !acc lsr limb_bits;
+        accbits := !accbits - limb_bits
+      end
+    end
+  done;
+  if !accbits > 0 && !limb < Array.length r then r.(!limb) <- !acc;
+  normalize r
 
 let to_hex (a : t) =
   if is_zero a then "0"
   else begin
-    let buf = Buffer.create 16 in
-    let rec go v =
-      if not (is_zero v) then begin
-        let q, r = divmod_small v 16 in
-        let d = match to_int_opt r with Some d -> d | None -> assert false in
-        Buffer.add_char buf "0123456789abcdef".[d];
-        go q
-      end
-    in
-    go a;
-    let s = Buffer.contents buf in
-    String.init (String.length s) (fun i -> s.[String.length s - 1 - i])
+    let n = (bit_length a + 3) / 4 in
+    let la = Array.length a in
+    String.init n (fun idx ->
+        let off = 4 * (n - 1 - idx) in
+        let limb = off / limb_bits and sh = off mod limb_bits in
+        let v = a.(limb) lsr sh in
+        let v =
+          if sh > limb_bits - 4 && limb + 1 < la then v lor (a.(limb + 1) lsl (limb_bits - sh))
+          else v
+        in
+        "0123456789abcdef".[v land 0xf])
+  end
+
+(* Decimal digits don't align with limb boundaries, so full linearity is
+   out; instead process 7 digits (one sub-limb chunk of 10^7 < 2^26) per
+   multiply/divide pass, a 7x fewer-passes version of the old loops. *)
+let dec_chunk = 10_000_000
+let dec_chunk_digits = 7
+
+let mul_small (a : t) c : t =
+  assert (c >= 0 && c < base);
+  if c = 0 || is_zero a then zero
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let p = (a.(i) * c) + !carry in
+      r.(i) <- p land mask;
+      carry := p lsr limb_bits
+    done;
+    r.(la) <- !carry;
+    normalize r
   end
 
 let of_decimal s =
   if String.length s = 0 then invalid_arg "Bignum.of_decimal: empty";
-  let r = ref zero in
+  let buf = Buffer.create (String.length s) in
   String.iter
     (fun c ->
       match c with
-      | '0' .. '9' ->
-        r := add (mul !r (of_int 10)) (of_int (Char.code c - Char.code '0'))
+      | '0' .. '9' -> Buffer.add_char buf c
       | '_' -> ()
       | _ -> invalid_arg "Bignum.of_decimal: bad digit")
     s;
-  !r
+  let s = Buffer.contents buf in
+  let n = String.length s in
+  if n = 0 then zero
+  else begin
+    let first =
+      let f = n mod dec_chunk_digits in
+      if f = 0 then dec_chunk_digits else f
+    in
+    let r = ref (of_int (int_of_string (String.sub s 0 first))) in
+    let i = ref first in
+    while !i < n do
+      r := add (mul_small !r dec_chunk) (of_int (int_of_string (String.sub s !i dec_chunk_digits)));
+      i := !i + dec_chunk_digits
+    done;
+    !r
+  end
 
 let to_decimal (a : t) =
   if is_zero a then "0"
   else begin
-    let buf = Buffer.create 16 in
-    let rec go v =
-      if not (is_zero v) then begin
-        let q, r = divmod_small v 10 in
-        let d = match to_int_opt r with Some d -> d | None -> assert false in
-        Buffer.add_char buf (Char.chr (d + Char.code '0'));
-        go q
-      end
-    in
-    go a;
-    let s = Buffer.contents buf in
-    String.init (String.length s) (fun i -> s.[String.length s - 1 - i])
+    (* Repeated in-place division by 10^7, collecting 7 digits a pass. *)
+    let work = Array.copy a in
+    let n = ref (Array.length work) in
+    let rems = ref [] in
+    while !n > 0 do
+      let r = ref 0 in
+      for i = !n - 1 downto 0 do
+        let cur = (!r lsl limb_bits) lor work.(i) in
+        work.(i) <- cur / dec_chunk;
+        r := cur mod dec_chunk
+      done;
+      while !n > 0 && work.(!n - 1) = 0 do
+        decr n
+      done;
+      rems := !r :: !rems
+    done;
+    match !rems with
+    | [] -> "0"
+    | first :: rest ->
+      let buf = Buffer.create 32 in
+      Buffer.add_string buf (string_of_int first);
+      List.iter (fun r -> Buffer.add_string buf (Printf.sprintf "%07d" r)) rest;
+      Buffer.contents buf
   end
 
 let pp fmt a = Format.pp_print_string fmt (to_decimal a)

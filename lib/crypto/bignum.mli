@@ -54,8 +54,57 @@ val bit_length : t -> int
 val test_bit : t -> int -> bool
 
 val mod_exp : base:t -> exp:t -> modulus:t -> t
-(** [mod_exp ~base ~exp ~modulus] is [base^exp mod modulus] by
-    left-to-right binary exponentiation.  [modulus] must be non-zero. *)
+(** [mod_exp ~base ~exp ~modulus] is [base^exp mod modulus].
+    [modulus] must be non-zero.  Odd moduli > 1 go through the
+    Montgomery kernel ({!Mont}) with 4-bit sliding-window
+    exponentiation; even moduli (and the degenerate modulus 1) fall
+    back to {!mod_exp_schoolbook}.  Both paths compute the same exact
+    value — the Montgomery representation is internal only. *)
+
+val mod_exp_schoolbook : base:t -> exp:t -> modulus:t -> t
+(** The seed implementation: left-to-right binary exponentiation with a
+    full division per step.  Kept as the reference for differential
+    tests and as the baseline the E15 bench measures against. *)
+
+val use_montgomery : bool ref
+(** When [false], {!mod_exp} (and the RSA/Miller-Rabin fast paths built
+    on {!Mont}) fall back to the schoolbook kernel.  Defaults to
+    [true]; benches flip it to measure the seed baseline.  Toggle only
+    while no other domain is computing. *)
+
+module Mont : sig
+  (** Montgomery arithmetic for a fixed odd modulus: a per-modulus
+      context precomputes [-m^-1 mod 2^26] and [R^2 mod m]
+      (R = 2^(26k) for a k-limb modulus), after which modular products
+      cost one fused CIOS pass with no division. *)
+
+  type ctx
+
+  val make : t -> ctx option
+  (** [make m] is [None] unless [m] is odd and [> 1]. *)
+
+  val modulus : ctx -> t
+
+  val to_mont : ctx -> t -> t
+  (** Montgomery residue [a * R mod m]; reduces [a] mod [m] first. *)
+
+  val from_mont : ctx -> t -> t
+  val one : ctx -> t
+  (** The Montgomery residue of 1, i.e. [R mod m]. *)
+
+  val mul : ctx -> t -> t -> t
+  (** Product of two Montgomery residues, as a Montgomery residue. *)
+
+  val exp : ctx -> base:t -> exp:t -> t
+  (** [exp ctx ~base ~exp] is [base^exp mod m] in the ordinary domain:
+      4-bit sliding windows over precomputed odd powers, with a
+      dedicated 16-squarings-and-one-multiply path for exponent
+      65537. *)
+
+  val exp_mont : ctx -> base:t -> exp:t -> t
+  (** Like {!exp} but returns the Montgomery residue, for callers that
+      keep a squaring chain in Montgomery form (Miller-Rabin). *)
+end
 
 val gcd : t -> t -> t
 

@@ -5,15 +5,72 @@ let block_size = 64 (* both SHA-1 and SHA-256 use 64-byte blocks *)
 let raw_digest hash s =
   match hash with Sha1 -> Sha1.digest s | Sha256 -> Sha256.digest s
 
-let mac ~hash ~key msg =
+(* A key schedule is the pair of hash contexts already fed with the
+   ipad/opad-padded key block.  The padded block is exactly one
+   compression, so a schedule captures all per-key work: MACing a
+   message then costs two context copies and the message bytes only. *)
+type fed = Fed1 of Sha1.ctx | Fed256 of Sha256.ctx
+
+type schedule = { inner : fed; outer : fed }
+
+let padded_key hash key fill =
   let key = if String.length key > block_size then raw_digest hash key else key in
-  let pad fill =
-    String.init block_size (fun i ->
-        let k = if i < String.length key then Char.code key.[i] else 0 in
-        Char.chr (k lxor fill))
+  String.init block_size (fun i ->
+      let k = if i < String.length key then Char.code key.[i] else 0 in
+      Char.chr (k lxor fill))
+
+let schedule ~hash ~key =
+  let ipad = padded_key hash key 0x36 and opad = padded_key hash key 0x5c in
+  match hash with
+  | Sha1 ->
+    let inner = Sha1.init () and outer = Sha1.init () in
+    Sha1.feed inner ipad;
+    Sha1.feed outer opad;
+    { inner = Fed1 inner; outer = Fed1 outer }
+  | Sha256 ->
+    let inner = Sha256.init () and outer = Sha256.init () in
+    Sha256.feed inner ipad;
+    Sha256.feed outer opad;
+    { inner = Fed256 inner; outer = Fed256 outer }
+
+let mac_with sched msg =
+  match (sched.inner, sched.outer) with
+  | Fed1 inner, Fed1 outer ->
+    let inner = Sha1.copy inner in
+    Sha1.feed inner msg;
+    let outer = Sha1.copy outer in
+    Sha1.feed outer (Sha1.finalize inner);
+    Sha1.finalize outer
+  | Fed256 inner, Fed256 outer ->
+    let inner = Sha256.copy inner in
+    Sha256.feed inner msg;
+    let outer = Sha256.copy outer in
+    Sha256.feed outer (Sha256.finalize inner);
+    Sha256.finalize outer
+  | _ -> assert false
+
+(* Per-domain schedule cache: slaves sign thousands of pledges under
+   one key, so (hash, key) repeats overwhelmingly.  Domain-local state
+   keeps the sharded parallel scheduler free of cross-domain races; the
+   cache only memoizes a pure function, so contents never affect
+   output. *)
+let cache_capacity = 64
+
+let cache : (hash * string, schedule) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 16)
+
+let mac ~hash ~key msg =
+  let tbl = Domain.DLS.get cache in
+  let sched =
+    match Hashtbl.find_opt tbl (hash, key) with
+    | Some s -> s
+    | None ->
+      let s = schedule ~hash ~key in
+      if Hashtbl.length tbl >= cache_capacity then Hashtbl.reset tbl;
+      Hashtbl.add tbl (hash, key) s;
+      s
   in
-  let inner = raw_digest hash (pad 0x36 ^ msg) in
-  raw_digest hash (pad 0x5c ^ inner)
+  mac_with sched msg
 
 let hex_mac ~hash ~key msg = Hex.encode (mac ~hash ~key msg)
 

@@ -3,8 +3,21 @@
 
 type hash = Sha1 | Sha256
 
+type schedule
+(** Precomputed per-key state: the two hash contexts already fed with
+    the ipad/opad-padded key blocks (one compression each).  MACing
+    through a schedule hashes only the message. *)
+
+val schedule : hash:hash -> key:string -> schedule
+
+val mac_with : schedule -> string -> string
+(** [mac_with (schedule ~hash ~key) msg = mac ~hash ~key msg],
+    bit-for-bit. *)
+
 val mac : hash:hash -> key:string -> string -> string
-(** [mac ~hash ~key msg] is the raw HMAC digest of [msg]. *)
+(** [mac ~hash ~key msg] is the raw HMAC digest of [msg].  Schedules
+    are memoized per (hash, key) in a domain-local cache, so repeated
+    MACs under one key skip the key setup. *)
 
 val hex_mac : hash:hash -> key:string -> string -> string
 

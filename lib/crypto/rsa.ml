@@ -1,4 +1,8 @@
-type public_key = { n : Bignum.t; e : Bignum.t }
+type public_key = {
+  n : Bignum.t;
+  e : Bignum.t;
+  n_mont : Bignum.Mont.ctx option;
+}
 
 type private_key = {
   pub : public_key;
@@ -8,9 +12,22 @@ type private_key = {
   dp : Bignum.t;
   dq : Bignum.t;
   qinv : Bignum.t;
+  p_mont : Bignum.Mont.ctx option;
+  q_mont : Bignum.Mont.ctx option;
 }
 
 let e65537 = Bignum.of_int 65537
+
+let make_public ~n ~e = { n; e; n_mont = Bignum.Mont.make n }
+
+(* All exponentiations go through here: the cached Montgomery context
+   when there is one and the kernel is enabled, the seed schoolbook
+   path otherwise (even/degenerate moduli from hostile decodes, or the
+   E15 baseline flag).  Both compute the identical value. *)
+let mexp ctx ~base ~exp ~modulus =
+  match ctx with
+  | Some c when !Bignum.use_montgomery -> Bignum.Mont.exp c ~base ~exp
+  | _ -> Bignum.mod_exp_schoolbook ~base ~exp ~modulus
 
 let generate g ~bits =
   if bits < 64 then invalid_arg "Rsa.generate: modulus too small";
@@ -42,13 +59,15 @@ let generate g ~bits =
           end
         in
         {
-          pub = { n; e = e65537 };
+          pub = make_public ~n ~e:e65537;
           d;
           p;
           q;
           dp = Bignum.rem d p1;
           dq = Bignum.rem d q1;
           qinv;
+          p_mont = Bignum.Mont.make p;
+          q_mont = Bignum.Mont.make q;
         }
     end
   in
@@ -85,15 +104,16 @@ let emsa_encode ~em_len msg =
 let sign_no_crt key msg =
   let em_len = key_bytes key.pub in
   let m = Bignum.of_bytes_be (emsa_encode ~em_len msg) in
-  let s = Bignum.mod_exp ~base:m ~exp:key.d ~modulus:key.pub.n in
+  let s = mexp key.pub.n_mont ~base:m ~exp:key.d ~modulus:key.pub.n in
   Bignum.to_bytes_be ~length:em_len s
 
 let sign key msg =
-  (* CRT: two half-size exponentiations instead of one full-size one. *)
+  (* CRT: two half-size exponentiations instead of one full-size one,
+     each in Montgomery form over its own cached context. *)
   let em_len = key_bytes key.pub in
   let m = Bignum.of_bytes_be (emsa_encode ~em_len msg) in
-  let sp = Bignum.mod_exp ~base:m ~exp:key.dp ~modulus:key.p in
-  let sq = Bignum.mod_exp ~base:m ~exp:key.dq ~modulus:key.q in
+  let sp = mexp key.p_mont ~base:m ~exp:key.dp ~modulus:key.p in
+  let sq = mexp key.q_mont ~base:m ~exp:key.dq ~modulus:key.q in
   (* h = qinv * (sp - sq) mod p; invariant from generate: p > q so the
      subtraction is done modulo p. *)
   let diff =
@@ -111,7 +131,7 @@ let verify pub ~msg ~signature =
        let s = Bignum.of_bytes_be signature in
        Bignum.compare s pub.n < 0
        && begin
-            let m = Bignum.mod_exp ~base:s ~exp:pub.e ~modulus:pub.n in
+            let m = mexp pub.n_mont ~base:s ~exp:pub.e ~modulus:pub.n in
             let em = Bignum.to_bytes_be ~length:em_len m in
             Hmac.equal_const_time em (emsa_encode ~em_len msg)
           end

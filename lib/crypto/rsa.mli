@@ -6,7 +6,14 @@
     (signing much more expensive than verification, the asymmetry the
     auditor exploits in §3.4 of the paper) without dominating run time. *)
 
-type public_key = { n : Bignum.t; e : Bignum.t }
+type public_key = {
+  n : Bignum.t;
+  e : Bignum.t;
+  n_mont : Bignum.Mont.ctx option;
+      (* Montgomery context for n, built once at key creation/decode;
+         [None] only for degenerate (even or trivial) decoded moduli,
+         which then verify via the schoolbook path. *)
+}
 
 type private_key = {
   pub : public_key;
@@ -16,7 +23,13 @@ type private_key = {
   dp : Bignum.t; (* d mod (p-1), for CRT signing *)
   dq : Bignum.t; (* d mod (q-1) *)
   qinv : Bignum.t; (* q^-1 mod p *)
+  p_mont : Bignum.Mont.ctx option; (* Montgomery contexts for the CRT *)
+  q_mont : Bignum.Mont.ctx option; (* half-exponentiations *)
 }
+
+val make_public : n:Bignum.t -> e:Bignum.t -> public_key
+(** Builds the key together with its cached Montgomery context; every
+    decoded or hand-assembled public key should come through here. *)
 
 val generate : Prng.t -> bits:int -> private_key
 (** [generate g ~bits] makes a fresh key with a [bits]-bit modulus and

@@ -30,6 +30,19 @@ let init () =
     w = Array.make 80 0;
   }
 
+let copy ctx =
+  {
+    h0 = ctx.h0;
+    h1 = ctx.h1;
+    h2 = ctx.h2;
+    h3 = ctx.h3;
+    h4 = ctx.h4;
+    block = Bytes.copy ctx.block;
+    fill = ctx.fill;
+    total = ctx.total;
+    w = Array.make 80 0;
+  }
+
 let rotl32 x n = ((x lsl n) lor (x lsr (32 - n))) land m32
 
 let compress ctx =

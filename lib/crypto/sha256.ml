@@ -40,6 +40,15 @@ let init () =
     w = Array.make 64 0;
   }
 
+let copy ctx =
+  {
+    h = Array.copy ctx.h;
+    block = Bytes.copy ctx.block;
+    fill = ctx.fill;
+    total = ctx.total;
+    w = Array.make 64 0;
+  }
+
 let rotr32 x n = ((x lsr n) lor (x lsl (32 - n))) land m32
 
 let compress ctx =

@@ -5,6 +5,12 @@
 type ctx
 
 val init : unit -> ctx
+
+val copy : ctx -> ctx
+(** Independent snapshot of a context mid-stream; feeding either copy
+    afterwards does not affect the other.  Lets HMAC precompute the
+    padded-key block once per key. *)
+
 val feed : ctx -> string -> unit
 val feed_bytes : ctx -> bytes -> off:int -> len:int -> unit
 

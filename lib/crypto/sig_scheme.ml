@@ -77,7 +77,7 @@ let decode_public s =
         let n = Bignum.of_hex (read_field ()) in
         let e = Bignum.of_hex (read_field ()) in
         if !pos <> String.length s then Error "trailing garbage"
-        else Ok (Rsa_pub { Rsa.n; e })
+        else Ok (Rsa_pub (Rsa.make_public ~n ~e))
       | 'H' ->
         let secret = read_field () in
         let id = read_field () in

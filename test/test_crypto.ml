@@ -160,6 +160,35 @@ let test_hmac_sha1_rfc2202 () =
       check string_t ("hmac-sha1 " ^ name) expected (Hmac.hex_mac ~hash:Hmac.Sha1 ~key msg))
     hmac_sha1_rfc2202
 
+(* The schedule cache must be invisible: a reused schedule, the cached
+   [mac], and a fresh schedule all agree with the RFC 2202 vectors. *)
+let test_hmac_schedule_rfc2202 () =
+  List.iter
+    (fun (name, key, msg, expected) ->
+      let sched = Hmac.schedule ~hash:Hmac.Sha1 ~key in
+      check string_t ("schedule " ^ name) expected (Hex.encode (Hmac.mac_with sched msg));
+      check string_t ("schedule reused " ^ name) expected (Hex.encode (Hmac.mac_with sched msg));
+      check string_t ("cached mac " ^ name) expected (Hmac.hex_mac ~hash:Hmac.Sha1 ~key msg))
+    (("case 1", String.make 20 '\x0b', "Hi There", "b617318655057264e28bc0b6fb378c8ef146be00")
+    :: hmac_sha1_rfc2202)
+
+let prop_hmac_schedule_equiv =
+  qtest ~count:200 "hmac: cached mac = fresh-schedule mac, both hashes"
+    QCheck2.Gen.(triple bool string string)
+    (fun (use_sha1, key, msg) ->
+      let hash = if use_sha1 then Hmac.Sha1 else Hmac.Sha256 in
+      String.equal (Hmac.mac ~hash ~key msg) (Hmac.mac_with (Hmac.schedule ~hash ~key) msg))
+
+let test_hmac_schedule_interleaved () =
+  (* One schedule serving different messages out of order must behave
+     like independent one-shot MACs (the copies really are isolated). *)
+  let key = "interleave-key" in
+  let sched = Hmac.schedule ~hash:Hmac.Sha256 ~key in
+  let msgs = [ "a"; String.make 200 'b'; ""; "a" ] in
+  let first = List.map (fun m -> Hmac.mac_with sched m) msgs in
+  let second = List.map (fun m -> Hmac.mac ~hash:Hmac.Sha256 ~key m) msgs in
+  List.iter2 (fun a b -> check string_t "interleaved" (Hex.encode b) (Hex.encode a)) first second
+
 let test_const_time_eq () =
   check bool_t "equal" true (Hmac.equal_const_time "abcd" "abcd");
   check bool_t "different" false (Hmac.equal_const_time "abcd" "abce");
@@ -408,6 +437,166 @@ let prop_mod_inv_correct =
       | None -> not (Bignum.equal (Bignum.gcd a m) Bignum.one)
       | Some x -> Bignum.equal (Bignum.rem (Bignum.mul (Bignum.rem a m) x) m) (Bignum.rem Bignum.one m))
 
+(* ---------------- Montgomery kernel ---------------- *)
+
+(* Odd moduli > 1 across the shapes the kernel cares about: single-limb
+   (26-bit) values, plain multi-limb randoms, f-heavy saturated limbs
+   that stress the fused carry chains, and exact-width top-bit-set
+   moduli.  Bases are drawn independently, so base >= modulus happens
+   routinely. *)
+let gen_odd_modulus =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun v -> Bignum.of_int ((2 * v) + 3)) (int_bound ((1 lsl 25) - 2));
+        map
+          (fun v -> Bignum.succ (Bignum.shift_left (Bignum.succ v) 1))
+          gen_bignum;
+        map
+          (fun v ->
+            let v = Bignum.add v Bignum.two in
+            if Bignum.is_even v then Bignum.succ v else v)
+          gen_bignum_hexy;
+        map2
+          (fun bits v ->
+            let top = Bignum.shift_left Bignum.one bits in
+            let c = Bignum.add top (Bignum.rem v top) in
+            if Bignum.is_even c then Bignum.succ c else c)
+          (int_range 2 200) gen_bignum;
+      ])
+
+let prop_montgomery_vs_schoolbook =
+  qtest ~count:300 "bignum: Montgomery mod_exp = schoolbook on random odd moduli"
+    QCheck2.Gen.(triple gen_bignum gen_bignum gen_odd_modulus)
+    (fun (b, e, m) ->
+      Bignum.equal
+        (Bignum.mod_exp ~base:b ~exp:e ~modulus:m)
+        (Bignum.mod_exp_schoolbook ~base:b ~exp:e ~modulus:m))
+
+let prop_mont_mul_matches =
+  qtest ~count:300 "bignum: Mont.mul round-trips to a*b mod m"
+    QCheck2.Gen.(triple gen_bignum gen_bignum gen_odd_modulus)
+    (fun (a, b, m) ->
+      match Bignum.Mont.make m with
+      | None -> false (* gen only produces odd moduli > 1 *)
+      | Some ctx ->
+        let r =
+          Bignum.Mont.from_mont ctx
+            (Bignum.Mont.mul ctx (Bignum.Mont.to_mont ctx a) (Bignum.Mont.to_mont ctx b))
+        in
+        Bignum.equal r (Bignum.rem (Bignum.mul a b) m))
+
+let prop_mont_to_from_roundtrip =
+  qtest ~count:200 "bignum: from_mont (to_mont a) = a mod m"
+    QCheck2.Gen.(pair gen_bignum gen_odd_modulus)
+    (fun (a, m) ->
+      match Bignum.Mont.make m with
+      | None -> false
+      | Some ctx ->
+        Bignum.equal (Bignum.Mont.from_mont ctx (Bignum.Mont.to_mont ctx a)) (Bignum.rem a m))
+
+let test_mont_edges () =
+  check bool_t "even modulus rejected" true (Option.is_none (Bignum.Mont.make (Bignum.of_int 10)));
+  check bool_t "modulus one rejected" true (Option.is_none (Bignum.Mont.make Bignum.one));
+  check bool_t "zero rejected" true (Option.is_none (Bignum.Mont.make Bignum.zero));
+  check string_t "mod_exp with modulus 1 is 0" "0"
+    (Bignum.to_decimal
+       (Bignum.mod_exp ~base:(Bignum.of_int 7) ~exp:(Bignum.of_int 3) ~modulus:Bignum.one));
+  let m = bn "1000000007" in
+  let ctx = Option.get (Bignum.Mont.make m) in
+  check string_t "Mont.one is 1's residue" "1"
+    (Bignum.to_decimal (Bignum.Mont.from_mont ctx (Bignum.Mont.one ctx)));
+  check string_t "exp 0 = 1" "1"
+    (Bignum.to_decimal (Bignum.Mont.exp ctx ~base:(bn "123456789") ~exp:Bignum.zero));
+  let big = bn "123456789123456789123456789" in
+  check string_t "exp 1 reduces an oversized base" (Bignum.to_decimal (Bignum.rem big m))
+    (Bignum.to_decimal (Bignum.Mont.exp ctx ~base:big ~exp:Bignum.one));
+  check string_t "base = 0" "0"
+    (Bignum.to_decimal (Bignum.Mont.exp ctx ~base:Bignum.zero ~exp:(Bignum.of_int 5)));
+  check string_t "base a multiple of m" "0"
+    (Bignum.to_decimal (Bignum.Mont.exp ctx ~base:(Bignum.mul m Bignum.two) ~exp:(Bignum.of_int 5)))
+
+let test_mont_e65537_fast_path () =
+  (* The dedicated 16-squarings path must agree with schoolbook on
+     moduli of several shapes, including single-limb ones. *)
+  let e = Bignum.of_int 65537 in
+  List.iter
+    (fun (bh, mh) ->
+      let b = Bignum.of_hex bh and m = Bignum.of_hex mh in
+      let ctx = Option.get (Bignum.Mont.make m) in
+      check string_t (Printf.sprintf "%s^65537 mod %s" bh mh)
+        (Bignum.to_hex (Bignum.mod_exp_schoolbook ~base:b ~exp:e ~modulus:m))
+        (Bignum.to_hex (Bignum.Mont.exp ctx ~base:b ~exp:e)))
+    [
+      ("2", "3b9aca07");
+      ("123456789abcdef0", "ffffffffffffffffffffffffffffff61");
+      ("fffffffffffffffffffffffffff", "10000000000000000000000000000000000000000000000000001");
+      ("3", "2b5");
+    ]
+
+let prop_mod_exp_even_modulus =
+  (* Even moduli take the schoolbook fallback inside mod_exp; the two
+     entry points must still agree there. *)
+  qtest ~count:100 "bignum: mod_exp = schoolbook on even moduli"
+    QCheck2.Gen.(triple gen_bignum (int_bound 2000) gen_bignum_pos)
+    (fun (b, e, m0) ->
+      let m = Bignum.shift_left m0 1 in
+      Bignum.equal
+        (Bignum.mod_exp ~base:b ~exp:(Bignum.of_int e) ~modulus:m)
+        (Bignum.mod_exp_schoolbook ~base:b ~exp:(Bignum.of_int e) ~modulus:m))
+
+(* ---------------- Radix conversions vs the seed algorithms ---------------- *)
+
+let gen_bignum_mixed = QCheck2.Gen.oneof [ gen_bignum; gen_bignum_hexy ]
+
+let ref_to_bytes_be v =
+  let b256 = Bignum.of_int 256 in
+  let rec go v acc =
+    if Bignum.is_zero v then acc
+    else begin
+      let q, r = Bignum.divmod v b256 in
+      go q (String.make 1 (Char.chr (Option.get (Bignum.to_int_opt r))) ^ acc)
+    end
+  in
+  let s = go v "" in
+  if s = "" then "\000" else s
+
+let ref_to_radix digits base v =
+  let b = Bignum.of_int base in
+  let rec go v acc =
+    if Bignum.is_zero v then acc
+    else begin
+      let q, r = Bignum.divmod v b in
+      go q (String.make 1 digits.[Option.get (Bignum.to_int_opt r)] ^ acc)
+    end
+  in
+  let s = go v "" in
+  if s = "" then "0" else s
+
+let prop_to_bytes_matches_seed =
+  qtest ~count:200 "bignum: linear to_bytes_be = byte-at-a-time reference" gen_bignum_mixed
+    (fun a -> String.equal (Bignum.to_bytes_be a) (ref_to_bytes_be a))
+
+let prop_to_hex_matches_seed =
+  qtest ~count:200 "bignum: linear to_hex = digit-at-a-time reference" gen_bignum_mixed
+    (fun a -> String.equal (Bignum.to_hex a) (ref_to_radix "0123456789abcdef" 16 a))
+
+let prop_to_decimal_matches_seed =
+  qtest ~count:200 "bignum: chunked to_decimal = digit-at-a-time reference" gen_bignum_mixed
+    (fun a -> String.equal (Bignum.to_decimal a) (ref_to_radix "0123456789" 10 a))
+
+let prop_of_bytes_ignores_leading_zeros =
+  qtest ~count:100 "bignum: of_bytes_be ignores leading zero bytes" QCheck2.Gen.string
+    (fun s -> Bignum.equal (Bignum.of_bytes_be ("\000\000" ^ s)) (Bignum.of_bytes_be s))
+
+let test_radix_underscores () =
+  check string_t "hex underscores" "255" (Bignum.to_decimal (Bignum.of_hex "f_f"));
+  check string_t "decimal underscores" "1234567890123456789"
+    (Bignum.to_decimal (bn "1_234_567_890_123_456_789"));
+  check string_t "padded bytes keep leading zeros"
+    (Bignum.to_decimal (bn "65793"))
+    (Bignum.to_decimal (Bignum.of_bytes_be (Bignum.to_bytes_be ~length:9 (bn "65793"))))
+
 (* ---------------- Miller-Rabin ---------------- *)
 
 let test_primes_recognized () =
@@ -495,6 +684,37 @@ let test_rsa_crt_matches_reference () =
       check string_t ("crt = no-crt for " ^ msg) (Hex.encode (Rsa.sign_no_crt key msg))
         (Hex.encode (Rsa.sign key msg)))
     [ ""; "x"; "hello world"; String.make 1000 'q' ]
+
+let test_rsa_signature_bit_identity () =
+  (* The Montgomery kernel is a pure speedup: signatures over a fixed
+     corpus must be bit-identical to the seed schoolbook path, and each
+     must verify under both paths. *)
+  let corpus =
+    [ ""; "x"; "pledge:42"; String.make 1000 'q'; "\x00\xff\x80binary\x01\x7f" ]
+  in
+  let keys =
+    [ ("512-bit", Lazy.force shared_key);
+      ("256-bit", Rsa.generate (Prng.create ~seed:41L) ~bits:256) ]
+  in
+  let with_flag v f =
+    let saved = !Bignum.use_montgomery in
+    Bignum.use_montgomery := v;
+    Fun.protect ~finally:(fun () -> Bignum.use_montgomery := saved) f
+  in
+  List.iter
+    (fun (kname, key) ->
+      List.iteri
+        (fun i msg ->
+          let fast = with_flag true (fun () -> Rsa.sign key msg) in
+          let slow = with_flag false (fun () -> Rsa.sign key msg) in
+          let label = Printf.sprintf "%s corpus[%d]" kname i in
+          check string_t (label ^ " bit-identical") (Hex.encode slow) (Hex.encode fast);
+          check bool_t (label ^ " verifies (mont)") true
+            (with_flag true (fun () -> Rsa.verify key.Rsa.pub ~msg ~signature:fast));
+          check bool_t (label ^ " verifies (schoolbook)") true
+            (with_flag false (fun () -> Rsa.verify key.Rsa.pub ~msg ~signature:fast)))
+        corpus)
+    keys
 
 let test_rsa_distinct_keys_dont_cross_verify () =
   let g = Prng.create ~seed:100L in
@@ -738,6 +958,9 @@ let () =
           Alcotest.test_case "long key" `Quick test_hmac_long_key;
           Alcotest.test_case "hmac-sha1" `Quick test_hmac_sha1;
           Alcotest.test_case "hmac-sha1 rfc2202 cases 2-7" `Quick test_hmac_sha1_rfc2202;
+          Alcotest.test_case "schedule cache vs rfc2202" `Quick test_hmac_schedule_rfc2202;
+          Alcotest.test_case "schedule copies are isolated" `Quick test_hmac_schedule_interleaved;
+          prop_hmac_schedule_equiv;
           Alcotest.test_case "constant-time equality" `Quick test_const_time_eq;
         ] );
       ( "hex",
@@ -774,6 +997,20 @@ let () =
           prop_mod_exp_matches_naive;
           prop_gcd_divides;
           prop_mod_inv_correct;
+          prop_to_bytes_matches_seed;
+          prop_to_hex_matches_seed;
+          prop_to_decimal_matches_seed;
+          prop_of_bytes_ignores_leading_zeros;
+          Alcotest.test_case "radix parsing details" `Quick test_radix_underscores;
+        ] );
+      ( "montgomery",
+        [
+          prop_montgomery_vs_schoolbook;
+          prop_mont_mul_matches;
+          prop_mont_to_from_roundtrip;
+          prop_mod_exp_even_modulus;
+          Alcotest.test_case "context edge cases" `Quick test_mont_edges;
+          Alcotest.test_case "e=65537 fast path" `Quick test_mont_e65537_fast_path;
         ] );
       ( "miller-rabin",
         [
@@ -790,6 +1027,8 @@ let () =
             test_rsa_rejects_degenerate_signatures;
           Alcotest.test_case "rejects every byte flip" `Quick test_rsa_every_byte_flip_rejected;
           Alcotest.test_case "CRT matches reference" `Quick test_rsa_crt_matches_reference;
+          Alcotest.test_case "signature bit-identity across kernels" `Quick
+            test_rsa_signature_bit_identity;
           Alcotest.test_case "keys do not cross-verify" `Quick
             test_rsa_distinct_keys_dont_cross_verify;
           prop_rsa_sign_verify;
